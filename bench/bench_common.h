@@ -1,0 +1,100 @@
+#ifndef MLCORE_BENCH_BENCH_COMMON_H_
+#define MLCORE_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dccs/dccs.h"
+#include "graph/datasets.h"
+#include "util/flags.h"
+#include "util/table.h"
+#include "util/timing.h"
+
+namespace mlcore::bench {
+
+/// Shared harness context for the figure-reproduction binaries.
+///
+/// Every binary accepts:
+///   --quick        shrink datasets (scale 0.25) and trim sweeps — smoke run
+///   --scale=F      explicit dataset scale in (0, 1]
+struct BenchContext {
+  explicit BenchContext(const Flags& flags)
+      : quick(flags.GetBool("quick", false)),
+        scale(flags.GetDouble("scale", quick ? 0.25 : 1.0)) {}
+
+  bool quick;
+  double scale;
+
+  /// Loads (and memoises) a dataset at the configured scale, backed by an
+  /// on-disk cache shared across the figure binaries (generation of the
+  /// large graphs costs minutes; a cached load costs ~1 s).
+  const Dataset& Load(const std::string& name) {
+    for (const auto& d : cache_) {
+      if (d->name == name) return *d;
+    }
+    // Bump kCacheVersion whenever the generator or the dataset specs
+    // change; stale caches would silently skew every figure.
+    constexpr int kCacheVersion = 2;
+    char cache_path[256];
+    std::snprintf(cache_path, sizeof(cache_path),
+                  "/tmp/mlcore_dataset_v%d_%s_%04d", kCacheVersion,
+                  name.c_str(), static_cast<int>(scale * 1000));
+    auto dataset = std::make_unique<Dataset>();
+    if (LoadDataset(cache_path, dataset.get()) && dataset->name == name) {
+      std::printf("[bench] loaded dataset '%s' from cache\n", name.c_str());
+    } else {
+      std::printf("[bench] generating dataset '%s' (scale %.2f)...\n",
+                  name.c_str(), scale);
+      *dataset = MakeDataset(name, scale);
+      SaveDataset(*dataset, cache_path);
+    }
+    cache_.push_back(std::move(dataset));
+    return *cache_.back();
+  }
+
+ private:
+  std::vector<std::unique_ptr<Dataset>> cache_;
+};
+
+/// Prints the standard header every figure binary emits: what the paper
+/// reports, and what shape to expect from this reproduction.
+inline void PrintFigureHeader(const std::string& figure,
+                              const std::string& paper_expectation) {
+  std::printf("==========================================================\n");
+  std::printf("%s\n", figure.c_str());
+  std::printf("paper expectation: %s\n", paper_expectation.c_str());
+  std::printf("==========================================================\n");
+}
+
+/// Runs one algorithm and returns (seconds, cover size).
+struct RunOutcome {
+  double seconds = 0.0;
+  int64_t cover = 0;
+  SearchStats stats;
+};
+
+inline RunOutcome RunAlgorithm(const MultiLayerGraph& graph,
+                               const DccsParams& params,
+                               DccsAlgorithm algorithm) {
+  DccsResult result = SolveDccs(graph, params, algorithm);
+  return RunOutcome{result.stats.total_seconds, result.CoverSize(),
+                    result.stats};
+}
+
+/// The small-s sweep of Fig 13 ({1..5}) and its large-s counterpart
+/// ({l-4..l}), trimmed in quick mode.
+inline std::vector<int> SmallSValues(bool quick) {
+  return quick ? std::vector<int>{1, 2, 3} : std::vector<int>{1, 2, 3, 4, 5};
+}
+inline std::vector<int> LargeSValues(int layers, bool quick) {
+  std::vector<int> values;
+  int from = quick ? layers - 2 : layers - 4;
+  for (int s = std::max(1, from); s <= layers; ++s) values.push_back(s);
+  return values;
+}
+
+}  // namespace mlcore::bench
+
+#endif  // MLCORE_BENCH_BENCH_COMMON_H_

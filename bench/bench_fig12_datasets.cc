@@ -1,0 +1,68 @@
+// Fig 12 (dataset statistics) and Fig 13 (parameter configuration).
+//
+// Prints the statistics of the six synthetic stand-in datasets in the
+// paper's Fig 12 layout, alongside the original numbers for comparison,
+// plus the Fig 13 parameter table used by every other bench binary.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace {
+
+struct PaperRow {
+  const char* name;
+  long long vertices;
+  long long total_edges;
+  long long distinct_edges;
+  int layers;
+};
+
+constexpr PaperRow kPaperRows[] = {
+    {"ppi", 328, 4745, 3101, 8},
+    {"author", 1017, 15065, 11069, 10},
+    {"german", 519365, 7205624, 1653621, 14},
+    {"wiki", 1140149, 7833140, 3309592, 24},
+    {"english", 1749651, 18951428, 5956877, 15},
+    {"stack", 2601977, 63497050, 36233450, 24},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  mlcore::Flags flags(argc, argv);
+  mlcore::bench::BenchContext context(flags);
+
+  mlcore::bench::PrintFigureHeader(
+      "Fig 12: statistics of graph datasets",
+      "six datasets; layer counts 8/10/14/24/15/24; the four large graphs "
+      "are scaled synthetic stand-ins (DESIGN.md §5)");
+
+  mlcore::Table table({"Graph", "|V(G)|", "sum |E(Gi)|", "|U E(Gi)|", "l(G)",
+                       "paper |V|", "paper sum|E|", "paper l"});
+  for (const auto& row : kPaperRows) {
+    const mlcore::Dataset& dataset = context.Load(row.name);
+    table.AddRow({row.name, mlcore::Table::Int(dataset.graph.NumVertices()),
+                  mlcore::Table::Int(dataset.graph.TotalEdges()),
+                  mlcore::Table::Int(dataset.graph.DistinctEdges()),
+                  mlcore::Table::Int(dataset.graph.NumLayers()),
+                  mlcore::Table::Int(row.vertices),
+                  mlcore::Table::Int(row.total_edges),
+                  mlcore::Table::Int(row.layers)});
+  }
+  table.Print();
+
+  std::printf("\n");
+  mlcore::bench::PrintFigureHeader(
+      "Fig 13: parameter configuration",
+      "defaults k=10, d=4, s=3 (small) / l-2 (large), p=q=1.0");
+  mlcore::Table params({"Parameter", "Range", "Default"});
+  params.AddRow({"k", "{5, 10, 15, 20, 25}", "10"});
+  params.AddRow({"d", "{2, 3, 4, 5, 6}", "4"});
+  params.AddRow({"s (small)", "{1, 2, 3, 4, 5}", "3"});
+  params.AddRow({"s (large)", "{l-4, l-3, l-2, l-1, l}", "l-2"});
+  params.AddRow({"p", "{0.2, 0.4, 0.6, 0.8, 1.0}", "1.0"});
+  params.AddRow({"q", "{0.2, 0.4, 0.6, 0.8, 1.0}", "1.0"});
+  params.Print();
+  return 0;
+}

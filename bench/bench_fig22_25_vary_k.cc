@@ -1,0 +1,71 @@
+// Fig 22: time vs k, small s (GD vs BU; Wiki, English).
+// Fig 23: time vs k, large s (GD vs TD; Wiki, English).
+// Fig 24: cover size vs k, small s (GD vs BU).
+// Fig 25: cover size vs k, large s (GD vs TD).
+//
+// Expected shapes (paper §VI): GD-DCCS time grows with k (selection is
+// proportional to k) while BU/TD times are insensitive to k; cover size
+// grows with k but flattens past k≈20, showing heavy overlap among d-CCs.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  mlcore::Flags flags(argc, argv);
+  mlcore::bench::BenchContext context(flags);
+
+  std::vector<int> k_values = context.quick
+                                  ? std::vector<int>{5, 15, 25}
+                                  : std::vector<int>{5, 10, 15, 20, 25};
+
+  for (const char* name : {"wiki", "english"}) {
+    const mlcore::Dataset& dataset = context.Load(name);
+
+    mlcore::bench::PrintFigureHeader(
+        std::string("Fig 22 + Fig 24: vary k at small s=3 on ") + name,
+        "GD time grows with k; BU time k-insensitive; cover grows, "
+        "flattening for k>=20");
+    mlcore::Table small_table({"k", "GD time (s)", "BU time (s)",
+                               "GD |Cov|", "BU |Cov|"});
+    for (int k : k_values) {
+      mlcore::DccsParams params;
+      params.s = 3;
+      params.k = k;
+      auto gd = mlcore::bench::RunAlgorithm(dataset.graph, params,
+                                            mlcore::DccsAlgorithm::kGreedy);
+      auto bu = mlcore::bench::RunAlgorithm(dataset.graph, params,
+                                            mlcore::DccsAlgorithm::kBottomUp);
+      small_table.AddRow(
+          {mlcore::Table::Int(k), mlcore::Table::Num(gd.seconds),
+           mlcore::Table::Num(bu.seconds), mlcore::Table::Int(gd.cover),
+           mlcore::Table::Int(bu.cover)});
+    }
+    small_table.Print();
+    std::printf("\n");
+
+    const int large_s = dataset.graph.NumLayers() - 2;
+    mlcore::bench::PrintFigureHeader(
+        std::string("Fig 23 + Fig 25: vary k at large s=l-2 on ") + name,
+        "GD time grows with k; TD time k-insensitive; cover grows with k");
+    mlcore::Table large_table({"k", "GD time (s)", "TD time (s)",
+                               "GD |Cov|", "TD |Cov|"});
+    for (int k : k_values) {
+      mlcore::DccsParams params;
+      params.s = large_s;
+      params.k = k;
+      auto gd = mlcore::bench::RunAlgorithm(dataset.graph, params,
+                                            mlcore::DccsAlgorithm::kGreedy);
+      auto td = mlcore::bench::RunAlgorithm(dataset.graph, params,
+                                            mlcore::DccsAlgorithm::kTopDown);
+      large_table.AddRow(
+          {mlcore::Table::Int(k), mlcore::Table::Num(gd.seconds),
+           mlcore::Table::Num(td.seconds), mlcore::Table::Int(gd.cover),
+           mlcore::Table::Int(td.cover)});
+    }
+    large_table.Print();
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Fig 26: time vs vertex-sampling fraction p on Stack (GD/BU small s,
+//         GD/TD large s).
+// Fig 27: time vs layer-sampling fraction q on Stack (same algorithms).
+//
+// Expected shapes (paper §VI): all algorithms scale roughly linearly in p
+// (d-CC computation is linear in the vertex count); time grows with q and
+// GD-DCCS grows much faster than BU/TD (C(l, s) explosion vs pruning).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "graph/sampling.h"
+
+int main(int argc, char** argv) {
+  mlcore::Flags flags(argc, argv);
+  mlcore::bench::BenchContext context(flags);
+
+  const mlcore::Dataset& stack = context.Load("stack");
+  std::vector<double> fractions =
+      context.quick ? std::vector<double>{0.4, 1.0}
+                    : std::vector<double>{0.2, 0.4, 0.6, 0.8, 1.0};
+  constexpr uint64_t kSampleSeed = 20180417;
+
+  auto run_pair = [&](const mlcore::MultiLayerGraph& graph, int s,
+                      mlcore::DccsAlgorithm search) {
+    mlcore::DccsParams params;
+    params.s = s;
+    auto gd = mlcore::bench::RunAlgorithm(graph, params,
+                                          mlcore::DccsAlgorithm::kGreedy);
+    auto other = mlcore::bench::RunAlgorithm(graph, params, search);
+    return std::make_pair(gd, other);
+  };
+
+  mlcore::bench::PrintFigureHeader(
+      "Fig 26: time vs vertex fraction p on stack",
+      "all algorithms scale ~linearly with p");
+  mlcore::Table p_table({"p", "GD s=3 (s)", "BU s=3 (s)", "GD s=l-2 (s)",
+                         "TD s=l-2 (s)"});
+  for (double p : fractions) {
+    mlcore::MultiLayerGraph sampled =
+        mlcore::SampleVertices(stack.graph, p, kSampleSeed);
+    auto [gd_small, bu] =
+        run_pair(sampled, 3, mlcore::DccsAlgorithm::kBottomUp);
+    auto [gd_large, td] = run_pair(sampled, sampled.NumLayers() - 2,
+                                   mlcore::DccsAlgorithm::kTopDown);
+    p_table.AddRow({mlcore::Table::Num(p, 1),
+                    mlcore::Table::Num(gd_small.seconds),
+                    mlcore::Table::Num(bu.seconds),
+                    mlcore::Table::Num(gd_large.seconds),
+                    mlcore::Table::Num(td.seconds)});
+  }
+  p_table.Print();
+  std::printf("\n");
+
+  mlcore::bench::PrintFigureHeader(
+      "Fig 27: time vs layer fraction q on stack",
+      "time grows with q; GD-DCCS grows much faster than BU/TD");
+  mlcore::Table q_table({"q", "layers", "GD s=3 (s)", "BU s=3 (s)",
+                         "GD s=l-2 (s)", "TD s=l-2 (s)"});
+  for (double q : fractions) {
+    mlcore::MultiLayerGraph sampled =
+        mlcore::SampleLayers(stack.graph, q, kSampleSeed);
+    const int l = sampled.NumLayers();
+    // Small-s runs need s <= l; q = 0.2 keeps only 4 layers, still >= 3.
+    auto [gd_small, bu] = run_pair(sampled, std::min(3, l),
+                                   mlcore::DccsAlgorithm::kBottomUp);
+    auto [gd_large, td] = run_pair(sampled, std::max(1, l - 2),
+                                   mlcore::DccsAlgorithm::kTopDown);
+    q_table.AddRow({mlcore::Table::Num(q, 1), mlcore::Table::Int(l),
+                    mlcore::Table::Num(gd_small.seconds),
+                    mlcore::Table::Num(bu.seconds),
+                    mlcore::Table::Num(gd_large.seconds),
+                    mlcore::Table::Num(td.seconds)});
+  }
+  q_table.Print();
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Fig 32: proportion of protein complexes found by MiMAG and BU-DCCS on
+// PPI with d ∈ {2, 3, 4} (a complex counts as found when it is entirely
+// contained in one of the returned dense subgraphs).
+//
+// Ground truth: the planted complexes emitted by the PPI generator (the
+// stand-in for the MIPS catalogue; DESIGN.md §5).
+//
+// Expected shapes (paper §VI): the proportion decreases as d grows, and
+// BU-DCCS finds a clearly higher proportion than MiMAG (paper: 83.6% vs
+// 69.7% at d=2 down to 77.9% vs 65.3% at d=4).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "eval/complexes.h"
+#include "mimag/mimag.h"
+
+int main(int argc, char** argv) {
+  mlcore::Flags flags(argc, argv);
+  mlcore::bench::BenchContext context(flags);
+  const mlcore::Dataset& ppi = context.Load("ppi");
+
+  mlcore::bench::PrintFigureHeader(
+      "Fig 32: proportion of protein complexes found on ppi",
+      "decreases with d; BU-DCCS > MiMAG (paper: 83.6/80.1/77.9% vs "
+      "69.7/67.2/65.3%)");
+
+  const int support = ppi.graph.NumLayers() / 2;
+  mlcore::Table table({"d", "MiMAG found", "MiMAG (all maximal)",
+                       "BU-DCCS found", "complexes"});
+  for (int d : {2, 3, 4}) {
+    mlcore::MimagParams mimag_params;
+    mimag_params.gamma = 0.8;
+    mimag_params.min_size = d + 1;
+    mimag_params.min_support = support;
+    mlcore::MimagResult mimag = MineMimag(ppi.graph, mimag_params);
+    std::vector<mlcore::VertexSet> quasi_subgraphs;
+    for (const auto& cluster : mimag.clusters) {
+      quasi_subgraphs.push_back(cluster.vertices);
+    }
+    // Second protocol: keep every locally-maximal quasi-clique (no
+    // redundancy filtering). The budgeted stand-in's diversified output is
+    // sparser than real MiMAG's, which makes full-complex containment
+    // vanishingly rare; the unfiltered set is the fairer recall bound.
+    mimag_params.redundancy_threshold = 1.0;
+    mlcore::MimagResult mimag_all = MineMimag(ppi.graph, mimag_params);
+    std::vector<mlcore::VertexSet> all_subgraphs;
+    for (const auto& cluster : mimag_all.clusters) {
+      all_subgraphs.push_back(cluster.vertices);
+    }
+
+    mlcore::DccsParams params;
+    params.d = d;
+    params.s = support;
+    params.k = 10;
+    mlcore::DccsResult bu = BottomUpDccs(ppi.graph, params);
+    std::vector<mlcore::VertexSet> core_subgraphs;
+    for (const auto& core : bu.cores) core_subgraphs.push_back(core.vertices);
+
+    double mimag_recall = mlcore::ComplexRecall(ppi.complexes, quasi_subgraphs);
+    double mimag_all_recall =
+        mlcore::ComplexRecall(ppi.complexes, all_subgraphs);
+    double bu_recall = mlcore::ComplexRecall(ppi.complexes, core_subgraphs);
+    table.AddRow({mlcore::Table::Int(d),
+                  mlcore::Table::Num(mimag_recall * 100, 1) + "%",
+                  mlcore::Table::Num(mimag_all_recall * 100, 1) + "%",
+                  mlcore::Table::Num(bu_recall * 100, 1) + "%",
+                  mlcore::Table::Int(
+                      static_cast<long long>(ppi.complexes.size()))});
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Hot-kernel micro-benchmarks (google-benchmark). Not a paper figure —
+// engineering aid for the peeling, coverage and index kernels that
+// dominate the DCCS algorithms' runtime.
+
+#include <benchmark/benchmark.h>
+
+#include "core/dcc.h"
+#include "core/dcore.h"
+#include "dccs/cover.h"
+#include "dccs/preprocess.h"
+#include "dccs/vertex_index.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace {
+
+const mlcore::MultiLayerGraph& BenchGraph() {
+  static const mlcore::MultiLayerGraph* graph = [] {
+    mlcore::PlantedGraphConfig config;
+    config.num_vertices = 20000;
+    config.num_layers = 8;
+    config.num_communities = 20;
+    config.community_size_min = 20;
+    config.community_size_max = 60;
+    config.seed = 99;
+    return new mlcore::MultiLayerGraph(
+        mlcore::GeneratePlanted(config).graph);
+  }();
+  return *graph;
+}
+
+void BM_DCore(benchmark::State& state) {
+  const auto& graph = BenchGraph();
+  const int d = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mlcore::DCore(graph, 0, d));
+  }
+}
+BENCHMARK(BM_DCore)->Arg(2)->Arg(4)->Arg(6);
+
+void BM_CoreDecomposition(benchmark::State& state) {
+  const auto& graph = BenchGraph();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mlcore::CoreDecomposition(graph, 0));
+  }
+}
+BENCHMARK(BM_CoreDecomposition);
+
+void BM_DccQueue(benchmark::State& state) {
+  const auto& graph = BenchGraph();
+  mlcore::DccSolver solver(graph);
+  mlcore::VertexSet all = mlcore::AllVertices(graph);
+  mlcore::LayerSet layers = {0, 2, 4, 6};
+  const int d = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        solver.Compute(layers, d, all, mlcore::DccEngine::kQueue));
+  }
+}
+BENCHMARK(BM_DccQueue)->Arg(2)->Arg(4);
+
+void BM_DccBins(benchmark::State& state) {
+  const auto& graph = BenchGraph();
+  mlcore::DccSolver solver(graph);
+  mlcore::VertexSet all = mlcore::AllVertices(graph);
+  mlcore::LayerSet layers = {0, 2, 4, 6};
+  const int d = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        solver.Compute(layers, d, all, mlcore::DccEngine::kBins));
+  }
+}
+BENCHMARK(BM_DccBins)->Arg(2)->Arg(4);
+
+void BM_CoverageUpdate(benchmark::State& state) {
+  // Pre-generate a stream of pseudo-random candidate sets.
+  mlcore::Rng rng(7);
+  std::vector<mlcore::VertexSet> candidates;
+  for (int i = 0; i < 512; ++i) {
+    mlcore::VertexSet candidate;
+    int size = static_cast<int>(rng.Uniform(5, 120));
+    for (int j = 0; j < size; ++j) {
+      candidate.push_back(static_cast<mlcore::VertexId>(
+          rng.Uniform(0, 5000)));
+    }
+    std::sort(candidate.begin(), candidate.end());
+    candidate.erase(std::unique(candidate.begin(), candidate.end()),
+                    candidate.end());
+    candidates.push_back(std::move(candidate));
+  }
+  mlcore::LayerSet layers = {0, 1, 2};
+  for (auto _ : state) {
+    mlcore::CoverageIndex index(10);
+    for (const auto& candidate : candidates) {
+      layers[0] = (layers[0] + 1) % 64;  // distinct layer keys
+      benchmark::DoNotOptimize(index.Update(candidate, layers));
+    }
+  }
+}
+BENCHMARK(BM_CoverageUpdate);
+
+void BM_Preprocess(benchmark::State& state) {
+  const auto& graph = BenchGraph();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        mlcore::Preprocess(graph, /*d=*/4, /*s=*/3, true));
+  }
+}
+BENCHMARK(BM_Preprocess);
+
+void BM_VertexIndexBuild(benchmark::State& state) {
+  const auto& graph = BenchGraph();
+  mlcore::VertexSet all = mlcore::AllVertices(graph);
+  for (auto _ : state) {
+    mlcore::VertexLevelIndex index(graph, 4, all);
+    benchmark::DoNotOptimize(index.num_levels());
+  }
+}
+BENCHMARK(BM_VertexIndexBuild);
+
+}  // namespace
+
+BENCHMARK_MAIN();

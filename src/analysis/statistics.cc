@@ -1,0 +1,143 @@
+#include "analysis/statistics.h"
+
+#include <algorithm>
+
+#include "core/dcore.h"
+#include "util/check.h"
+
+namespace mlcore {
+
+std::vector<LayerStatistics> ComputeLayerStatistics(
+    const MultiLayerGraph& graph) {
+  std::vector<LayerStatistics> stats(
+      static_cast<size_t>(graph.NumLayers()));
+  const int32_t n = graph.NumVertices();
+  for (LayerId layer = 0; layer < graph.NumLayers(); ++layer) {
+    LayerStatistics& s = stats[static_cast<size_t>(layer)];
+    s.edges = graph.NumEdges(layer);
+    int64_t degree_sum = 0;
+    for (VertexId v = 0; v < n; ++v) {
+      int32_t degree = graph.Degree(layer, v);
+      degree_sum += degree;
+      s.max_degree = std::max(s.max_degree, degree);
+      if (degree > 0) ++s.active_vertices;
+    }
+    s.average_degree =
+        n > 0 ? static_cast<double>(degree_sum) / static_cast<double>(n)
+              : 0.0;
+    std::vector<int> coreness = CoreDecomposition(graph, layer);
+    s.degeneracy =
+        coreness.empty()
+            ? 0
+            : *std::max_element(coreness.begin(), coreness.end());
+  }
+  return stats;
+}
+
+double LayerEdgeJaccard(const MultiLayerGraph& graph, LayerId a, LayerId b) {
+  int64_t common = 0;
+  int64_t union_size = 0;
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    auto na = graph.Neighbors(a, v);
+    auto nb = graph.Neighbors(b, v);
+    size_t ia = 0, ib = 0;
+    while (ia < na.size() || ib < nb.size()) {
+      VertexId ua = ia < na.size() ? na[ia] : INT32_MAX;
+      VertexId ub = ib < nb.size() ? nb[ib] : INT32_MAX;
+      VertexId next = std::min(ua, ub);
+      if (next <= v) {  // count each undirected edge once (v < u side)
+        if (ua == next) ++ia;
+        if (ub == next) ++ib;
+        continue;
+      }
+      if (ua == ub) {
+        ++common;
+        ++union_size;
+        ++ia;
+        ++ib;
+      } else if (ua < ub) {
+        ++union_size;
+        ++ia;
+      } else {
+        ++union_size;
+        ++ib;
+      }
+    }
+  }
+  if (union_size == 0) return 1.0;
+  return static_cast<double>(common) / static_cast<double>(union_size);
+}
+
+std::vector<double> LayerSimilarityMatrix(const MultiLayerGraph& graph) {
+  const auto l = static_cast<size_t>(graph.NumLayers());
+  std::vector<double> matrix(l * l, 1.0);
+  for (size_t a = 0; a < l; ++a) {
+    for (size_t b = a + 1; b < l; ++b) {
+      double jaccard = LayerEdgeJaccard(graph, static_cast<LayerId>(a),
+                                        static_cast<LayerId>(b));
+      matrix[a * l + b] = jaccard;
+      matrix[b * l + a] = jaccard;
+    }
+  }
+  return matrix;
+}
+
+std::vector<int64_t> DegreeHistogram(const MultiLayerGraph& graph,
+                                     LayerId layer) {
+  std::vector<int64_t> histogram;
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    auto degree = static_cast<size_t>(graph.Degree(layer, v));
+    if (histogram.size() <= degree) histogram.resize(degree + 1, 0);
+    ++histogram[degree];
+  }
+  return histogram;
+}
+
+std::vector<int64_t> SupportHistogram(const MultiLayerGraph& graph, int d) {
+  const auto n = static_cast<size_t>(graph.NumVertices());
+  std::vector<int> support(n, 0);
+  for (LayerId layer = 0; layer < graph.NumLayers(); ++layer) {
+    for (VertexId v : DCore(graph, layer, d)) {
+      ++support[static_cast<size_t>(v)];
+    }
+  }
+  std::vector<int64_t> histogram(
+      static_cast<size_t>(graph.NumLayers()) + 1, 0);
+  for (size_t v = 0; v < n; ++v) {
+    ++histogram[static_cast<size_t>(support[v])];
+  }
+  return histogram;
+}
+
+std::vector<int32_t> ConnectedComponents(const MultiLayerGraph& graph,
+                                         LayerId layer) {
+  const auto n = static_cast<size_t>(graph.NumVertices());
+  std::vector<int32_t> component(n, -1);
+  std::vector<VertexId> queue;
+  int32_t next_id = 0;
+  for (VertexId root = 0; root < graph.NumVertices(); ++root) {
+    if (component[static_cast<size_t>(root)] >= 0) continue;
+    component[static_cast<size_t>(root)] = next_id;
+    queue.clear();
+    queue.push_back(root);
+    for (size_t head = 0; head < queue.size(); ++head) {
+      VertexId v = queue[head];
+      for (VertexId u : graph.Neighbors(layer, v)) {
+        if (component[static_cast<size_t>(u)] < 0) {
+          component[static_cast<size_t>(u)] = next_id;
+          queue.push_back(u);
+        }
+      }
+    }
+    ++next_id;
+  }
+  return component;
+}
+
+int32_t CountComponents(const std::vector<int32_t>& component_ids) {
+  int32_t max_id = -1;
+  for (int32_t id : component_ids) max_id = std::max(max_id, id);
+  return max_id + 1;
+}
+
+}  // namespace mlcore

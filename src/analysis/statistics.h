@@ -1,0 +1,56 @@
+#ifndef MLCORE_ANALYSIS_STATISTICS_H_
+#define MLCORE_ANALYSIS_STATISTICS_H_
+
+#include <vector>
+
+#include "graph/multilayer_graph.h"
+
+namespace mlcore {
+
+/// Per-layer summary statistics of a multi-layer graph.
+struct LayerStatistics {
+  int64_t edges = 0;
+  double average_degree = 0.0;
+  int32_t max_degree = 0;
+  /// Number of vertices with at least one incident edge on the layer.
+  int32_t active_vertices = 0;
+  /// Largest d with a non-empty d-core on the layer (the degeneracy).
+  int degeneracy = 0;
+};
+
+/// Computes LayerStatistics for every layer in O(n·l + m) plus one core
+/// decomposition per layer.
+std::vector<LayerStatistics> ComputeLayerStatistics(
+    const MultiLayerGraph& graph);
+
+/// Jaccard similarity |E_a ∩ E_b| / |E_a ∪ E_b| between two layers' edge
+/// sets. Returns 1 when both layers are empty.
+double LayerEdgeJaccard(const MultiLayerGraph& graph, LayerId a, LayerId b);
+
+/// Full l×l layer-similarity matrix (row-major), symmetric with unit
+/// diagonal. Useful for choosing the support threshold s: blocks of
+/// similar layers make large coherent cores likely.
+std::vector<double> LayerSimilarityMatrix(const MultiLayerGraph& graph);
+
+/// Degree histogram of one layer: result[i] = number of vertices with
+/// degree exactly i.
+std::vector<int64_t> DegreeHistogram(const MultiLayerGraph& graph,
+                                     LayerId layer);
+
+/// Support histogram at threshold d: result[i] = number of vertices lying
+/// in exactly i of the per-layer d-cores (the paper's Num(v) used by
+/// vertex deletion and the §V-C index).
+std::vector<int64_t> SupportHistogram(const MultiLayerGraph& graph, int d);
+
+/// Connected components of one layer (isolated vertices are singleton
+/// components). Returns the component id of every vertex, ids numbered
+/// from 0 in first-seen order.
+std::vector<int32_t> ConnectedComponents(const MultiLayerGraph& graph,
+                                         LayerId layer);
+
+/// Number of distinct values in a component-id vector.
+int32_t CountComponents(const std::vector<int32_t>& component_ids);
+
+}  // namespace mlcore
+
+#endif  // MLCORE_ANALYSIS_STATISTICS_H_

@@ -1,0 +1,161 @@
+#include "core/coreness.h"
+
+#include <algorithm>
+
+#include "util/bitset.h"
+#include "util/check.h"
+
+namespace mlcore {
+
+std::vector<int> CoherentCoreness(const MultiLayerGraph& graph,
+                                  const LayerSet& layers) {
+  MLCORE_CHECK(!layers.empty());
+  const auto n = static_cast<size_t>(graph.NumVertices());
+  const auto l = static_cast<size_t>(graph.NumLayers());
+
+  // Per-layer degrees and the multi-layer minimum degree m(v).
+  std::vector<int32_t> degree(n * l, 0);
+  std::vector<int32_t> m(n, INT32_MAX);
+  int32_t max_m = 0;
+  for (size_t v = 0; v < n; ++v) {
+    for (LayerId layer : layers) {
+      auto deg = graph.Degree(layer, static_cast<VertexId>(v));
+      degree[v * l + static_cast<size_t>(layer)] = deg;
+      m[v] = std::min(m[v], deg);
+    }
+    max_m = std::max(max_m, m[v]);
+  }
+
+  // Bin-sorted vertex array over m values (Batagelj–Zaversnik layout).
+  std::vector<size_t> bin(static_cast<size_t>(max_m) + 2, 0);
+  for (size_t v = 0; v < n; ++v) ++bin[static_cast<size_t>(m[v])];
+  size_t start = 0;
+  for (size_t value = 0; value <= static_cast<size_t>(max_m); ++value) {
+    size_t count = bin[value];
+    bin[value] = start;
+    start += count;
+  }
+  std::vector<VertexId> ver(n);
+  std::vector<size_t> pos(n);
+  for (size_t v = 0; v < n; ++v) {
+    pos[v] = bin[static_cast<size_t>(m[v])];
+    ver[pos[v]] = static_cast<VertexId>(v);
+    ++bin[static_cast<size_t>(m[v])];
+  }
+  for (size_t value = static_cast<size_t>(max_m); value >= 1; --value) {
+    bin[value] = bin[value - 1];
+  }
+  bin[0] = 0;
+
+  std::vector<uint8_t> removed(n, 0);
+  std::vector<int> coreness(n, 0);
+  std::vector<VertexId> touched;
+  int32_t level = 0;  // running maximum of m at removal time
+  for (size_t front = 0; front < n; ++front) {
+    auto v = static_cast<size_t>(ver[front]);
+    level = std::max(level, m[v]);
+    coreness[v] = level;
+    removed[v] = 1;
+
+    touched.clear();
+    for (LayerId layer : layers) {
+      for (VertexId u_id : graph.Neighbors(layer, static_cast<VertexId>(v))) {
+        auto u = static_cast<size_t>(u_id);
+        if (removed[u] != 0) continue;
+        --degree[u * l + static_cast<size_t>(layer)];
+        touched.push_back(u_id);
+      }
+    }
+    std::sort(touched.begin(), touched.end());
+    touched.erase(std::unique(touched.begin(), touched.end()),
+                  touched.end());
+    for (VertexId u_id : touched) {
+      auto u = static_cast<size_t>(u_id);
+      int32_t new_m = INT32_MAX;
+      for (LayerId layer : layers) {
+        new_m = std::min(new_m, degree[u * l + static_cast<size_t>(layer)]);
+      }
+      if (new_m >= m[u]) continue;
+      MLCORE_DCHECK(new_m == m[u] - 1);
+      // Swap-demote while u still sits above the current peel level; below
+      // it, order among doomed vertices is irrelevant (cf. DccSolver).
+      if (m[u] > level) {
+        auto value = static_cast<size_t>(m[u]);
+        size_t pu = pos[u];
+        size_t pw = bin[value];
+        VertexId w = ver[pw];
+        if (w != u_id) {
+          ver[pu] = w;
+          ver[pw] = u_id;
+          pos[u] = pw;
+          pos[static_cast<size_t>(w)] = pu;
+        }
+        ++bin[value];
+      }
+      m[u] = new_m;
+    }
+  }
+  return coreness;
+}
+
+std::vector<VertexSet> CoherentCoreHierarchy(const MultiLayerGraph& graph,
+                                             const LayerSet& layers) {
+  std::vector<int> coreness = CoherentCoreness(graph, layers);
+  int max_core = 0;
+  for (int c : coreness) max_core = std::max(max_core, c);
+  std::vector<VertexSet> hierarchy(static_cast<size_t>(max_core) + 1);
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    // v belongs to every core up to its coreness; fill top-down to keep
+    // the total work linear in Σ|C^d|.
+    for (int d = 0; d <= coreness[static_cast<size_t>(v)]; ++d) {
+      hierarchy[static_cast<size_t>(d)].push_back(v);
+    }
+  }
+  return hierarchy;
+}
+
+VertexSet CoherentCoreVector(const MultiLayerGraph& graph,
+                             const LayerSet& layers,
+                             const std::vector<int>& thresholds) {
+  MLCORE_CHECK(layers.size() == thresholds.size());
+  MLCORE_CHECK(!layers.empty());
+  const auto n = static_cast<size_t>(graph.NumVertices());
+  const auto count = layers.size();
+
+  std::vector<int32_t> degree(n * count, 0);
+  std::vector<uint8_t> removed(n, 0);
+  std::vector<VertexId> queue;
+  for (size_t v = 0; v < n; ++v) {
+    for (size_t i = 0; i < count; ++i) {
+      auto deg = graph.Degree(layers[i], static_cast<VertexId>(v));
+      degree[v * count + i] = deg;
+    }
+    for (size_t i = 0; i < count; ++i) {
+      if (degree[v * count + i] < thresholds[i]) {
+        removed[v] = 1;
+        queue.push_back(static_cast<VertexId>(v));
+        break;
+      }
+    }
+  }
+  for (size_t head = 0; head < queue.size(); ++head) {
+    auto v = queue[head];
+    for (size_t i = 0; i < count; ++i) {
+      for (VertexId u_id : graph.Neighbors(layers[i], v)) {
+        auto u = static_cast<size_t>(u_id);
+        if (removed[u] != 0) continue;
+        if (--degree[u * count + i] < thresholds[i]) {
+          removed[u] = 1;
+          queue.push_back(u_id);
+        }
+      }
+    }
+  }
+  VertexSet core;
+  for (size_t v = 0; v < n; ++v) {
+    if (removed[v] == 0) core.push_back(static_cast<VertexId>(v));
+  }
+  return core;
+}
+
+}  // namespace mlcore

@@ -1,0 +1,40 @@
+#ifndef MLCORE_CORE_CORENESS_H_
+#define MLCORE_CORE_CORENESS_H_
+
+#include <vector>
+
+#include "graph/multilayer_graph.h"
+
+namespace mlcore {
+
+/// Coherent coreness w.r.t. a fixed layer set L: the largest d such that
+/// v ∈ C^d_L(G) (−1 for vertices in no coherent core, which cannot happen
+/// since C^0_L = V). Computed by the generalised Batagelj–Zaversnik
+/// peeling on the multi-layer minimum degree m(v) = min_{i∈L} deg_i(v),
+/// which is monotone under vertex removal, so the single-layer core
+/// theorem carries over. O((n + m)·|L|).
+///
+/// This is the natural "decomposition view" of the d-CC hierarchy
+/// (Property 2): {v : coreness(v) ≥ d} = C^d_L(G) for every d.
+std::vector<int> CoherentCoreness(const MultiLayerGraph& graph,
+                                  const LayerSet& layers);
+
+/// All coherent cores of G w.r.t. L for d = 0 … d_max, where d_max is the
+/// largest d with a non-empty core: hierarchy[d] = C^d_L(G), sorted.
+/// Derived from CoherentCoreness in one pass.
+std::vector<VertexSet> CoherentCoreHierarchy(const MultiLayerGraph& graph,
+                                             const LayerSet& layers);
+
+/// Generalisation of the d-CC to per-layer degree thresholds: the maximal
+/// S ⊆ V such that every v ∈ S has at least thresholds[i] neighbours
+/// inside S on layers[i], for every position i. With all thresholds equal
+/// to d this is exactly C^d_L(G). Useful when layers have very different
+/// densities (e.g. a sparse validation layer next to dense primary
+/// layers). `thresholds` must have the same length as `layers`.
+VertexSet CoherentCoreVector(const MultiLayerGraph& graph,
+                             const LayerSet& layers,
+                             const std::vector<int>& thresholds);
+
+}  // namespace mlcore
+
+#endif  // MLCORE_CORE_CORENESS_H_

@@ -1,0 +1,205 @@
+#include "core/dcc.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace mlcore {
+
+DccSolver::DccSolver(const MultiLayerGraph& graph)
+    : graph_(graph),
+      in_scope_(static_cast<size_t>(graph.NumVertices())),
+      removed_(static_cast<size_t>(graph.NumVertices()), 0),
+      degree_(static_cast<size_t>(graph.NumVertices()) *
+                  static_cast<size_t>(graph.NumLayers()),
+              0) {}
+
+VertexSet DccSolver::Compute(const LayerSet& layers, int d,
+                             const VertexSet& scope, DccEngine engine) {
+  MLCORE_CHECK(!layers.empty());
+  MLCORE_DCHECK(std::is_sorted(layers.begin(), layers.end()));
+  MLCORE_DCHECK(std::is_sorted(scope.begin(), scope.end()));
+  ++num_calls_;
+  VertexSet result = engine == DccEngine::kQueue ? ComputeQueue(layers, d, scope)
+                                                 : ComputeBins(layers, d, scope);
+  ClearScratch(scope);
+  return result;
+}
+
+void DccSolver::InitDegrees(const LayerSet& layers, const VertexSet& scope) {
+  for (VertexId v : scope) in_scope_.Set(static_cast<size_t>(v));
+  const auto l = static_cast<size_t>(graph_.NumLayers());
+  for (VertexId v : scope) {
+    for (LayerId layer : layers) {
+      int32_t deg = 0;
+      for (VertexId u : graph_.Neighbors(layer, v)) {
+        if (in_scope_.Test(static_cast<size_t>(u))) ++deg;
+      }
+      degree_[static_cast<size_t>(v) * l + static_cast<size_t>(layer)] = deg;
+    }
+  }
+}
+
+void DccSolver::ClearScratch(const VertexSet& scope) {
+  for (VertexId v : scope) {
+    in_scope_.Clear(static_cast<size_t>(v));
+    removed_[static_cast<size_t>(v)] = 0;
+  }
+}
+
+VertexSet DccSolver::ComputeQueue(const LayerSet& layers, int d,
+                                  const VertexSet& scope) {
+  InitDegrees(layers, scope);
+  const auto l = static_cast<size_t>(graph_.NumLayers());
+
+  std::vector<VertexId> queue;
+  for (VertexId v : scope) {
+    for (LayerId layer : layers) {
+      if (degree_[static_cast<size_t>(v) * l + static_cast<size_t>(layer)] <
+          d) {
+        removed_[static_cast<size_t>(v)] = 1;
+        queue.push_back(v);
+        break;
+      }
+    }
+  }
+  for (size_t head = 0; head < queue.size(); ++head) {
+    VertexId v = queue[head];
+    for (LayerId layer : layers) {
+      for (VertexId u : graph_.Neighbors(layer, v)) {
+        if (!in_scope_.Test(static_cast<size_t>(u)) ||
+            removed_[static_cast<size_t>(u)] != 0) {
+          continue;
+        }
+        auto& deg =
+            degree_[static_cast<size_t>(u) * l + static_cast<size_t>(layer)];
+        if (--deg < d) {
+          removed_[static_cast<size_t>(u)] = 1;
+          queue.push_back(u);
+        }
+      }
+    }
+  }
+
+  VertexSet result;
+  for (VertexId v : scope) {
+    if (removed_[static_cast<size_t>(v)] == 0) result.push_back(v);
+  }
+  return result;
+}
+
+VertexSet DccSolver::ComputeBins(const LayerSet& layers, int d,
+                                 const VertexSet& scope) {
+  // Faithful Appendix B formulation: vertices bucketed by
+  // m(v) = min_{i∈L} deg_i(v) in bin/ver/pos arrays; the minimum-m vertex is
+  // repeatedly removed while m(v) < d. Removing one vertex lowers any m(u)
+  // by at most 1 (Appendix B), so a removal moves u down at most one bin.
+  InitDegrees(layers, scope);
+  const auto l = static_cast<size_t>(graph_.NumLayers());
+  const size_t count = scope.size();
+  if (count == 0) return {};
+
+  auto min_degree = [&](VertexId v) {
+    int32_t m = INT32_MAX;
+    for (LayerId layer : layers) {
+      m = std::min(
+          m, degree_[static_cast<size_t>(v) * l + static_cast<size_t>(layer)]);
+    }
+    return m;
+  };
+
+  // pos_in_scope maps vertex id -> dense index in [0, count).
+  std::vector<int32_t> m(count);
+  int32_t max_m = 0;
+  std::vector<int32_t> dense(static_cast<size_t>(graph_.NumVertices()), -1);
+  for (size_t i = 0; i < count; ++i) {
+    dense[static_cast<size_t>(scope[i])] = static_cast<int32_t>(i);
+    m[i] = min_degree(scope[i]);
+    max_m = std::max(max_m, m[i]);
+  }
+
+  std::vector<size_t> bin(static_cast<size_t>(max_m) + 2, 0);
+  for (size_t i = 0; i < count; ++i) ++bin[static_cast<size_t>(m[i])];
+  size_t start = 0;
+  for (size_t value = 0; value <= static_cast<size_t>(max_m); ++value) {
+    size_t c = bin[value];
+    bin[value] = start;
+    start += c;
+  }
+  std::vector<VertexId> ver(count);
+  std::vector<size_t> pos(count);
+  for (size_t i = 0; i < count; ++i) {
+    pos[i] = bin[static_cast<size_t>(m[i])];
+    ver[pos[i]] = scope[i];
+    ++bin[static_cast<size_t>(m[i])];
+  }
+  for (size_t value = static_cast<size_t>(max_m); value >= 1; --value) {
+    bin[value] = bin[value - 1];
+  }
+  bin[0] = 0;
+
+  std::vector<VertexId> touched;
+  for (size_t front = 0; front < count; ++front) {
+    VertexId v = ver[front];
+    auto vi = static_cast<size_t>(dense[static_cast<size_t>(v)]);
+    if (m[vi] >= d) break;  // remaining vertices all satisfy the threshold
+    removed_[static_cast<size_t>(v)] = 1;
+
+    touched.clear();
+    for (LayerId layer : layers) {
+      for (VertexId u : graph_.Neighbors(layer, v)) {
+        if (!in_scope_.Test(static_cast<size_t>(u)) ||
+            removed_[static_cast<size_t>(u)] != 0) {
+          continue;
+        }
+        --degree_[static_cast<size_t>(u) * l + static_cast<size_t>(layer)];
+        touched.push_back(u);
+      }
+    }
+    std::sort(touched.begin(), touched.end());
+    touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+
+    for (VertexId u : touched) {
+      auto ui = static_cast<size_t>(dense[static_cast<size_t>(u)]);
+      int32_t new_m = min_degree(u);
+      if (new_m >= m[ui]) continue;
+      MLCORE_DCHECK(new_m == m[ui] - 1);
+      // Swap-demote u one bin down while it is still in the "live" region
+      // (m ≥ d). This keeps every sub-threshold vertex positioned before
+      // every live vertex, which the early-exit pop relies on. Vertices
+      // already below the threshold are doomed regardless of their exact m,
+      // so only their stored value needs updating: their bin boundaries may
+      // lag behind the scan front and must not be used as swap targets.
+      if (m[ui] >= d) {
+        auto value = static_cast<size_t>(m[ui]);
+        size_t pu = pos[ui];
+        size_t pw = bin[value];
+        MLCORE_DCHECK(pw > front);
+        VertexId w = ver[pw];
+        if (w != u) {
+          auto wi = static_cast<size_t>(dense[static_cast<size_t>(w)]);
+          ver[pu] = w;
+          ver[pw] = u;
+          pos[ui] = pw;
+          pos[wi] = pu;
+        }
+        ++bin[value];
+      }
+      m[ui] = new_m;
+    }
+  }
+
+  VertexSet result;
+  for (VertexId v : scope) {
+    if (removed_[static_cast<size_t>(v)] == 0) result.push_back(v);
+  }
+  return result;
+}
+
+VertexSet CoherentCore(const MultiLayerGraph& graph, const LayerSet& layers,
+                       int d, DccEngine engine) {
+  DccSolver solver(graph);
+  return solver.Compute(layers, d, AllVertices(graph), engine);
+}
+
+}  // namespace mlcore

@@ -1,0 +1,72 @@
+#ifndef MLCORE_CORE_DCC_H_
+#define MLCORE_CORE_DCC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/multilayer_graph.h"
+#include "util/bitset.h"
+
+namespace mlcore {
+
+/// Implementation of the `dCC` procedure (paper Appendix B).
+enum class DccEngine {
+  /// Cascading-queue peeling; same asymptotics, simplest control flow.
+  kQueue,
+  /// The faithful Appendix B bin/ver/pos array formulation keyed on
+  /// m(v) = min_{i∈L} deg_i(v).
+  kBins,
+};
+
+/// Reusable solver for d-coherent cores.
+///
+/// `Compute` returns the d-CC of `graph` w.r.t. a layer set `L` restricted
+/// to a vertex `scope` — i.e. the paper's dCC(G[S], L, d): the maximal
+/// T ⊆ scope such that every v ∈ T has ≥ d neighbours inside T on every
+/// layer of L. Runs in O((|scope| + m[scope])·|L|).
+///
+/// The solver owns O(n·l) scratch arrays sized once at construction, so the
+/// DCCS searches can issue thousands of scoped dCC calls without per-call
+/// allocation. Not thread-safe; use one solver per thread.
+class DccSolver {
+ public:
+  explicit DccSolver(const MultiLayerGraph& graph);
+
+  DccSolver(const DccSolver&) = delete;
+  DccSolver& operator=(const DccSolver&) = delete;
+
+  /// Computes dCC(G[scope], layers, d). `scope` must be sorted and
+  /// duplicate-free; `layers` must be non-empty, sorted and duplicate-free.
+  VertexSet Compute(const LayerSet& layers, int d, const VertexSet& scope,
+                    DccEngine engine = DccEngine::kQueue);
+
+  /// Number of Compute invocations so far (search-effort statistic).
+  int64_t num_calls() const { return num_calls_; }
+
+ private:
+  VertexSet ComputeQueue(const LayerSet& layers, int d,
+                         const VertexSet& scope);
+  VertexSet ComputeBins(const LayerSet& layers, int d, const VertexSet& scope);
+
+  // Fills degree_ for all scope vertices on the given layers and returns the
+  // vertices already below threshold. Shared by both engines.
+  void InitDegrees(const LayerSet& layers, const VertexSet& scope);
+  void ClearScratch(const VertexSet& scope);
+
+  const MultiLayerGraph& graph_;
+  int64_t num_calls_ = 0;
+
+  Bitset in_scope_;
+  std::vector<uint8_t> removed_;
+  // degree_[v * num_layers + layer]: degree of v within the current scope
+  // on `layer`. Only entries for (scope vertex, queried layer) are valid.
+  std::vector<int32_t> degree_;
+};
+
+/// Convenience wrapper: the coherent core C^d_L(G) over the full vertex set.
+VertexSet CoherentCore(const MultiLayerGraph& graph, const LayerSet& layers,
+                       int d, DccEngine engine = DccEngine::kQueue);
+
+}  // namespace mlcore
+
+#endif  // MLCORE_CORE_DCC_H_

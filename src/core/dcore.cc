@@ -1,0 +1,142 @@
+#include "core/dcore.h"
+
+#include <algorithm>
+
+#include "util/bitset.h"
+#include "util/check.h"
+
+namespace mlcore {
+
+VertexSet DCore(const MultiLayerGraph& graph, LayerId layer, int d) {
+  // Cascading-deletion peeling. For the single-threshold query the simple
+  // queue formulation matches the O(n + m) bound of [3] without the bin
+  // machinery (which CoreDecomposition below does use).
+  const int32_t n = graph.NumVertices();
+  std::vector<int32_t> degree(static_cast<size_t>(n));
+  std::vector<VertexId> queue;
+  std::vector<bool> removed(static_cast<size_t>(n), false);
+  for (VertexId v = 0; v < n; ++v) {
+    degree[static_cast<size_t>(v)] = graph.Degree(layer, v);
+    if (degree[static_cast<size_t>(v)] < d) {
+      removed[static_cast<size_t>(v)] = true;
+      queue.push_back(v);
+    }
+  }
+  for (size_t head = 0; head < queue.size(); ++head) {
+    VertexId v = queue[head];
+    for (VertexId u : graph.Neighbors(layer, v)) {
+      if (removed[static_cast<size_t>(u)]) continue;
+      if (--degree[static_cast<size_t>(u)] < d) {
+        removed[static_cast<size_t>(u)] = true;
+        queue.push_back(u);
+      }
+    }
+  }
+  VertexSet core;
+  for (VertexId v = 0; v < n; ++v) {
+    if (!removed[static_cast<size_t>(v)]) core.push_back(v);
+  }
+  return core;
+}
+
+VertexSet DCoreScoped(const MultiLayerGraph& graph, LayerId layer, int d,
+                      const VertexSet& scope) {
+  MLCORE_DCHECK(std::is_sorted(scope.begin(), scope.end()));
+  const int32_t n = graph.NumVertices();
+  Bitset in_scope(static_cast<size_t>(n));
+  for (VertexId v : scope) in_scope.Set(static_cast<size_t>(v));
+
+  std::vector<int32_t> degree(static_cast<size_t>(n), 0);
+  std::vector<bool> removed(static_cast<size_t>(n), false);
+  std::vector<VertexId> queue;
+  for (VertexId v : scope) {
+    int32_t deg = 0;
+    for (VertexId u : graph.Neighbors(layer, v)) {
+      if (in_scope.Test(static_cast<size_t>(u))) ++deg;
+    }
+    degree[static_cast<size_t>(v)] = deg;
+    if (deg < d) {
+      removed[static_cast<size_t>(v)] = true;
+      queue.push_back(v);
+    }
+  }
+  for (size_t head = 0; head < queue.size(); ++head) {
+    VertexId v = queue[head];
+    for (VertexId u : graph.Neighbors(layer, v)) {
+      if (!in_scope.Test(static_cast<size_t>(u)) ||
+          removed[static_cast<size_t>(u)]) {
+        continue;
+      }
+      if (--degree[static_cast<size_t>(u)] < d) {
+        removed[static_cast<size_t>(u)] = true;
+        queue.push_back(u);
+      }
+    }
+  }
+  VertexSet core;
+  for (VertexId v : scope) {
+    if (!removed[static_cast<size_t>(v)]) core.push_back(v);
+  }
+  return core;
+}
+
+std::vector<int> CoreDecomposition(const MultiLayerGraph& graph,
+                                   LayerId layer) {
+  // Batagelj–Zaversnik bin sort, ref [3] of the paper.
+  const auto n = static_cast<size_t>(graph.NumVertices());
+  std::vector<int> degree(n);
+  int max_degree = 0;
+  for (size_t v = 0; v < n; ++v) {
+    degree[v] = graph.Degree(layer, static_cast<VertexId>(v));
+    max_degree = std::max(max_degree, degree[v]);
+  }
+
+  std::vector<size_t> bin(static_cast<size_t>(max_degree) + 2, 0);
+  for (size_t v = 0; v < n; ++v) ++bin[static_cast<size_t>(degree[v])];
+  size_t start = 0;
+  for (size_t deg = 0; deg <= static_cast<size_t>(max_degree); ++deg) {
+    size_t count = bin[deg];
+    bin[deg] = start;
+    start += count;
+  }
+
+  std::vector<VertexId> ver(n);
+  std::vector<size_t> pos(n);
+  for (size_t v = 0; v < n; ++v) {
+    pos[v] = bin[static_cast<size_t>(degree[v])];
+    ver[pos[v]] = static_cast<VertexId>(v);
+    ++bin[static_cast<size_t>(degree[v])];
+  }
+  for (size_t deg = static_cast<size_t>(max_degree); deg >= 1; --deg) {
+    bin[deg] = bin[deg - 1];
+  }
+  bin[0] = 0;
+
+  std::vector<int> coreness(n);
+  for (size_t i = 0; i < n; ++i) {
+    auto v = static_cast<size_t>(ver[i]);
+    coreness[v] = degree[v];
+    for (VertexId u_id : graph.Neighbors(layer, static_cast<VertexId>(v))) {
+      auto u = static_cast<size_t>(u_id);
+      if (degree[u] > degree[v]) {
+        // Swap u with the first vertex of its bin, then shrink the bin:
+        // u's effective degree decreases by one.
+        size_t du = static_cast<size_t>(degree[u]);
+        size_t pu = pos[u];
+        size_t pw = bin[du];
+        VertexId w = ver[pw];
+        if (u_id != w) {
+          ver[pu] = w;
+          ver[pw] = u_id;
+          pos[u] = pw;
+          pos[static_cast<size_t>(w)] = pu;
+        }
+        ++bin[du];
+        --degree[u];
+      }
+    }
+  }
+  return coreness;
+}
+
+}  // namespace mlcore

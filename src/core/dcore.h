@@ -1,0 +1,28 @@
+#ifndef MLCORE_CORE_DCORE_H_
+#define MLCORE_CORE_DCORE_H_
+
+#include <vector>
+
+#include "graph/multilayer_graph.h"
+
+namespace mlcore {
+
+/// Single-layer d-core C^d(G_i) (paper §II, ref [3]): the maximal vertex set
+/// S such that every vertex of S has at least d neighbours inside S on
+/// `layer`. Returns a sorted vertex set. Runs in O(n + m).
+VertexSet DCore(const MultiLayerGraph& graph, LayerId layer, int d);
+
+/// d-core of the subgraph induced by `scope` on `layer`. `scope` must be
+/// sorted and duplicate-free.
+VertexSet DCoreScoped(const MultiLayerGraph& graph, LayerId layer, int d,
+                      const VertexSet& scope);
+
+/// Full core decomposition of one layer via the Batagelj–Zaversnik O(m)
+/// bin-sort algorithm (paper ref [3]): returns the coreness of every vertex
+/// (coreness[v] = largest d such that v ∈ C^d(G_layer)).
+std::vector<int> CoreDecomposition(const MultiLayerGraph& graph,
+                                   LayerId layer);
+
+}  // namespace mlcore
+
+#endif  // MLCORE_CORE_DCORE_H_

@@ -1,0 +1,71 @@
+#include "core/fds.h"
+
+#include <limits>
+
+#include "core/dcore.h"
+#include "util/check.h"
+
+namespace mlcore {
+
+int64_t BinomialCoefficient(int n, int k) {
+  if (k < 0 || k > n) return 0;
+  k = std::min(k, n - k);
+  int64_t result = 1;
+  for (int i = 1; i <= k; ++i) {
+    // result *= (n - k + i) / i, guarding overflow.
+    int64_t numerator = n - k + i;
+    if (result > std::numeric_limits<int64_t>::max() / numerator) {
+      return std::numeric_limits<int64_t>::max();
+    }
+    result = result * numerator / i;
+  }
+  return result;
+}
+
+void ForEachLayerCombination(int32_t l, int s,
+                             const std::function<void(const LayerSet&)>& fn) {
+  MLCORE_CHECK(s >= 1);
+  if (s > l) return;
+  LayerSet current(static_cast<size_t>(s));
+  for (int i = 0; i < s; ++i) current[static_cast<size_t>(i)] = i;
+  while (true) {
+    fn(current);
+    // Advance to the next combination in lexicographic order.
+    int i = s - 1;
+    while (i >= 0 &&
+           current[static_cast<size_t>(i)] == l - s + i) {
+      --i;
+    }
+    if (i < 0) break;
+    ++current[static_cast<size_t>(i)];
+    for (int j = i + 1; j < s; ++j) {
+      current[static_cast<size_t>(j)] = current[static_cast<size_t>(j - 1)] + 1;
+    }
+  }
+}
+
+std::vector<CandidateCore> EnumerateFds(const MultiLayerGraph& graph, int d,
+                                        int s) {
+  std::vector<VertexSet> layer_cores;
+  layer_cores.reserve(static_cast<size_t>(graph.NumLayers()));
+  for (LayerId layer = 0; layer < graph.NumLayers(); ++layer) {
+    layer_cores.push_back(DCore(graph, layer, d));
+  }
+
+  DccSolver solver(graph);
+  std::vector<CandidateCore> result;
+  ForEachLayerCombination(graph.NumLayers(), s, [&](const LayerSet& layers) {
+    VertexSet scope = layer_cores[static_cast<size_t>(layers[0])];
+    for (size_t i = 1; i < layers.size() && !scope.empty(); ++i) {
+      scope = IntersectSorted(scope,
+                              layer_cores[static_cast<size_t>(layers[i])]);
+    }
+    CandidateCore candidate;
+    candidate.layers = layers;
+    candidate.vertices = solver.Compute(layers, d, scope);
+    result.push_back(std::move(candidate));
+  });
+  return result;
+}
+
+}  // namespace mlcore

@@ -1,0 +1,37 @@
+#ifndef MLCORE_CORE_FDS_H_
+#define MLCORE_CORE_FDS_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/dcc.h"
+#include "graph/multilayer_graph.h"
+
+namespace mlcore {
+
+/// Number of size-k subsets of an n-element set, saturating at INT64_MAX.
+int64_t BinomialCoefficient(int n, int k);
+
+/// Invokes `fn` once for every size-`s` subset of {0, …, l-1}, in
+/// lexicographic order. The passed set is reused between calls.
+void ForEachLayerCombination(int32_t l, int s,
+                             const std::function<void(const LayerSet&)>& fn);
+
+/// One enumerated candidate: the layer subset and its d-CC.
+struct CandidateCore {
+  LayerSet layers;
+  VertexSet vertices;
+};
+
+/// Materialises F_{d,s}(G): the d-CCs w.r.t. all layer subsets of size s
+/// (paper §II). Each candidate is computed inside the intersection of the
+/// per-layer d-cores (Lemma 1), mirroring lines 4–7 of GD-DCCS. Intended
+/// for tests and small graphs; the greedy algorithm has its own streaming
+/// variant.
+std::vector<CandidateCore> EnumerateFds(const MultiLayerGraph& graph, int d,
+                                        int s);
+
+}  // namespace mlcore
+
+#endif  // MLCORE_CORE_FDS_H_

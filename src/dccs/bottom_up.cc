@@ -1,0 +1,222 @@
+#include "dccs/bottom_up.h"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "core/dcc.h"
+#include "dccs/cover.h"
+#include "dccs/preprocess.h"
+#include "util/timing.h"
+
+namespace mlcore {
+
+namespace {
+
+/// DFS state for BU-Gen (paper Fig 3). Layers are addressed by *position*
+/// in the sorted layer order (Fig 7 line 9); positions are translated back
+/// to original layer ids whenever a dCC is computed or reported.
+class BottomUpSearch {
+ public:
+  BottomUpSearch(const MultiLayerGraph& graph, const DccsParams& params,
+                 const PreprocessResult& preprocess,
+                 const std::vector<LayerId>& order, DccSolver& solver,
+                 CoverageIndex& result, SearchStats& stats)
+      : graph_(graph),
+        params_(params),
+        preprocess_(preprocess),
+        order_(order),
+        solver_(solver),
+        result_(result),
+        stats_(stats) {}
+
+  void Run() {
+    LayerSet root;
+    Gen(root, preprocess_.active, /*excluded=*/0);
+  }
+
+ private:
+  // Anytime budget: polled once per generated child; when expired, the
+  // search unwinds and the temporary top-k set becomes the result.
+  bool BudgetExpired() {
+    if (params_.time_budget_seconds <= 0) return false;
+    if (stats_.budget_exhausted) return true;
+    if (timer_.Seconds() > params_.time_budget_seconds) {
+      stats_.budget_exhausted = true;
+    }
+    return stats_.budget_exhausted;
+  }
+
+  const VertexSet& CoreAtPosition(int pos) const {
+    return preprocess_.layer_cores[static_cast<size_t>(
+        order_[static_cast<size_t>(pos)])];
+  }
+
+  LayerSet ToLayerIds(const LayerSet& positions) const {
+    LayerSet ids;
+    ids.reserve(positions.size());
+    for (LayerId pos : positions) {
+      ids.push_back(order_[static_cast<size_t>(pos)]);
+    }
+    std::sort(ids.begin(), ids.end());
+    return ids;
+  }
+
+  // BU-Gen (Fig 3). `positions` is the node's L (ascending positions),
+  // `core` its d-CC, `excluded` the LQ bitmask of Lemma 4 exclusions.
+  void Gen(const LayerSet& positions, const VertexSet& core,
+           uint64_t excluded) {
+    const int l = graph_.NumLayers();
+    const int max_pos = positions.empty() ? -1 : positions.back();
+    const auto depth = static_cast<int>(positions.size());
+
+    // LP: positions usable to expand L (line 1).
+    std::vector<int> expandable;
+    for (int j = max_pos + 1; j < l; ++j) {
+      if ((excluded >> j) & 1) continue;
+      expandable.push_back(j);
+    }
+    if (expandable.empty()) return;
+
+    struct Child {
+      int position;
+      VertexSet core;
+    };
+    std::vector<Child> recurse;  // the LR set with its computed d-CCs
+    uint64_t in_lr = 0;
+
+    if (!result_.full()) {
+      // Lines 2–9: no pruning is applicable while |R| < k.
+      for (int j : expandable) {
+        if (BudgetExpired()) return;
+        ++stats_.nodes_visited;
+        LayerSet child_positions = positions;
+        child_positions.push_back(static_cast<LayerId>(j));
+        LayerSet child_ids = ToLayerIds(child_positions);
+        VertexSet scope = IntersectSorted(core, CoreAtPosition(j));
+        VertexSet child_core =
+            solver_.Compute(child_ids, params_.d, scope, params_.dcc_engine);
+        if (depth + 1 == params_.s) {
+          if (result_.Update(child_core, child_ids)) {
+            ++stats_.updates_accepted;
+          }
+        } else if (!child_core.empty()) {
+          in_lr |= uint64_t{1} << j;
+          recurse.push_back(Child{j, std::move(child_core)});
+        }
+      }
+    } else {
+      // Lines 10–22: sort candidates by |C ∩ C^d(G_j)| descending and apply
+      // order-based (Lemma 3), Eq. (1) (Lemma 2) and layer (Lemma 4)
+      // pruning.
+      struct Scoped {
+        int position;
+        VertexSet scope;
+      };
+      std::vector<Scoped> scoped;
+      scoped.reserve(expandable.size());
+      for (int j : expandable) {
+        scoped.push_back(Scoped{j, IntersectSorted(core, CoreAtPosition(j))});
+      }
+      std::stable_sort(scoped.begin(), scoped.end(),
+                       [](const Scoped& a, const Scoped& b) {
+                         return a.scope.size() > b.scope.size();
+                       });
+      for (size_t idx = 0; idx < scoped.size(); ++idx) {
+        if (BudgetExpired()) return;
+        const auto& [j, scope] = scoped[idx];
+        if (result_.BelowOrderThreshold(
+                static_cast<int64_t>(scope.size()))) {
+          // Lemma 3: this and all later children in the order are hopeless.
+          stats_.pruned_order += static_cast<int64_t>(scoped.size() - idx);
+          break;
+        }
+        ++stats_.nodes_visited;
+        LayerSet child_positions = positions;
+        child_positions.push_back(static_cast<LayerId>(j));
+        LayerSet child_ids = ToLayerIds(child_positions);
+        VertexSet child_core =
+            solver_.Compute(child_ids, params_.d, scope, params_.dcc_engine);
+        if (depth + 1 == params_.s) {
+          if (result_.Update(child_core, child_ids)) {
+            ++stats_.updates_accepted;
+          }
+        } else if (!child_core.empty() && result_.SatisfiesEq1(child_core)) {
+          in_lr |= uint64_t{1} << j;
+          recurse.push_back(Child{j, std::move(child_core)});
+        } else {
+          ++stats_.pruned_eq1;  // Lemma 2 subtree prune
+        }
+      }
+    }
+
+    if (depth + 1 >= params_.s) return;
+
+    // Lemma 4: positions tried here but not admitted to LR are excluded in
+    // the whole subtree below (LQ ∪ (LP − LR), line 26).
+    uint64_t child_excluded = excluded;
+    for (int j : expandable) {
+      if (!((in_lr >> j) & 1)) {
+        child_excluded |= uint64_t{1} << j;
+        ++stats_.pruned_layer;
+      }
+    }
+    for (const Child& child : recurse) {
+      if (BudgetExpired()) return;
+      LayerSet child_positions = positions;
+      child_positions.push_back(static_cast<LayerId>(child.position));
+      Gen(child_positions, child.core, child_excluded);
+    }
+  }
+
+  const MultiLayerGraph& graph_;
+  const DccsParams& params_;
+  const PreprocessResult& preprocess_;
+  const std::vector<LayerId>& order_;
+  DccSolver& solver_;
+  CoverageIndex& result_;
+  SearchStats& stats_;
+  WallTimer timer_;
+};
+
+}  // namespace
+
+DccsResult BottomUpDccs(const MultiLayerGraph& graph,
+                        const DccsParams& params) {
+  MLCORE_CHECK(params.s >= 1);
+  MLCORE_CHECK(params.k >= 1);
+  MLCORE_CHECK(graph.NumLayers() <= 64);
+
+  WallTimer total_timer;
+  DccsResult result;
+  if (params.s > graph.NumLayers()) {
+    result.stats.total_seconds = total_timer.Seconds();
+    return result;
+  }
+
+  // Fig 7 lines 1–7: vertex deletion.
+  PreprocessResult preprocess =
+      Preprocess(graph, params.d, params.s, params.vertex_deletion);
+  result.stats.preprocess_seconds = preprocess.seconds;
+
+  WallTimer search_timer;
+  DccSolver solver(graph);
+  CoverageIndex top_k(params.k);
+  // Fig 7 line 8: greedy initialisation of R (Appendix D).
+  InitTopK(graph, params, preprocess, solver, top_k);
+  // Fig 7 line 9: sort layers by |C^d(G_i)| descending.
+  std::vector<LayerId> order =
+      SortedLayerOrder(preprocess, /*descending=*/true, params.sort_layers);
+
+  // Fig 7 line 10: recursive candidate generation.
+  BottomUpSearch search(graph, params, preprocess, order, solver, top_k,
+                        result.stats);
+  search.Run();
+
+  result.cores = top_k.entries();
+  result.stats.candidates_generated = solver.num_calls();
+  result.stats.search_seconds = search_timer.Seconds();
+  result.stats.total_seconds = total_timer.Seconds();
+  return result;
+}
+
+}  // namespace mlcore

@@ -1,0 +1,68 @@
+#include "dccs/community_search.h"
+
+#include <algorithm>
+
+#include "core/dcc.h"
+#include "core/dcore.h"
+#include "util/check.h"
+
+namespace mlcore {
+
+CommunitySearchResult SearchCommunity(const MultiLayerGraph& graph,
+                                      VertexId query, int d, int s) {
+  MLCORE_CHECK(query >= 0 && query < graph.NumVertices());
+  MLCORE_CHECK(s >= 1);
+  CommunitySearchResult result;
+  if (s > graph.NumLayers()) return result;
+
+  // Layers whose d-core contains the query at all.
+  std::vector<VertexSet> cores(static_cast<size_t>(graph.NumLayers()));
+  std::vector<LayerId> usable;
+  for (LayerId layer = 0; layer < graph.NumLayers(); ++layer) {
+    cores[static_cast<size_t>(layer)] = DCore(graph, layer, d);
+    if (std::binary_search(cores[static_cast<size_t>(layer)].begin(),
+                           cores[static_cast<size_t>(layer)].end(), query)) {
+      usable.push_back(layer);
+    }
+  }
+  if (static_cast<int>(usable.size()) < s) return result;
+
+  DccSolver solver(graph);
+  LayerSet chosen;
+  VertexSet community;
+  for (int step = 0; step < s; ++step) {
+    LayerId best_layer = -1;
+    VertexSet best_community;
+    for (LayerId candidate : usable) {
+      if (std::find(chosen.begin(), chosen.end(), candidate) !=
+          chosen.end()) {
+        continue;
+      }
+      LayerSet extended = chosen;
+      extended.insert(
+          std::upper_bound(extended.begin(), extended.end(), candidate),
+          candidate);
+      VertexSet scope =
+          step == 0 ? cores[static_cast<size_t>(candidate)]
+                    : IntersectSorted(community,
+                                      cores[static_cast<size_t>(candidate)]);
+      VertexSet core = solver.Compute(extended, d, scope);
+      if (!std::binary_search(core.begin(), core.end(), query)) continue;
+      if (core.size() > best_community.size()) {
+        best_community = std::move(core);
+        best_layer = candidate;
+      }
+    }
+    if (best_layer < 0) return result;  // query fell out of every extension
+    chosen.insert(
+        std::upper_bound(chosen.begin(), chosen.end(), best_layer),
+        best_layer);
+    community = std::move(best_community);
+  }
+
+  result.layers = std::move(chosen);
+  result.community = std::move(community);
+  return result;
+}
+
+}  // namespace mlcore

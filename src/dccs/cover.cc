@@ -1,0 +1,179 @@
+#include "dccs/cover.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace mlcore {
+
+CoverageIndex::CoverageIndex(int k) : k_(k) {
+  MLCORE_CHECK(k >= 1);
+  entries_.reserve(static_cast<size_t>(k));
+  exclusive_.reserve(static_cast<size_t>(k));
+}
+
+int CoverageIndex::MinExclusiveSlot() const {
+  MLCORE_CHECK(!entries_.empty());
+  // Ties on |Δ| are broken by the lexicographically smallest layer set so
+  // that the chosen victim C*(R) does not depend on internal slot order
+  // (slots are permuted by Delete's swap-with-last compaction).
+  int best = 0;
+  for (int slot = 1; slot < size(); ++slot) {
+    const int64_t delta = exclusive_[static_cast<size_t>(slot)];
+    const int64_t best_delta = exclusive_[static_cast<size_t>(best)];
+    if (delta < best_delta ||
+        (delta == best_delta && entries_[static_cast<size_t>(slot)].layers <
+                                    entries_[static_cast<size_t>(best)].layers)) {
+      best = slot;
+    }
+  }
+  return best;
+}
+
+int64_t CoverageIndex::MinExclusiveSize() const {
+  if (entries_.empty()) return 0;
+  return exclusive_[static_cast<size_t>(MinExclusiveSlot())];
+}
+
+int64_t CoverageIndex::SizeWithReplacement(const VertexSet& candidate) const {
+  // Appendix C, Size(R, C): decompose Cov((R − {C*}) ∪ {C}) into
+  // Cov(R − {C*}), C − Cov(R), and C ∩ Δ(R, C*).
+  MLCORE_CHECK(!entries_.empty());
+  const int star = MinExclusiveSlot();
+  int64_t count = 0;
+  for (VertexId v : candidate) {
+    auto it = owners_.find(v);
+    if (it == owners_.end()) {
+      ++count;  // v ∈ C − Cov(R)
+    } else if (it->second.size() == 1 && it->second[0] == star) {
+      ++count;  // v ∈ C ∩ Δ(R, C*)
+    }
+  }
+  return count + cover_size_ - exclusive_[static_cast<size_t>(star)];
+}
+
+int64_t CoverageIndex::MarginalGain(const VertexSet& candidate) const {
+  int64_t gain = 0;
+  for (VertexId v : candidate) {
+    if (owners_.find(v) == owners_.end()) ++gain;
+  }
+  return gain;
+}
+
+bool CoverageIndex::SatisfiesEq1(const VertexSet& candidate) const {
+  if (!full()) return true;
+  // |Cov((R − {C*}) ∪ {C})| ≥ (1 + 1/k)|Cov(R)|, in exact integer form:
+  // k·size ≥ (k + 1)·|Cov(R)|.
+  return SizeWithReplacement(candidate) * k_ >= (k_ + 1) * cover_size_;
+}
+
+double CoverageIndex::OrderPruneThreshold() const {
+  return static_cast<double>(cover_size_) / k_ +
+         static_cast<double>(MinExclusiveSize());
+}
+
+bool CoverageIndex::BelowOrderThreshold(int64_t upper_bound_size) const {
+  // |bound| < |Cov(R)|/k + |Δ(R, C*)|  ⇔  k·|bound| < |Cov| + k·|Δ*|.
+  return upper_bound_size * k_ < cover_size_ + k_ * MinExclusiveSize();
+}
+
+bool CoverageIndex::SatisfiesEq2(int64_t potential_size) const {
+  // |U| < (1/k + 1/k²)|Cov| + (1 + 1/k)|Δ*|
+  //  ⇔  k²·|U| < (k + 1)·|Cov| + k(k + 1)·|Δ*|.
+  const int64_t k = k_;
+  return potential_size * k * k <
+         (k + 1) * cover_size_ + k * (k + 1) * MinExclusiveSize();
+}
+
+bool CoverageIndex::Update(const VertexSet& candidate, const LayerSet& layers) {
+  if (candidate.empty()) return false;
+  // R is a subset of F_{d,s}: a layer subset identifies its (unique) d-CC,
+  // so a candidate already present must not occupy a second slot.
+  for (const ResultCore& entry : entries_) {
+    if (entry.layers == layers) return false;
+  }
+  if (!full()) {  // Rule 1
+    Insert(candidate, layers);
+    return true;
+  }
+  // Rule 2
+  if (SizeWithReplacement(candidate) * k_ < (k_ + 1) * cover_size_) {
+    return false;
+  }
+  Delete(MinExclusiveSlot());
+  Insert(candidate, layers);
+  return true;
+}
+
+void CoverageIndex::Insert(const VertexSet& candidate, const LayerSet& layers) {
+  const int slot = size();
+  entries_.push_back(ResultCore{layers, candidate});
+  exclusive_.push_back(0);
+  for (VertexId v : candidate) {
+    auto& slots = owners_[v];
+    slots.push_back(slot);
+    if (slots.size() == 1) {
+      ++cover_size_;
+      ++exclusive_[static_cast<size_t>(slot)];
+    } else if (slots.size() == 2) {
+      // v was exclusive to its previous single owner; it no longer is.
+      --exclusive_[static_cast<size_t>(slots[0])];
+    }
+  }
+}
+
+void CoverageIndex::Delete(int slot) {
+  MLCORE_CHECK(slot >= 0 && slot < size());
+  const int last = size() - 1;
+  // Detach the slot's vertices.
+  for (VertexId v : entries_[static_cast<size_t>(slot)].vertices) {
+    auto it = owners_.find(v);
+    MLCORE_DCHECK(it != owners_.end());
+    auto& slots = it->second;
+    slots.erase(std::find(slots.begin(), slots.end(), slot));
+    if (slots.empty()) {
+      owners_.erase(it);
+      --cover_size_;
+    } else if (slots.size() == 1) {
+      ++exclusive_[static_cast<size_t>(slots[0])];
+    }
+  }
+  // Move the last slot into the vacated position to keep slots dense.
+  if (slot != last) {
+    for (VertexId v : entries_[static_cast<size_t>(last)].vertices) {
+      auto& slots = owners_.at(v);
+      *std::find(slots.begin(), slots.end(), last) = slot;
+    }
+    entries_[static_cast<size_t>(slot)] =
+        std::move(entries_[static_cast<size_t>(last)]);
+    exclusive_[static_cast<size_t>(slot)] =
+        exclusive_[static_cast<size_t>(last)];
+  }
+  entries_.pop_back();
+  exclusive_.pop_back();
+}
+
+void CoverageIndex::CheckInvariants() const {
+  std::unordered_map<VertexId, int> counts;
+  std::unordered_map<VertexId, int> sole_owner;
+  for (int slot = 0; slot < size(); ++slot) {
+    for (VertexId v : entries_[static_cast<size_t>(slot)].vertices) {
+      ++counts[v];
+      sole_owner[v] = slot;
+    }
+  }
+  MLCORE_CHECK(static_cast<int64_t>(counts.size()) == cover_size_);
+  std::vector<int64_t> expected(static_cast<size_t>(size()), 0);
+  for (const auto& [v, count] : counts) {
+    if (count == 1) ++expected[static_cast<size_t>(sole_owner[v])];
+  }
+  for (int slot = 0; slot < size(); ++slot) {
+    MLCORE_CHECK(expected[static_cast<size_t>(slot)] ==
+                 exclusive_[static_cast<size_t>(slot)]);
+  }
+  for (const auto& [v, slots] : owners_) {
+    MLCORE_CHECK(counts.at(v) == static_cast<int>(slots.size()));
+  }
+}
+
+}  // namespace mlcore

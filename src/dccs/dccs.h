@@ -1,0 +1,50 @@
+#ifndef MLCORE_DCCS_DCCS_H_
+#define MLCORE_DCCS_DCCS_H_
+
+/// Umbrella header for the diversified coherent core search library.
+///
+/// Quick start:
+///
+///   #include "dccs/dccs.h"
+///
+///   mlcore::MultiLayerGraph graph = ...;   // via GraphBuilder / io / datasets
+///   mlcore::DccsParams params;
+///   params.d = 4; params.s = 3; params.k = 10;
+///   mlcore::DccsResult result = mlcore::SolveDccs(
+///       graph, params, mlcore::DccsAlgorithm::kBottomUp);
+///   for (const auto& core : result.cores) { ... }
+
+#include "dccs/bottom_up.h"
+#include "dccs/exact.h"
+#include "dccs/greedy.h"
+#include "dccs/params.h"
+#include "dccs/top_down.h"
+
+namespace mlcore {
+
+/// Dispatches to the requested DCCS algorithm.
+inline DccsResult SolveDccs(const MultiLayerGraph& graph,
+                            const DccsParams& params,
+                            DccsAlgorithm algorithm) {
+  switch (algorithm) {
+    case DccsAlgorithm::kGreedy:
+      return GreedyDccs(graph, params);
+    case DccsAlgorithm::kBottomUp:
+      return BottomUpDccs(graph, params);
+    case DccsAlgorithm::kTopDown:
+      return TopDownDccs(graph, params);
+  }
+  return {};
+}
+
+/// Picks the algorithm the paper recommends for the given support
+/// threshold: bottom-up when s < l/2, top-down otherwise (§I, §V).
+inline DccsAlgorithm RecommendedAlgorithm(const MultiLayerGraph& graph,
+                                          int s) {
+  return 2 * s < graph.NumLayers() ? DccsAlgorithm::kBottomUp
+                                   : DccsAlgorithm::kTopDown;
+}
+
+}  // namespace mlcore
+
+#endif  // MLCORE_DCCS_DCCS_H_

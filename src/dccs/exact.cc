@@ -1,0 +1,77 @@
+#include "dccs/exact.h"
+
+#include <algorithm>
+
+#include "core/fds.h"
+#include "util/bitset.h"
+#include "util/timing.h"
+
+namespace mlcore {
+
+namespace {
+
+void Recurse(const std::vector<CandidateCore>& candidates, size_t first,
+             int remaining, std::vector<size_t>& chosen, Bitset& covered,
+             std::vector<size_t>& best, int64_t& best_cover,
+             int64_t current_cover) {
+  if (remaining == 0 || first == candidates.size()) {
+    if (current_cover > best_cover) {
+      best_cover = current_cover;
+      best = chosen;
+    }
+    return;
+  }
+  // Upper bound: even taking everything cannot be checked cheaply, so this
+  // is plain exhaustive search — fine for the test-sized inputs it serves.
+  for (size_t c = first; c < candidates.size(); ++c) {
+    chosen.push_back(c);
+    std::vector<VertexId> newly;
+    for (VertexId v : candidates[c].vertices) {
+      if (!covered.Test(static_cast<size_t>(v))) {
+        covered.Set(static_cast<size_t>(v));
+        newly.push_back(v);
+      }
+    }
+    Recurse(candidates, c + 1, remaining - 1, chosen, covered, best,
+            best_cover, current_cover + static_cast<int64_t>(newly.size()));
+    for (VertexId v : newly) covered.Clear(static_cast<size_t>(v));
+    chosen.pop_back();
+  }
+}
+
+}  // namespace
+
+DccsResult ExactDccs(const MultiLayerGraph& graph, const DccsParams& params) {
+  WallTimer timer;
+  DccsResult result;
+  if (params.s > graph.NumLayers()) {
+    result.stats.total_seconds = timer.Seconds();
+    return result;
+  }
+
+  std::vector<CandidateCore> candidates =
+      EnumerateFds(graph, params.d, params.s);
+  // Drop empty candidates; they can never contribute coverage.
+  candidates.erase(std::remove_if(candidates.begin(), candidates.end(),
+                                  [](const CandidateCore& c) {
+                                    return c.vertices.empty();
+                                  }),
+                   candidates.end());
+  result.stats.candidates_generated =
+      static_cast<int64_t>(candidates.size());
+
+  Bitset covered(static_cast<size_t>(graph.NumVertices()));
+  std::vector<size_t> chosen, best;
+  int64_t best_cover = -1;
+  Recurse(candidates, 0, params.k, chosen, covered, best, best_cover, 0);
+
+  for (size_t c : best) {
+    result.cores.push_back(
+        ResultCore{candidates[c].layers, candidates[c].vertices});
+  }
+  result.stats.total_seconds = timer.Seconds();
+  result.stats.search_seconds = result.stats.total_seconds;
+  return result;
+}
+
+}  // namespace mlcore

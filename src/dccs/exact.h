@@ -1,0 +1,18 @@
+#ifndef MLCORE_DCCS_EXACT_H_
+#define MLCORE_DCCS_EXACT_H_
+
+#include "dccs/params.h"
+#include "graph/multilayer_graph.h"
+
+namespace mlcore {
+
+/// Brute-force exact DCCS: enumerates F_{d,s}(G) and every k-combination of
+/// it, returning a cover-maximal selection. Exponential in C(l, s); the
+/// paper explicitly skips it in the evaluation ("cannot terminate in
+/// reasonable time"), but it is invaluable as ground truth for the
+/// approximation-ratio property tests on small graphs.
+DccsResult ExactDccs(const MultiLayerGraph& graph, const DccsParams& params);
+
+}  // namespace mlcore
+
+#endif  // MLCORE_DCCS_EXACT_H_

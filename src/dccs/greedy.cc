@@ -1,0 +1,129 @@
+#include "dccs/greedy.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "core/dcc.h"
+#include "core/fds.h"
+#include "dccs/preprocess.h"
+#include "util/bitset.h"
+#include "util/timing.h"
+
+namespace mlcore {
+
+DccsResult GreedyDccs(const MultiLayerGraph& graph, const DccsParams& params) {
+  WallTimer total_timer;
+  DccsResult result;
+  const auto n = static_cast<size_t>(graph.NumVertices());
+
+  PreprocessResult preprocess =
+      Preprocess(graph, params.d, params.s, params.vertex_deletion);
+  result.stats.preprocess_seconds = preprocess.seconds;
+
+  if (params.s > graph.NumLayers()) {
+    result.stats.total_seconds = total_timer.Seconds();
+    return result;
+  }
+
+  WallTimer search_timer;
+  // Lines 4–7: generate F = all d-CCs w.r.t. size-s layer subsets, each
+  // computed inside the intersection of the per-layer d-cores (Lemma 1).
+  // The subsets are independent, so the loop parallelises over a static
+  // index partition; candidate order (and hence the final result) is
+  // identical for every thread count.
+  struct Candidate {
+    LayerSet layers;
+    VertexSet vertices;
+  };
+  const int64_t total_subsets =
+      BinomialCoefficient(graph.NumLayers(), params.s);
+  MLCORE_CHECK_MSG(total_subsets <= (int64_t{1} << 26),
+                   "C(l, s) too large to materialise; this instance is "
+                   "intractable for GD-DCCS regardless");
+  std::vector<LayerSet> subsets;
+  subsets.reserve(static_cast<size_t>(total_subsets));
+  ForEachLayerCombination(graph.NumLayers(), params.s,
+                          [&](const LayerSet& layers) {
+                            subsets.push_back(layers);
+                          });
+
+  std::vector<Candidate> slots(subsets.size());
+  auto evaluate_range = [&](size_t begin, size_t end) {
+    DccSolver solver(graph);
+    for (size_t i = begin; i < end; ++i) {
+      const LayerSet& layers = subsets[i];
+      VertexSet scope =
+          preprocess.layer_cores[static_cast<size_t>(layers[0])];
+      for (size_t j = 1; j < layers.size() && !scope.empty(); ++j) {
+        scope = IntersectSorted(
+            scope, preprocess.layer_cores[static_cast<size_t>(layers[j])]);
+      }
+      VertexSet core =
+          solver.Compute(layers, params.d, scope, params.dcc_engine);
+      if (!core.empty()) {
+        slots[i] = Candidate{layers, std::move(core)};
+      }
+    }
+  };
+
+  const int threads =
+      std::max(1, std::min<int>(params.num_threads,
+                                static_cast<int>(subsets.size()) > 0
+                                    ? static_cast<int>(subsets.size())
+                                    : 1));
+  if (threads == 1) {
+    evaluate_range(0, subsets.size());
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<size_t>(threads));
+    const size_t chunk = (subsets.size() + static_cast<size_t>(threads) - 1) /
+                         static_cast<size_t>(threads);
+    for (int t = 0; t < threads; ++t) {
+      size_t begin = static_cast<size_t>(t) * chunk;
+      size_t end = std::min(subsets.size(), begin + chunk);
+      if (begin >= end) break;
+      workers.emplace_back(evaluate_range, begin, end);
+    }
+    for (auto& worker : workers) worker.join();
+  }
+
+  std::vector<Candidate> candidates;
+  candidates.reserve(slots.size());
+  for (auto& slot : slots) {
+    if (!slot.vertices.empty()) candidates.push_back(std::move(slot));
+  }
+  result.stats.candidates_generated = static_cast<int64_t>(subsets.size());
+
+  // Lines 8–10: greedy max-cover selection of k candidates.
+  Bitset covered(n);
+  std::vector<bool> taken(candidates.size(), false);
+  for (int round = 0; round < params.k; ++round) {
+    int64_t best_gain = -1;
+    size_t best = candidates.size();
+    for (size_t c = 0; c < candidates.size(); ++c) {
+      if (taken[c]) continue;
+      int64_t gain = 0;
+      for (VertexId v : candidates[c].vertices) {
+        if (!covered.Test(static_cast<size_t>(v))) ++gain;
+      }
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = c;
+      }
+    }
+    if (best == candidates.size()) break;  // fewer than k candidates exist
+    taken[best] = true;
+    for (VertexId v : candidates[best].vertices) {
+      covered.Set(static_cast<size_t>(v));
+    }
+    result.cores.push_back(ResultCore{candidates[best].layers,
+                                      std::move(candidates[best].vertices)});
+    ++result.stats.updates_accepted;
+  }
+
+  result.stats.search_seconds = search_timer.Seconds();
+  result.stats.total_seconds = total_timer.Seconds();
+  return result;
+}
+
+}  // namespace mlcore

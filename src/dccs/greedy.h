@@ -1,0 +1,21 @@
+#ifndef MLCORE_DCCS_GREEDY_H_
+#define MLCORE_DCCS_GREEDY_H_
+
+#include "dccs/params.h"
+#include "graph/multilayer_graph.h"
+
+namespace mlcore {
+
+/// The GD-DCCS algorithm (paper §III, Fig 2): materialises all C(l, s)
+/// candidate d-CCs, then selects k of them greedily by marginal cover gain.
+/// Approximation ratio 1 − 1/e (Theorem 2); cost O((ns + ms + kn)·C(l,s)).
+///
+/// Per the paper's experimental protocol (§VI, "for fairness, all the
+/// algorithms exploit the preprocessing methods"), the §IV-C vertex-deletion
+/// preprocessing is applied before candidate generation when
+/// `params.vertex_deletion` is set.
+DccsResult GreedyDccs(const MultiLayerGraph& graph, const DccsParams& params);
+
+}  // namespace mlcore
+
+#endif  // MLCORE_DCCS_GREEDY_H_

@@ -1,0 +1,27 @@
+#include "dccs/params.h"
+
+namespace mlcore {
+
+VertexSet DccsResult::Cover() const {
+  VertexSet cover;
+  for (const auto& core : cores) cover = UnionSorted(cover, core.vertices);
+  return cover;
+}
+
+int64_t DccsResult::CoverSize() const {
+  return static_cast<int64_t>(Cover().size());
+}
+
+std::string AlgorithmName(DccsAlgorithm algorithm) {
+  switch (algorithm) {
+    case DccsAlgorithm::kGreedy:
+      return "GD-DCCS";
+    case DccsAlgorithm::kBottomUp:
+      return "BU-DCCS";
+    case DccsAlgorithm::kTopDown:
+      return "TD-DCCS";
+  }
+  return "unknown";
+}
+
+}  // namespace mlcore

@@ -1,0 +1,102 @@
+#ifndef MLCORE_DCCS_PARAMS_H_
+#define MLCORE_DCCS_PARAMS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/dcc.h"
+#include "graph/multilayer_graph.h"
+
+namespace mlcore {
+
+/// Parameters of the DCCS problem and algorithm knobs (paper §II, Fig 13).
+struct DccsParams {
+  /// Minimum degree threshold (paper d). Default per Fig 13.
+  int d = 4;
+  /// Minimum support threshold: number of layers a d-CC must recur on
+  /// (paper s).
+  int s = 3;
+  /// Number of diversified d-CCs to return (paper k).
+  int k = 10;
+
+  /// Engine for the dCC peeling procedure (Appendix B).
+  DccEngine dcc_engine = DccEngine::kQueue;
+
+  /// Worker threads for GD-DCCS candidate generation (the C(l, s) dCC
+  /// evaluations are embarrassingly parallel). 1 = sequential. Results are
+  /// bit-identical for any thread count; BU/TD ignore this (their searches
+  /// are inherently sequential through the shared top-k state).
+  int num_threads = 1;
+
+  /// Wall-clock budget for the search phase, in seconds (0 = unlimited).
+  /// BU-DCCS and TD-DCCS return their best-so-far result set when the
+  /// budget expires ("anytime" behaviour; the paper's experiments run
+  /// BU-DCCS for up to 10^4 s in its unfavourable large-s regime — the
+  /// budget lets a harness bound such rows). GD-DCCS ignores the budget
+  /// (its two phases are not interruptible without losing the guarantee).
+  double time_budget_seconds = 0.0;
+
+  // --- Preprocessing toggles (§IV-C; disabled variants are the Fig 28
+  // ablations No-VD / No-SL / No-IR; all three off is No-Pre). ---
+  bool vertex_deletion = true;
+  bool sort_layers = true;
+  bool init_result = true;
+
+  // --- Top-down specific. ---
+  /// Use the index-based RefineC search of §V-C (true) or the reference
+  /// Lemma 8 scope + dCC peeling (false). Both compute the identical d-CC;
+  /// see DESIGN.md.
+  bool use_index_refinec = true;
+};
+
+/// One returned d-CC: the layer subset L (|L| = s) and C^d_L(G).
+struct ResultCore {
+  LayerSet layers;
+  VertexSet vertices;
+};
+
+/// Search-effort counters exposed by all three DCCS algorithms.
+struct SearchStats {
+  /// dCC evaluations performed for candidate generation.
+  int64_t candidates_generated = 0;
+  /// Search-tree nodes expanded (BU/TD only).
+  int64_t nodes_visited = 0;
+  /// Subtrees pruned by the Eq. (1) bound (Lemma 2 / Lemma 5).
+  int64_t pruned_eq1 = 0;
+  /// Children skipped by order-based pruning (Lemma 3 / Lemma 6).
+  int64_t pruned_order = 0;
+  /// Layers excluded by layer pruning (Lemma 4, BU only).
+  int64_t pruned_layer = 0;
+  /// Subtrees collapsed by potential-set pruning (Lemma 7, TD only).
+  int64_t pruned_potential = 0;
+  /// Accepted Update calls (result-set improvements).
+  int64_t updates_accepted = 0;
+  /// True when the search stopped at DccsParams::time_budget_seconds and
+  /// returned its best-so-far result.
+  bool budget_exhausted = false;
+
+  double preprocess_seconds = 0.0;
+  double search_seconds = 0.0;
+  double total_seconds = 0.0;
+};
+
+/// Output of a DCCS algorithm: up to k diversified d-CCs plus statistics.
+struct DccsResult {
+  std::vector<ResultCore> cores;
+  SearchStats stats;
+
+  /// Union of all returned cores (the paper's Cov(R)), sorted.
+  VertexSet Cover() const;
+  /// |Cov(R)| — the quality measure maximised by the DCCS problem.
+  int64_t CoverSize() const;
+};
+
+/// Identifier of a DCCS algorithm, for harness dispatch and labels.
+enum class DccsAlgorithm { kGreedy, kBottomUp, kTopDown };
+
+std::string AlgorithmName(DccsAlgorithm algorithm);
+
+}  // namespace mlcore
+
+#endif  // MLCORE_DCCS_PARAMS_H_

@@ -1,0 +1,50 @@
+#ifndef MLCORE_DCCS_PREPROCESS_H_
+#define MLCORE_DCCS_PREPROCESS_H_
+
+#include <vector>
+
+#include "core/dcc.h"
+#include "dccs/cover.h"
+#include "dccs/params.h"
+#include "graph/multilayer_graph.h"
+#include "util/bitset.h"
+
+namespace mlcore {
+
+/// Output of the shared preprocessing stage (§IV-C, lines 1–7 of BU-DCCS).
+struct PreprocessResult {
+  /// Vertices surviving iterated vertex deletion: every v has
+  /// Num(v) ≥ s, where Num(v) counts layers whose d-core contains v.
+  VertexSet active;
+  /// Per-layer d-cores computed within `active` (indexed by layer id).
+  std::vector<VertexSet> layer_cores;
+  /// Bitmap form of layer_cores for O(1) membership tests.
+  std::vector<Bitset> layer_core_bits;
+  /// Num(v) for surviving vertices (0 for deleted ones).
+  std::vector<int> support;
+
+  double seconds = 0.0;
+};
+
+/// Runs the vertex-deletion preprocessing of §IV-C. When `vertex_deletion`
+/// is false (the Fig 28 No-VD ablation) the per-layer d-cores are computed
+/// once over the whole graph and no vertex is deleted.
+PreprocessResult Preprocess(const MultiLayerGraph& graph, int d, int s,
+                            bool vertex_deletion);
+
+/// Layer ids sorted by |C^d(G_i)|; descending order for BU-DCCS (Fig 7
+/// line 9), ascending for TD-DCCS (Fig 11 line 2). When `sort_layers` is
+/// false (the No-SL ablation) returns the identity order.
+std::vector<LayerId> SortedLayerOrder(const PreprocessResult& preprocess,
+                                      bool descending, bool sort_layers);
+
+/// The InitTopK procedure (Appendix D): greedily seeds the top-k result set
+/// with k candidate d-CCs so that the Eq. (1) pruning rules engage from the
+/// start of the search. No-op when `params.init_result` is false (No-IR).
+void InitTopK(const MultiLayerGraph& graph, const DccsParams& params,
+              const PreprocessResult& preprocess, DccSolver& solver,
+              CoverageIndex& result);
+
+}  // namespace mlcore
+
+#endif  // MLCORE_DCCS_PREPROCESS_H_

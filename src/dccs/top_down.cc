@@ -1,0 +1,451 @@
+#include "dccs/top_down.h"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "core/dcc.h"
+#include "dccs/cover.h"
+#include "dccs/preprocess.h"
+#include "dccs/vertex_index.h"
+#include "util/bitset.h"
+#include "util/rng.h"
+#include "util/timing.h"
+
+namespace mlcore {
+
+namespace {
+
+/// DFS machinery for TD-Gen (paper Fig 8). As in the bottom-up search,
+/// layers are addressed by *position* in the sorted layer order (ascending
+/// |C^d(G_i)|, Fig 11 line 2); positions translate back to layer ids at
+/// every dCC/RefineC evaluation.
+class TopDownSearch {
+ public:
+  TopDownSearch(const MultiLayerGraph& graph, const DccsParams& params,
+                const PreprocessResult& preprocess,
+                const std::vector<LayerId>& order,
+                const VertexLevelIndex& index, DccSolver& solver,
+                CoverageIndex& result, SearchStats& stats)
+      : graph_(graph),
+        params_(params),
+        preprocess_(preprocess),
+        order_(order),
+        index_(index),
+        solver_(solver),
+        result_(result),
+        stats_(stats),
+        rng_(kSeed),
+        state_(static_cast<size_t>(graph.NumVertices()), kUntouched),
+        dplus_(static_cast<size_t>(graph.NumVertices()) *
+                   static_cast<size_t>(graph.NumLayers()),
+               0),
+        in_z_(static_cast<size_t>(graph.NumVertices())) {}
+
+  void Run() {
+    const int l = graph_.NumLayers();
+    LayerSet root_positions(static_cast<size_t>(l));
+    for (int j = 0; j < l; ++j) root_positions[static_cast<size_t>(j)] = j;
+    // Fig 11 line 4: the root d-CC w.r.t. all layers.
+    VertexSet root_core = solver_.Compute(ToLayerIds(root_positions),
+                                          params_.d, preprocess_.active,
+                                          params_.dcc_engine);
+    if (params_.s == l) {
+      if (result_.Update(root_core, ToLayerIds(root_positions))) {
+        ++stats_.updates_accepted;
+      }
+      return;
+    }
+    Gen(root_positions, root_core, preprocess_.active);
+  }
+
+ private:
+  static constexpr uint64_t kSeed = 0x5851f42d4c957f2dULL;
+
+  // Anytime budget (see DccsParams::time_budget_seconds).
+  bool BudgetExpired() {
+    if (params_.time_budget_seconds <= 0) return false;
+    if (stats_.budget_exhausted) return true;
+    if (timer_.Seconds() > params_.time_budget_seconds) {
+      stats_.budget_exhausted = true;
+    }
+    return stats_.budget_exhausted;
+  }
+
+  const VertexSet& CoreAtPosition(int pos) const {
+    return preprocess_.layer_cores[static_cast<size_t>(
+        order_[static_cast<size_t>(pos)])];
+  }
+  const Bitset& CoreBitsAtPosition(int pos) const {
+    return preprocess_.layer_core_bits[static_cast<size_t>(
+        order_[static_cast<size_t>(pos)])];
+  }
+
+  LayerSet ToLayerIds(const LayerSet& positions) const {
+    LayerSet ids;
+    ids.reserve(positions.size());
+    for (LayerId pos : positions) {
+      ids.push_back(order_[static_cast<size_t>(pos)]);
+    }
+    std::sort(ids.begin(), ids.end());
+    return ids;
+  }
+
+  // Largest position missing from sorted `positions`, or -1 if none below l.
+  int MaxComplement(const LayerSet& positions) const {
+    const int l = graph_.NumLayers();
+    Bitset present(static_cast<size_t>(l));
+    for (LayerId p : positions) present.Set(static_cast<size_t>(p));
+    for (int j = l - 1; j >= 0; --j) {
+      if (!present.Test(static_cast<size_t>(j))) return j;
+    }
+    return -1;
+  }
+
+  // RefineU (Fig 9): shrinks the parent's potential set to U^d_{L'}.
+  // Refinement Method 2 filters by support over the Class-2 layers against
+  // the preprocessed per-layer d-cores (static), then Method 1 peels to
+  // d-density on the Class-1 layers; since the Method-2 counts never change
+  // during peeling, one pass of each reaches the paper's fixpoint.
+  VertexSet RefineU(const VertexSet& parent_u, const LayerSet& positions) {
+    const int max_comp = MaxComplement(positions);
+    LayerSet class1, class2;
+    for (LayerId p : positions) {
+      (p < max_comp ? class1 : class2).push_back(p);
+    }
+    const int need =
+        params_.s - static_cast<int>(class1.size());  // s − |M_{L'}|
+
+    VertexSet filtered;
+    filtered.reserve(parent_u.size());
+    for (VertexId v : parent_u) {
+      int count = 0;
+      if (need > 0) {
+        for (LayerId p : class2) {
+          if (CoreBitsAtPosition(p).Test(static_cast<size_t>(v))) ++count;
+          if (count >= need) break;
+        }
+        if (count < need) continue;  // Method 2 removal
+      }
+      filtered.push_back(v);
+    }
+    if (class1.empty()) return filtered;
+    // Method 1: peel to d-density on the must-keep layers.
+    return solver_.Compute(ToLayerIds(class1), params_.d, filtered,
+                           params_.dcc_engine);
+  }
+
+  // RefineC: computes C^d_{L'}(G) inside U^d_{L'}. Both paths first apply
+  // the Lemma 8 stage bound.
+  VertexSet RefineC(const VertexSet& potential, const LayerSet& positions) {
+    const auto depth = static_cast<int>(positions.size());
+    VertexSet scope;
+    scope.reserve(potential.size());
+    for (VertexId v : potential) {
+      if (index_.stage(v) >= depth) scope.push_back(v);
+    }
+    LayerSet ids = ToLayerIds(positions);
+    if (!params_.use_index_refinec) {
+      return solver_.Compute(ids, params_.d, scope, params_.dcc_engine);
+    }
+    return RefineCIndexed(scope, ids);
+  }
+
+  // The index-based Fig 10 search in the two-pass form justified by
+  // Lemma 9: (1) keep only vertices reachable through a level-monotone
+  // chain of index edges from a vertex whose label L(w) covers L'; (2) peel
+  // the reached set to d-density on L'. Fig 10's single fused sweep
+  // (states + CascadeD) discards reachable vertices on mixed levels and
+  // under-approximates the d-CC; see DESIGN.md §3.
+  VertexSet RefineCIndexed(const VertexSet& scope, const LayerSet& ids);
+
+  // TD-Gen (Fig 8). `positions` = L (|L| > s), `core` = C^d_L, `potential`
+  // = U^d_L.
+  void Gen(const LayerSet& positions, const VertexSet& core,
+           const VertexSet& potential) {
+    (void)core;  // the parent d-CC guides no decision beyond reaching here
+    const auto depth = static_cast<int>(positions.size());
+    const int max_comp = MaxComplement(positions);
+
+    // LR: removable positions (line 1).
+    std::vector<int> removable;
+    for (LayerId p : positions) {
+      if (p > max_comp) removable.push_back(p);
+    }
+    if (removable.empty()) return;
+
+    // Lines 2–5: materialise every child's U and C up front.
+    struct Child {
+      int removed_position;
+      LayerSet positions;
+      VertexSet potential;
+      VertexSet core;
+    };
+    std::vector<Child> children;
+    children.reserve(removable.size());
+    for (int j : removable) {
+      if (BudgetExpired()) return;
+      ++stats_.nodes_visited;
+      Child child;
+      child.removed_position = j;
+      child.positions = positions;
+      child.positions.erase(std::find(child.positions.begin(),
+                                      child.positions.end(),
+                                      static_cast<LayerId>(j)));
+      child.potential = RefineU(potential, child.positions);
+      child.core = RefineC(child.potential, child.positions);
+      children.push_back(std::move(child));
+    }
+
+    if (!result_.full()) {
+      // Cases 1–2 (lines 6–12).
+      for (Child& child : children) {
+        if (BudgetExpired()) return;
+        if (depth - 1 == params_.s) {
+          if (result_.Update(child.core, ToLayerIds(child.positions))) {
+            ++stats_.updates_accepted;
+          }
+        } else {
+          Gen(child.positions, child.core, child.potential);
+        }
+      }
+      return;
+    }
+
+    // Cases 3–4 (lines 13–29): order children by |U| descending (Lemma 6).
+    std::stable_sort(children.begin(), children.end(),
+                     [](const Child& a, const Child& b) {
+                       return a.potential.size() > b.potential.size();
+                     });
+    for (size_t idx = 0; idx < children.size(); ++idx) {
+      if (BudgetExpired()) return;
+      Child& child = children[idx];
+      if (result_.BelowOrderThreshold(
+              static_cast<int64_t>(child.potential.size()))) {
+        stats_.pruned_order += static_cast<int64_t>(children.size() - idx);
+        break;  // Lemma 6
+      }
+      if (depth - 1 == params_.s) {
+        if (result_.Update(child.core, ToLayerIds(child.positions))) {
+          ++stats_.updates_accepted;
+        }
+        continue;
+      }
+      // Lemma 5: every descendant candidate is contained in U^d_{L'}, so if
+      // U fails Eq. (1) the whole subtree is hopeless. (Fig 8 line 23
+      // prints C^d_{L'} here; the §V-A text and Lemma 5 establish the bound
+      // via the potential set, which is what we check — see DESIGN.md.)
+      if (!result_.SatisfiesEq1(child.potential)) {
+        ++stats_.pruned_eq1;
+        continue;
+      }
+      // Lemma 7: in the optimistic regime a single random descendant
+      // represents the subtree.
+      if (result_.SatisfiesEq1(child.core) &&
+          result_.SatisfiesEq2(static_cast<int64_t>(child.potential.size()))) {
+        if (TryPotentialShortcut(child.positions, child.potential)) {
+          ++stats_.pruned_potential;
+          continue;
+        }
+      }
+      Gen(child.positions, child.core, child.potential);
+    }
+  }
+
+  // Lines 25–27 of Fig 8: pick a random size-s descendant S of L', compute
+  // its d-CC inside U^d_{L'}, and update R with it. Returns false when L'
+  // has no size-s descendant (a dead-end branch of the top-down lattice).
+  bool TryPotentialShortcut(const LayerSet& positions,
+                            const VertexSet& potential) {
+    const auto depth = static_cast<int>(positions.size());
+    const int max_comp = MaxComplement(positions);
+    std::vector<LayerId> removable;
+    for (LayerId p : positions) {
+      if (p > max_comp) removable.push_back(p);
+    }
+    const int to_remove = depth - params_.s;
+    if (static_cast<int>(removable.size()) < to_remove) return false;
+    std::shuffle(removable.begin(), removable.end(), rng_.engine());
+    removable.resize(static_cast<size_t>(to_remove));
+
+    LayerSet descendant;
+    for (LayerId p : positions) {
+      if (std::find(removable.begin(), removable.end(), p) ==
+          removable.end()) {
+        descendant.push_back(p);
+      }
+    }
+    VertexSet scope;
+    scope.reserve(potential.size());
+    for (VertexId v : potential) {
+      if (index_.stage(v) >= params_.s) scope.push_back(v);
+    }
+    LayerSet ids = ToLayerIds(descendant);
+    VertexSet core = solver_.Compute(ids, params_.d, scope,
+                                     params_.dcc_engine);
+    if (result_.Update(core, ids)) ++stats_.updates_accepted;
+    return true;
+  }
+
+  const MultiLayerGraph& graph_;
+  const DccsParams& params_;
+  const PreprocessResult& preprocess_;
+  const std::vector<LayerId>& order_;
+  const VertexLevelIndex& index_;
+  DccSolver& solver_;
+  CoverageIndex& result_;
+  SearchStats& stats_;
+  Rng rng_;
+  WallTimer timer_;
+
+  // RefineCIndexed scratch (cleared per call along the visited scope).
+  static constexpr uint8_t kUntouched = 0;    // unexplored
+  static constexpr uint8_t kUndetermined = 1;
+  static constexpr uint8_t kDiscarded = 2;
+  std::vector<uint8_t> state_;
+  std::vector<int32_t> dplus_;
+  Bitset in_z_;
+};
+
+VertexSet TopDownSearch::RefineCIndexed(const VertexSet& scope,
+                                        const LayerSet& ids) {
+  const auto l = static_cast<size_t>(graph_.NumLayers());
+  if (scope.empty()) return {};
+
+  for (VertexId v : scope) {
+    in_z_.Set(static_cast<size_t>(v));
+    state_[static_cast<size_t>(v)] = kUntouched;
+  }
+
+  // --- Pass 1 (Lemma 9 filter): keep vertices reachable through a
+  // level-monotone chain of index edges starting from a vertex whose label
+  // covers L'. Sweeping levels in ascending order makes one pass
+  // sufficient: a vertex is reached either by its own label or from a
+  // strictly lower (already swept) level.
+  std::vector<std::pair<int, VertexId>> by_level;
+  by_level.reserve(scope.size());
+  for (VertexId v : scope) by_level.emplace_back(index_.level(v), v);
+  std::sort(by_level.begin(), by_level.end());
+
+  auto label_covers = [&](VertexId v) {
+    const LayerSet& label = index_.label(v);
+    return std::includes(label.begin(), label.end(), ids.begin(), ids.end());
+  };
+
+  VertexSet reached;
+  reached.reserve(scope.size());
+  for (const auto& [level, v] : by_level) {
+    if (state_[static_cast<size_t>(v)] == kUntouched && !label_covers(v)) {
+      state_[static_cast<size_t>(v)] = kDiscarded;
+      continue;
+    }
+    state_[static_cast<size_t>(v)] = kUndetermined;
+    reached.push_back(v);
+    for (LayerId layer : ids) {
+      for (VertexId u : graph_.Neighbors(layer, v)) {
+        if (!in_z_.Test(static_cast<size_t>(u))) continue;
+        if (state_[static_cast<size_t>(u)] == kUntouched &&
+            index_.level(u) > level) {
+          // Mark u as reached-from-below; validated when its level sweeps.
+          state_[static_cast<size_t>(u)] = kUndetermined;
+        }
+      }
+    }
+  }
+  std::sort(reached.begin(), reached.end());
+
+  // --- Pass 2: peel `reached` to d-density on L' (cascading deletions on
+  // the d⁺ counters — the RefineC/CascadeD bookkeeping of Fig 10).
+  for (VertexId v : reached) {
+    for (LayerId layer : ids) {
+      int32_t count = 0;
+      for (VertexId u : graph_.Neighbors(layer, v)) {
+        // Every vertex still kUndetermined after pass 1 is in `reached`.
+        if (in_z_.Test(static_cast<size_t>(u)) &&
+            state_[static_cast<size_t>(u)] == kUndetermined) {
+          ++count;
+        }
+      }
+      dplus_[static_cast<size_t>(v) * l + static_cast<size_t>(layer)] = count;
+    }
+  }
+  std::vector<VertexId> queue;
+  for (VertexId v : reached) {
+    for (LayerId layer : ids) {
+      if (dplus_[static_cast<size_t>(v) * l + static_cast<size_t>(layer)] <
+          params_.d) {
+        state_[static_cast<size_t>(v)] = kDiscarded;
+        queue.push_back(v);
+        break;
+      }
+    }
+  }
+  for (size_t head = 0; head < queue.size(); ++head) {
+    VertexId v = queue[head];
+    for (LayerId layer : ids) {
+      for (VertexId u : graph_.Neighbors(layer, v)) {
+        if (!in_z_.Test(static_cast<size_t>(u)) ||
+            state_[static_cast<size_t>(u)] != kUndetermined) {
+          continue;
+        }
+        auto& du =
+            dplus_[static_cast<size_t>(u) * l + static_cast<size_t>(layer)];
+        if (--du < params_.d) {
+          state_[static_cast<size_t>(u)] = kDiscarded;
+          queue.push_back(u);
+        }
+      }
+    }
+  }
+
+  VertexSet core;
+  for (VertexId v : reached) {
+    if (state_[static_cast<size_t>(v)] == kUndetermined) core.push_back(v);
+  }
+  for (VertexId v : scope) {
+    in_z_.Clear(static_cast<size_t>(v));
+    state_[static_cast<size_t>(v)] = kUntouched;
+  }
+  return core;
+}
+
+}  // namespace
+
+DccsResult TopDownDccs(const MultiLayerGraph& graph, const DccsParams& params) {
+  MLCORE_CHECK(params.s >= 1);
+  MLCORE_CHECK(params.k >= 1);
+  MLCORE_CHECK(graph.NumLayers() <= 64);
+
+  WallTimer total_timer;
+  DccsResult result;
+  if (params.s > graph.NumLayers()) {
+    result.stats.total_seconds = total_timer.Seconds();
+    return result;
+  }
+
+  // Fig 11 line 1 = BU-DCCS lines 1–8: vertex deletion + InitTopK.
+  PreprocessResult preprocess =
+      Preprocess(graph, params.d, params.s, params.vertex_deletion);
+  result.stats.preprocess_seconds = preprocess.seconds;
+
+  WallTimer search_timer;
+  DccSolver solver(graph);
+  CoverageIndex top_k(params.k);
+  InitTopK(graph, params, preprocess, solver, top_k);
+  // Fig 11 line 2: ascending order of |C^d(G_i)|.
+  std::vector<LayerId> order =
+      SortedLayerOrder(preprocess, /*descending=*/false, params.sort_layers);
+  // Fig 11 line 3: build the vertex index.
+  VertexLevelIndex index(graph, params.d, preprocess.active);
+
+  TopDownSearch search(graph, params, preprocess, order, index, solver, top_k,
+                       result.stats);
+  search.Run();
+
+  result.cores = top_k.entries();
+  result.stats.candidates_generated = solver.num_calls();
+  result.stats.search_seconds = search_timer.Seconds();
+  result.stats.total_seconds = total_timer.Seconds();
+  return result;
+}
+
+}  // namespace mlcore

@@ -1,0 +1,82 @@
+#include "dynamic/decremental_core.h"
+
+#include "core/dcore.h"
+#include "util/check.h"
+
+namespace mlcore {
+
+DecrementalCoreMaintainer::DecrementalCoreMaintainer(
+    const MultiLayerGraph& graph, int d, const VertexSet& active)
+    : graph_(graph),
+      d_(d),
+      cores_(static_cast<size_t>(graph.NumLayers()),
+             Bitset(static_cast<size_t>(graph.NumVertices()))),
+      degree_(static_cast<size_t>(graph.NumVertices()) *
+                  static_cast<size_t>(graph.NumLayers()),
+              0),
+      support_(static_cast<size_t>(graph.NumVertices()), 0),
+      alive_(static_cast<size_t>(graph.NumVertices()), 0) {
+  const auto l = static_cast<size_t>(graph.NumLayers());
+  for (VertexId v : active) alive_[static_cast<size_t>(v)] = 1;
+  for (LayerId layer = 0; layer < graph.NumLayers(); ++layer) {
+    VertexSet members = DCoreScoped(graph, layer, d, active);
+    Bitset& bits = cores_[static_cast<size_t>(layer)];
+    for (VertexId v : members) bits.Set(static_cast<size_t>(v));
+    for (VertexId v : members) {
+      int32_t within = 0;
+      for (VertexId u : graph.Neighbors(layer, v)) {
+        if (bits.Test(static_cast<size_t>(u))) ++within;
+      }
+      degree_[static_cast<size_t>(v) * l + static_cast<size_t>(layer)] =
+          within;
+      ++support_[static_cast<size_t>(v)];
+    }
+  }
+}
+
+void DecrementalCoreMaintainer::ExitCore(
+    VertexId v, LayerId layer,
+    std::vector<std::pair<VertexId, LayerId>>* exits) {
+  Bitset& bits = cores_[static_cast<size_t>(layer)];
+  if (!bits.Test(static_cast<size_t>(v))) return;
+  bits.Clear(static_cast<size_t>(v));
+  --support_[static_cast<size_t>(v)];
+  queue_.emplace_back(v, layer);
+  if (exits != nullptr) exits->emplace_back(v, layer);
+}
+
+void DecrementalCoreMaintainer::RemoveVertex(
+    VertexId v, std::vector<std::pair<VertexId, LayerId>>* exits) {
+  if (alive_[static_cast<size_t>(v)] == 0) return;
+  alive_[static_cast<size_t>(v)] = 0;
+  const auto l = static_cast<size_t>(graph_.NumLayers());
+
+  MLCORE_DCHECK(queue_.empty());
+  for (LayerId layer = 0; layer < graph_.NumLayers(); ++layer) {
+    ExitCore(v, layer, exits);
+  }
+  for (size_t head = 0; head < queue_.size(); ++head) {
+    auto [w, layer] = queue_[head];
+    const Bitset& bits = cores_[static_cast<size_t>(layer)];
+    for (VertexId u : graph_.Neighbors(layer, w)) {
+      if (!bits.Test(static_cast<size_t>(u))) continue;
+      auto& du =
+          degree_[static_cast<size_t>(u) * l + static_cast<size_t>(layer)];
+      if (--du < d_) ExitCore(u, layer, exits);
+    }
+  }
+  queue_.clear();
+}
+
+VertexSet DecrementalCoreMaintainer::VerticesWithSupportAtLeast(int s) const {
+  VertexSet result;
+  for (VertexId v = 0; v < graph_.NumVertices(); ++v) {
+    if (alive_[static_cast<size_t>(v)] != 0 &&
+        support_[static_cast<size_t>(v)] >= s) {
+      result.push_back(v);
+    }
+  }
+  return result;
+}
+
+}  // namespace mlcore

@@ -1,0 +1,20 @@
+#include "eval/complexes.h"
+
+namespace mlcore {
+
+double ComplexRecall(const std::vector<VertexSet>& complexes,
+                     const std::vector<VertexSet>& dense_subgraphs) {
+  if (complexes.empty()) return 0.0;
+  int64_t found = 0;
+  for (const VertexSet& complex : complexes) {
+    for (const VertexSet& subgraph : dense_subgraphs) {
+      if (IsSubsetSorted(complex, subgraph)) {
+        ++found;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(found) / static_cast<double>(complexes.size());
+}
+
+}  // namespace mlcore

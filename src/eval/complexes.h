@@ -1,0 +1,19 @@
+#ifndef MLCORE_EVAL_COMPLEXES_H_
+#define MLCORE_EVAL_COMPLEXES_H_
+
+#include <vector>
+
+#include "graph/multilayer_graph.h"
+
+namespace mlcore {
+
+/// Fig 32 metric: the fraction of ground-truth complexes entirely contained
+/// in at least one of the returned dense subgraphs ("for each protein
+/// complex, if it is entirely contained in a dense subgraph, we say this
+/// protein complex is found").
+double ComplexRecall(const std::vector<VertexSet>& complexes,
+                     const std::vector<VertexSet>& dense_subgraphs);
+
+}  // namespace mlcore
+
+#endif  // MLCORE_EVAL_COMPLEXES_H_

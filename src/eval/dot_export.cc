@@ -1,0 +1,27 @@
+#include "eval/dot_export.h"
+
+#include <sstream>
+
+namespace mlcore {
+
+std::string ExportDot(const MultiLayerGraph& graph, LayerId layer,
+                      const std::map<VertexId, std::string>& colors,
+                      const std::string& graph_name) {
+  std::ostringstream out;
+  out << "graph " << graph_name << " {\n";
+  out << "  node [style=filled, shape=circle, label=\"\"];\n";
+  for (const auto& [v, color] : colors) {
+    out << "  v" << v << " [fillcolor=" << color << "];\n";
+  }
+  for (const auto& [v, color] : colors) {
+    for (VertexId u : graph.Neighbors(layer, v)) {
+      if (u > v && colors.count(u) > 0) {
+        out << "  v" << v << " -- v" << u << ";\n";
+      }
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace mlcore

@@ -1,0 +1,21 @@
+#ifndef MLCORE_EVAL_DOT_EXPORT_H_
+#define MLCORE_EVAL_DOT_EXPORT_H_
+
+#include <map>
+#include <string>
+
+#include "graph/multilayer_graph.h"
+
+namespace mlcore {
+
+/// Graphviz DOT export of the subgraph induced by the keys of `colors` on
+/// one layer; every vertex is filled with its mapped colour. Used by the
+/// Fig 31 qualitative comparison (red = in both covers, green = d-CC only,
+/// blue = quasi-clique only).
+std::string ExportDot(const MultiLayerGraph& graph, LayerId layer,
+                      const std::map<VertexId, std::string>& colors,
+                      const std::string& graph_name);
+
+}  // namespace mlcore
+
+#endif  // MLCORE_EVAL_DOT_EXPORT_H_

@@ -1,0 +1,73 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+
+namespace mlcore {
+
+OverlapMetrics CoverOverlap(const VertexSet& reference,
+                            const VertexSet& candidate) {
+  OverlapMetrics metrics;
+  if (reference.empty() || candidate.empty()) return metrics;
+  const auto common =
+      static_cast<double>(IntersectSorted(reference, candidate).size());
+  metrics.precision = common / static_cast<double>(candidate.size());
+  metrics.recall = common / static_cast<double>(reference.size());
+  if (metrics.precision + metrics.recall > 0) {
+    metrics.f1 = 2 * metrics.precision * metrics.recall /
+                 (metrics.precision + metrics.recall);
+  }
+  return metrics;
+}
+
+double SetF1(const VertexSet& truth, const VertexSet& found) {
+  if (truth.empty() || found.empty()) return 0.0;
+  const auto common =
+      static_cast<double>(IntersectSorted(truth, found).size());
+  if (common == 0.0) return 0.0;
+  const double precision = common / static_cast<double>(found.size());
+  const double recall = common / static_cast<double>(truth.size());
+  return 2 * precision * recall / (precision + recall);
+}
+
+double CommunityRecoveryScore(const std::vector<VertexSet>& truth,
+                              const std::vector<VertexSet>& found) {
+  if (truth.empty()) return 0.0;
+  double total = 0.0;
+  for (const VertexSet& community : truth) {
+    double best = 0.0;
+    for (const VertexSet& candidate : found) {
+      best = std::max(best, SetF1(community, candidate));
+    }
+    total += best;
+  }
+  return total / static_cast<double>(truth.size());
+}
+
+std::map<int, std::vector<double>> ContainmentDistribution(
+    const std::vector<VertexSet>& quasi_cliques, const VertexSet& cover) {
+  std::map<int, std::vector<int64_t>> counts;
+  std::map<int, int64_t> totals;
+  for (const VertexSet& q : quasi_cliques) {
+    const auto size = static_cast<int>(q.size());
+    const auto overlap =
+        static_cast<size_t>(IntersectSorted(q, cover).size());
+    auto& row = counts[size];
+    if (row.size() < static_cast<size_t>(size) + 1) {
+      row.resize(static_cast<size_t>(size) + 1, 0);
+    }
+    ++row[overlap];
+    ++totals[size];
+  }
+  std::map<int, std::vector<double>> distribution;
+  for (const auto& [size, row] : counts) {
+    std::vector<double> fractions(row.size(), 0.0);
+    for (size_t j = 0; j < row.size(); ++j) {
+      fractions[j] =
+          static_cast<double>(row[j]) / static_cast<double>(totals[size]);
+    }
+    distribution[size] = std::move(fractions);
+  }
+  return distribution;
+}
+
+}  // namespace mlcore

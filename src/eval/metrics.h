@@ -1,0 +1,46 @@
+#ifndef MLCORE_EVAL_METRICS_H_
+#define MLCORE_EVAL_METRICS_H_
+
+#include <map>
+#include <vector>
+
+#include "graph/multilayer_graph.h"
+
+namespace mlcore {
+
+/// The similarity metrics of paper §VI (Fig 29) between two result covers:
+///   precision = |reference ∩ candidate| / |candidate|
+///   recall    = |reference ∩ candidate| / |reference|
+///   f1        = harmonic mean of the two.
+/// `reference` plays the role of Cov(R_Q) (quasi-clique cover) and
+/// `candidate` of Cov(R_C) (d-CC cover).
+struct OverlapMetrics {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+OverlapMetrics CoverOverlap(const VertexSet& reference,
+                            const VertexSet& candidate);
+
+/// Fig 30: for each group of equally-sized quasi-cliques Q, the empirical
+/// distribution of |Q ∩ cover| over j = 0 … |Q|. Returned as
+/// size → vector of fractions indexed by j (rows sum to 1 when the group is
+/// non-empty).
+std::map<int, std::vector<double>> ContainmentDistribution(
+    const std::vector<VertexSet>& quasi_cliques, const VertexSet& cover);
+
+/// Set-level F1 between a single ground-truth community and a single
+/// found community (harmonic mean of |∩|/|found| and |∩|/|truth|).
+double SetF1(const VertexSet& truth, const VertexSet& found);
+
+/// Recovery score of a result against planted ground truth: the average,
+/// over ground-truth communities, of the best SetF1 against any found
+/// community. 1.0 = every planted community recovered exactly. The
+/// standard best-match evaluation for planted-partition experiments.
+double CommunityRecoveryScore(const std::vector<VertexSet>& truth,
+                              const std::vector<VertexSet>& found);
+
+}  // namespace mlcore
+
+#endif  // MLCORE_EVAL_METRICS_H_

@@ -1,0 +1,44 @@
+#ifndef MLCORE_GRAPH_DATASETS_H_
+#define MLCORE_GRAPH_DATASETS_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/generators.h"
+#include "graph/multilayer_graph.h"
+
+namespace mlcore {
+
+/// A named evaluation dataset: the multi-layer graph plus the generator's
+/// ground truth (planted communities, and for the PPI stand-in, planted
+/// protein complexes used by the Fig 32 experiment).
+struct Dataset {
+  std::string name;
+  MultiLayerGraph graph;
+  std::vector<PlantedCommunity> communities;
+  /// Small dense vertex groups standing in for MIPS protein complexes
+  /// (subsets of planted communities). Empty for non-PPI datasets.
+  std::vector<VertexSet> complexes;
+};
+
+/// Names of the six paper datasets (Fig 12): ppi, author, german, wiki,
+/// english, stack. The large four are scaled synthetic stand-ins (see
+/// DESIGN.md §5): layer counts match the paper exactly; vertex counts are
+/// scaled to laptop size.
+std::vector<std::string> DatasetNames();
+
+/// Builds the named dataset deterministically. `scale` in (0, 1] shrinks the
+/// vertex count (and proportionally the planted structure) for quick runs;
+/// scale = 1 reproduces the benchmark configuration.
+Dataset MakeDataset(const std::string& name, double scale = 1.0);
+
+/// Serialises a dataset (graph in the binary format of graph/io.h, plus
+/// the planted ground truth) to `path` / loads it back. Returns false on
+/// any I/O or format error. Used by the benchmark harness to avoid
+/// regenerating the large datasets in every figure binary.
+bool SaveDataset(const Dataset& dataset, const std::string& path);
+bool LoadDataset(const std::string& path, Dataset* dataset);
+
+}  // namespace mlcore
+
+#endif  // MLCORE_GRAPH_DATASETS_H_

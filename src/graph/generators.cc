@@ -1,0 +1,130 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/graph_builder.h"
+#include "util/rng.h"
+
+namespace mlcore {
+
+namespace {
+
+// Samples `count` distinct vertices, drawing a `hub_fraction` share from the
+// first `hub_pool` ids and the rest uniformly, then sorts the result.
+VertexSet SampleCommunityVertices(int32_t n, int count, int32_t hub_pool,
+                                  double hub_fraction, Rng& rng) {
+  std::vector<bool> used(static_cast<size_t>(n), false);
+  VertexSet out;
+  out.reserve(static_cast<size_t>(count));
+  int guard = 0;
+  while (static_cast<int>(out.size()) < count && guard < count * 50) {
+    ++guard;
+    VertexId v;
+    if (rng.Bernoulli(hub_fraction) && hub_pool > 0) {
+      v = static_cast<VertexId>(rng.Uniform(0, hub_pool - 1));
+    } else {
+      v = static_cast<VertexId>(rng.Uniform(0, n - 1));
+    }
+    if (!used[static_cast<size_t>(v)]) {
+      used[static_cast<size_t>(v)] = true;
+      out.push_back(v);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+LayerSet SampleLayerSubset(int32_t l, int min_size, Rng& rng) {
+  auto size = static_cast<int>(rng.Uniform(min_size, l));
+  std::vector<LayerId> ids(static_cast<size_t>(l));
+  std::iota(ids.begin(), ids.end(), 0);
+  std::shuffle(ids.begin(), ids.end(), rng.engine());
+  ids.resize(static_cast<size_t>(size));
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+}  // namespace
+
+PlantedGraph GeneratePlanted(const PlantedGraphConfig& config) {
+  MLCORE_CHECK(config.num_vertices > 0);
+  MLCORE_CHECK(config.num_layers > 0);
+  MLCORE_CHECK(config.community_size_min >= 2);
+  MLCORE_CHECK(config.community_size_max >= config.community_size_min);
+
+  Rng rng(config.seed);
+  GraphBuilder builder(config.num_vertices, config.num_layers);
+  PlantedGraph result;
+
+  const int32_t hub_pool = std::max<int32_t>(config.num_vertices / 10, 1);
+
+  // Plant communities.
+  for (int c = 0; c < config.num_communities; ++c) {
+    PlantedCommunity community;
+    auto size = static_cast<int>(
+        rng.Uniform(config.community_size_min, config.community_size_max));
+    size = std::min<int>(size, config.num_vertices);
+    const bool all_layers = rng.Bernoulli(config.all_layers_fraction);
+    if (all_layers && config.all_layers_size_cap > 0) {
+      size = std::min(size, config.all_layers_size_cap);
+    }
+    community.vertices = SampleCommunityVertices(
+        config.num_vertices, size, hub_pool, config.hub_overlap_fraction, rng);
+    if (all_layers) {
+      community.layers = LayerSet(static_cast<size_t>(config.num_layers));
+      std::iota(community.layers.begin(), community.layers.end(), 0);
+    } else {
+      community.layers = SampleLayerSubset(
+          config.num_layers,
+          std::min(config.community_layers_min, config.num_layers), rng);
+    }
+    community.internal_prob =
+        config.internal_prob_min +
+        rng.UniformReal() *
+            (config.internal_prob_max - config.internal_prob_min);
+
+    for (size_t i = 0; i < community.vertices.size(); ++i) {
+      for (size_t j = i + 1; j < community.vertices.size(); ++j) {
+        for (LayerId layer : community.layers) {
+          if (rng.Bernoulli(community.internal_prob)) {
+            builder.AddEdge(layer, community.vertices[i],
+                            community.vertices[j]);
+          }
+        }
+      }
+    }
+    result.communities.push_back(std::move(community));
+  }
+
+  // Background noise: heavy-tailed endpoint selection per layer.
+  const auto bg_edges = static_cast<int64_t>(
+      config.background_avg_degree * config.num_vertices / 2.0);
+  for (LayerId layer = 0; layer < config.num_layers; ++layer) {
+    for (int64_t e = 0; e < bg_edges; ++e) {
+      auto u = static_cast<VertexId>(
+          rng.SkewedIndex(config.num_vertices, config.background_skew));
+      auto v = static_cast<VertexId>(rng.Uniform(0, config.num_vertices - 1));
+      builder.AddEdge(layer, u, v);
+    }
+  }
+
+  result.graph = builder.Build();
+  return result;
+}
+
+MultiLayerGraph GenerateErdosRenyi(int32_t num_vertices, int32_t num_layers,
+                                   double p, uint64_t seed) {
+  Rng rng(seed);
+  GraphBuilder builder(num_vertices, num_layers);
+  for (LayerId layer = 0; layer < num_layers; ++layer) {
+    for (VertexId u = 0; u < num_vertices; ++u) {
+      for (VertexId v = u + 1; v < num_vertices; ++v) {
+        if (rng.Bernoulli(p)) builder.AddEdge(layer, u, v);
+      }
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace mlcore

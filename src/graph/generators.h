@@ -1,0 +1,74 @@
+#ifndef MLCORE_GRAPH_GENERATORS_H_
+#define MLCORE_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/multilayer_graph.h"
+
+namespace mlcore {
+
+/// A dense vertex group planted by the synthetic generator. On every layer
+/// in `layers` each internal vertex pair is connected with probability
+/// `internal_prob`, so the group forms a d-CC-like structure for d up to
+/// roughly `internal_prob * (|vertices| - 1)`.
+struct PlantedCommunity {
+  VertexSet vertices;   // sorted
+  LayerSet layers;      // sorted; layers on which the community is dense
+  double internal_prob = 0.5;
+};
+
+/// Configuration of the planted multi-layer community model used to stand in
+/// for the paper's real-world datasets (see DESIGN.md §5). The model
+/// reproduces the drivers of the DCCS algorithms' behaviour: overlapping
+/// dense cores recurring on layer subsets, heavy-tailed sparse background,
+/// and per-layer d-cores that are small relative to |V|.
+struct PlantedGraphConfig {
+  int32_t num_vertices = 1000;
+  int32_t num_layers = 8;
+
+  int num_communities = 12;
+  int community_size_min = 12;
+  int community_size_max = 40;
+  /// Fraction of communities active on *all* layers (keeps F_{d,s} non-empty
+  /// even for s = l, which the large-s experiments sweep over).
+  double all_layers_fraction = 0.15;
+  /// Size cap for all-layer communities (0 = community_size_max). The
+  /// paper's large graphs have tiny cores at s close to l (Fig 17 covers of
+  /// 10^0–10^3 on Stack); capping keeps the stand-ins in that regime.
+  int all_layers_size_cap = 0;
+  /// Other communities are active on a uniform-size random layer subset of
+  /// at least this many layers.
+  int community_layers_min = 2;
+  double internal_prob_min = 0.45;
+  double internal_prob_max = 0.75;
+  /// Fraction of community vertices drawn from a shared "hub pool"
+  /// (|pool| = num_vertices / 10); creates the heavy overlap between d-CCs
+  /// that motivates diversified search (paper §I).
+  double hub_overlap_fraction = 0.4;
+
+  /// Average background degree per layer (Erdős–Rényi-like with skewed
+  /// endpoint selection, producing a heavy-tailed degree sequence).
+  double background_avg_degree = 2.0;
+  double background_skew = 0.35;
+
+  uint64_t seed = 1;
+};
+
+struct PlantedGraph {
+  MultiLayerGraph graph;
+  std::vector<PlantedCommunity> communities;
+};
+
+/// Generates a multi-layer graph from the planted community model.
+/// Deterministic for a fixed config (including seed).
+PlantedGraph GeneratePlanted(const PlantedGraphConfig& config);
+
+/// Plain multi-layer Erdős–Rényi graph: every pair appears on every layer
+/// independently with probability `p`. Used by randomized unit tests.
+MultiLayerGraph GenerateErdosRenyi(int32_t num_vertices, int32_t num_layers,
+                                   double p, uint64_t seed);
+
+}  // namespace mlcore
+
+#endif  // MLCORE_GRAPH_GENERATORS_H_

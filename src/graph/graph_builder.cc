@@ -1,0 +1,66 @@
+#include "graph/graph_builder.h"
+
+#include <algorithm>
+
+namespace mlcore {
+
+GraphBuilder::GraphBuilder(int32_t num_vertices, int32_t num_layers)
+    : num_vertices_(num_vertices),
+      num_layers_(num_layers),
+      edges_(static_cast<size_t>(num_layers)) {
+  MLCORE_CHECK(num_vertices >= 0);
+  MLCORE_CHECK(num_layers >= 1);
+}
+
+void GraphBuilder::AddEdge(LayerId layer, VertexId u, VertexId v) {
+  MLCORE_CHECK(layer >= 0 && layer < num_layers_);
+  MLCORE_CHECK(u >= 0 && u < num_vertices_);
+  MLCORE_CHECK(v >= 0 && v < num_vertices_);
+  if (u == v) return;
+  if (u > v) std::swap(u, v);
+  edges_[static_cast<size_t>(layer)].emplace_back(u, v);
+}
+
+void GraphBuilder::AddEdgeOnLayers(const LayerSet& layers, VertexId u,
+                                   VertexId v) {
+  for (LayerId layer : layers) AddEdge(layer, u, v);
+}
+
+MultiLayerGraph GraphBuilder::Build() const {
+  MultiLayerGraph graph;
+  graph.num_vertices_ = num_vertices_;
+  graph.layers_.resize(static_cast<size_t>(num_layers_));
+  std::vector<std::pair<VertexId, VertexId>> dedup;
+  for (LayerId layer = 0; layer < num_layers_; ++layer) {
+    dedup = edges_[static_cast<size_t>(layer)];
+    std::sort(dedup.begin(), dedup.end());
+    dedup.erase(std::unique(dedup.begin(), dedup.end()), dedup.end());
+
+    auto& csr = graph.layers_[static_cast<size_t>(layer)];
+    csr.offsets.assign(static_cast<size_t>(num_vertices_) + 1, 0);
+    for (const auto& [u, v] : dedup) {
+      ++csr.offsets[static_cast<size_t>(u) + 1];
+      ++csr.offsets[static_cast<size_t>(v) + 1];
+    }
+    for (int32_t i = 0; i < num_vertices_; ++i) {
+      csr.offsets[static_cast<size_t>(i) + 1] +=
+          csr.offsets[static_cast<size_t>(i)];
+    }
+    csr.neighbors.resize(static_cast<size_t>(csr.offsets.back()));
+    std::vector<int64_t> cursor(csr.offsets.begin(), csr.offsets.end() - 1);
+    for (const auto& [u, v] : dedup) {
+      csr.neighbors[static_cast<size_t>(cursor[static_cast<size_t>(u)]++)] = v;
+      csr.neighbors[static_cast<size_t>(cursor[static_cast<size_t>(v)]++)] = u;
+    }
+    // Insertion order above preserves sortedness for the `u` side but not
+    // the `v` side; sort each list to establish the CSR invariant.
+    for (int32_t i = 0; i < num_vertices_; ++i) {
+      std::sort(
+          csr.neighbors.begin() + csr.offsets[static_cast<size_t>(i)],
+          csr.neighbors.begin() + csr.offsets[static_cast<size_t>(i) + 1]);
+    }
+  }
+  return graph;
+}
+
+}  // namespace mlcore

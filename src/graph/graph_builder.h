@@ -1,0 +1,42 @@
+#ifndef MLCORE_GRAPH_GRAPH_BUILDER_H_
+#define MLCORE_GRAPH_GRAPH_BUILDER_H_
+
+#include <vector>
+
+#include "graph/multilayer_graph.h"
+
+namespace mlcore {
+
+/// Mutable accumulator that produces an immutable `MultiLayerGraph`.
+///
+/// Edges may be added in any order and repeatedly; the builder removes
+/// self-loops and duplicate edges and emits sorted CSR neighbour lists.
+class GraphBuilder {
+ public:
+  /// Creates a builder for a graph with `num_vertices` vertices and
+  /// `num_layers` layers.
+  GraphBuilder(int32_t num_vertices, int32_t num_layers);
+
+  int32_t num_vertices() const { return num_vertices_; }
+  int32_t num_layers() const { return num_layers_; }
+
+  /// Records the undirected edge (u, v) on `layer`. Self-loops are ignored.
+  void AddEdge(LayerId layer, VertexId u, VertexId v);
+
+  /// Records (u, v) on every layer in `layers`.
+  void AddEdgeOnLayers(const LayerSet& layers, VertexId u, VertexId v);
+
+  /// Builds the immutable graph. The builder may be reused afterwards
+  /// (its accumulated edges are retained).
+  MultiLayerGraph Build() const;
+
+ private:
+  int32_t num_vertices_;
+  int32_t num_layers_;
+  // One flat (u, v) pair list per layer; canonicalised u < v.
+  std::vector<std::vector<std::pair<VertexId, VertexId>>> edges_;
+};
+
+}  // namespace mlcore
+
+#endif  // MLCORE_GRAPH_GRAPH_BUILDER_H_

@@ -1,0 +1,154 @@
+#include "graph/io.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "graph/graph_builder.h"
+
+namespace mlcore {
+
+IoStatus LoadMultiLayerGraph(const std::string& path, MultiLayerGraph* graph) {
+  std::ifstream in(path);
+  if (!in) return IoStatus::Error("cannot open " + path);
+
+  std::string line;
+  long long n = -1, l = -1;
+  GraphBuilder* builder = nullptr;
+  GraphBuilder storage(0, 1);
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    if (n < 0) {
+      std::string tag;
+      ss >> tag >> n >> l;
+      if (tag != "n" || n < 0 || l < 1) {
+        return IoStatus::Error(path + ":" + std::to_string(line_no) +
+                               ": expected header 'n <vertices> <layers>'");
+      }
+      storage = GraphBuilder(static_cast<int32_t>(n), static_cast<int32_t>(l));
+      builder = &storage;
+      continue;
+    }
+    long long layer, u, v;
+    if (!(ss >> layer >> u >> v)) {
+      return IoStatus::Error(path + ":" + std::to_string(line_no) +
+                             ": expected '<layer> <u> <v>'");
+    }
+    if (layer < 0 || layer >= l || u < 0 || u >= n || v < 0 || v >= n) {
+      return IoStatus::Error(path + ":" + std::to_string(line_no) +
+                             ": id out of range");
+    }
+    builder->AddEdge(static_cast<LayerId>(layer), static_cast<VertexId>(u),
+                     static_cast<VertexId>(v));
+  }
+  if (n < 0) return IoStatus::Error(path + ": missing header line");
+  *graph = builder->Build();
+  return IoStatus::Ok();
+}
+
+namespace {
+
+constexpr char kBinaryMagic[6] = {'M', 'L', 'C', 'B', '1', '\n'};
+
+bool WriteRaw(std::FILE* f, const void* data, size_t bytes) {
+  return std::fwrite(data, 1, bytes, f) == bytes;
+}
+
+bool ReadRaw(std::FILE* f, void* data, size_t bytes) {
+  return std::fread(data, 1, bytes, f) == bytes;
+}
+
+}  // namespace
+
+IoStatus SaveMultiLayerGraphBinary(const MultiLayerGraph& graph,
+                                   const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return IoStatus::Error("cannot open " + path);
+  bool ok = WriteRaw(f, kBinaryMagic, sizeof(kBinaryMagic));
+  const int32_t n = graph.NumVertices();
+  const int32_t l = graph.NumLayers();
+  ok = ok && WriteRaw(f, &n, sizeof(n)) && WriteRaw(f, &l, sizeof(l));
+  std::vector<VertexId> pairs;
+  for (LayerId layer = 0; layer < l && ok; ++layer) {
+    pairs.clear();
+    for (VertexId v = 0; v < n; ++v) {
+      for (VertexId u : graph.Neighbors(layer, v)) {
+        if (v < u) {
+          pairs.push_back(v);
+          pairs.push_back(u);
+        }
+      }
+    }
+    const auto edge_count = static_cast<int64_t>(pairs.size() / 2);
+    ok = ok && WriteRaw(f, &edge_count, sizeof(edge_count)) &&
+         (pairs.empty() ||
+          WriteRaw(f, pairs.data(), pairs.size() * sizeof(VertexId)));
+  }
+  std::fclose(f);
+  if (!ok) return IoStatus::Error("write failure on " + path);
+  return IoStatus::Ok();
+}
+
+IoStatus LoadMultiLayerGraphBinary(const std::string& path,
+                                   MultiLayerGraph* graph) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return IoStatus::Error("cannot open " + path);
+  char magic[sizeof(kBinaryMagic)];
+  int32_t n = 0, l = 0;
+  if (!ReadRaw(f, magic, sizeof(magic)) ||
+      std::memcmp(magic, kBinaryMagic, sizeof(magic)) != 0 ||
+      !ReadRaw(f, &n, sizeof(n)) || !ReadRaw(f, &l, sizeof(l)) || n < 0 ||
+      l < 1) {
+    std::fclose(f);
+    return IoStatus::Error(path + ": not an mlcore binary graph");
+  }
+  GraphBuilder builder(n, l);
+  std::vector<VertexId> pairs;
+  for (LayerId layer = 0; layer < l; ++layer) {
+    int64_t edge_count = 0;
+    if (!ReadRaw(f, &edge_count, sizeof(edge_count)) || edge_count < 0) {
+      std::fclose(f);
+      return IoStatus::Error(path + ": truncated layer header");
+    }
+    pairs.resize(static_cast<size_t>(edge_count) * 2);
+    if (!pairs.empty() &&
+        !ReadRaw(f, pairs.data(), pairs.size() * sizeof(VertexId))) {
+      std::fclose(f);
+      return IoStatus::Error(path + ": truncated edge data");
+    }
+    for (size_t e = 0; e + 1 < pairs.size(); e += 2) {
+      if (pairs[e] < 0 || pairs[e] >= n || pairs[e + 1] < 0 ||
+          pairs[e + 1] >= n) {
+        std::fclose(f);
+        return IoStatus::Error(path + ": vertex id out of range");
+      }
+      builder.AddEdge(layer, pairs[e], pairs[e + 1]);
+    }
+  }
+  std::fclose(f);
+  *graph = builder.Build();
+  return IoStatus::Ok();
+}
+
+IoStatus SaveMultiLayerGraph(const MultiLayerGraph& graph,
+                             const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return IoStatus::Error("cannot open " + path + " for writing");
+  out << "# mlcore multi-layer edge list\n";
+  out << "n " << graph.NumVertices() << " " << graph.NumLayers() << "\n";
+  for (LayerId layer = 0; layer < graph.NumLayers(); ++layer) {
+    for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+      for (VertexId u : graph.Neighbors(layer, v)) {
+        if (v < u) out << layer << " " << v << " " << u << "\n";
+      }
+    }
+  }
+  if (!out) return IoStatus::Error("write failure on " + path);
+  return IoStatus::Ok();
+}
+
+}  // namespace mlcore

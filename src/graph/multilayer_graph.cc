@@ -1,0 +1,128 @@
+#include "graph/multilayer_graph.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace mlcore {
+
+bool MultiLayerGraph::HasEdge(LayerId layer, VertexId u, VertexId v) const {
+  auto nbrs = Neighbors(layer, u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+int64_t MultiLayerGraph::TotalEdges() const {
+  int64_t total = 0;
+  for (LayerId i = 0; i < NumLayers(); ++i) total += NumEdges(i);
+  return total;
+}
+
+int64_t MultiLayerGraph::DistinctEdges() const {
+  // Merge the per-layer neighbour lists of every vertex and count distinct
+  // higher-id endpoints. Avoids hashing all edges at once.
+  int64_t distinct = 0;
+  std::vector<VertexId> merged;
+  for (VertexId v = 0; v < num_vertices_; ++v) {
+    merged.clear();
+    for (LayerId i = 0; i < NumLayers(); ++i) {
+      for (VertexId u : Neighbors(i, v)) {
+        if (u > v) merged.push_back(u);
+      }
+    }
+    std::sort(merged.begin(), merged.end());
+    merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+    distinct += static_cast<int64_t>(merged.size());
+  }
+  return distinct;
+}
+
+MultiLayerGraph MultiLayerGraph::InducedSubgraph(
+    const VertexSet& vertices, std::vector<VertexId>* old_ids) const {
+  MLCORE_DCHECK(std::is_sorted(vertices.begin(), vertices.end()));
+  const auto sub_n = static_cast<int32_t>(vertices.size());
+  // Dense old-id -> new-id map; -1 marks "not in subgraph".
+  std::vector<VertexId> new_id(static_cast<size_t>(num_vertices_), -1);
+  for (int32_t i = 0; i < sub_n; ++i) {
+    new_id[static_cast<size_t>(vertices[static_cast<size_t>(i)])] = i;
+  }
+
+  MultiLayerGraph sub;
+  sub.num_vertices_ = sub_n;
+  sub.layers_.resize(layers_.size());
+  for (LayerId layer = 0; layer < NumLayers(); ++layer) {
+    Csr& csr = sub.layers_[static_cast<size_t>(layer)];
+    csr.offsets.assign(static_cast<size_t>(sub_n) + 1, 0);
+    // First pass: count surviving neighbours.
+    for (int32_t i = 0; i < sub_n; ++i) {
+      int64_t cnt = 0;
+      for (VertexId u : Neighbors(layer, vertices[static_cast<size_t>(i)])) {
+        if (new_id[static_cast<size_t>(u)] >= 0) ++cnt;
+      }
+      csr.offsets[static_cast<size_t>(i) + 1] = cnt;
+    }
+    for (int32_t i = 0; i < sub_n; ++i) {
+      csr.offsets[static_cast<size_t>(i) + 1] +=
+          csr.offsets[static_cast<size_t>(i)];
+    }
+    csr.neighbors.resize(static_cast<size_t>(csr.offsets.back()));
+    // Second pass: fill. Source lists are sorted by old id, and new ids are
+    // assigned in old-id order, so output lists are sorted as well.
+    for (int32_t i = 0; i < sub_n; ++i) {
+      int64_t pos = csr.offsets[static_cast<size_t>(i)];
+      for (VertexId u : Neighbors(layer, vertices[static_cast<size_t>(i)])) {
+        VertexId nu = new_id[static_cast<size_t>(u)];
+        if (nu >= 0) csr.neighbors[static_cast<size_t>(pos++)] = nu;
+      }
+    }
+  }
+  if (old_ids != nullptr) *old_ids = vertices;
+  return sub;
+}
+
+MultiLayerGraph MultiLayerGraph::SelectLayers(const LayerSet& layers) const {
+  MultiLayerGraph out;
+  out.num_vertices_ = num_vertices_;
+  out.layers_.reserve(layers.size());
+  for (LayerId layer : layers) {
+    MLCORE_CHECK(layer >= 0 && layer < NumLayers());
+    out.layers_.push_back(layers_[static_cast<size_t>(layer)]);
+  }
+  return out;
+}
+
+VertexSet AllVertices(const MultiLayerGraph& graph) {
+  VertexSet all(static_cast<size_t>(graph.NumVertices()));
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    all[static_cast<size_t>(v)] = v;
+  }
+  return all;
+}
+
+LayerSet AllLayers(const MultiLayerGraph& graph) {
+  LayerSet all(static_cast<size_t>(graph.NumLayers()));
+  for (LayerId i = 0; i < graph.NumLayers(); ++i) {
+    all[static_cast<size_t>(i)] = i;
+  }
+  return all;
+}
+
+VertexSet IntersectSorted(const VertexSet& a, const VertexSet& b) {
+  VertexSet out;
+  out.reserve(std::min(a.size(), b.size()));
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+VertexSet UnionSorted(const VertexSet& a, const VertexSet& b) {
+  VertexSet out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+bool IsSubsetSorted(const VertexSet& a, const VertexSet& b) {
+  return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+}  // namespace mlcore

@@ -1,0 +1,109 @@
+#ifndef MLCORE_GRAPH_MULTILAYER_GRAPH_H_
+#define MLCORE_GRAPH_MULTILAYER_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/check.h"
+
+namespace mlcore {
+
+/// Vertex identifier in [0, NumVertices()).
+using VertexId = int32_t;
+/// Layer identifier in [0, NumLayers()).
+using LayerId = int32_t;
+
+/// A sorted set of vertex ids. The canonical representation of vertex
+/// subsets (d-cores, d-CCs, candidate scopes) throughout the library.
+using VertexSet = std::vector<VertexId>;
+/// A sorted set of layer ids (the paper's `L ⊆ [l(G)]`).
+using LayerSet = std::vector<LayerId>;
+
+/// Immutable undirected multi-layer graph (paper §II).
+///
+/// All layers share the vertex id space [0, n). Each layer is stored as a
+/// compressed sparse row structure with sorted, duplicate-free neighbour
+/// lists and no self loops. Construct via `GraphBuilder`.
+///
+/// "Removing a vertex from G", as the paper's pseudocode phrases it, is
+/// realised by the algorithms through explicit vertex-subset scoping; the
+/// graph object itself is never mutated, which makes it safe to share
+/// across concurrent searches.
+class MultiLayerGraph {
+ public:
+  MultiLayerGraph() = default;
+
+  int32_t NumVertices() const { return num_vertices_; }
+  int32_t NumLayers() const { return static_cast<int32_t>(layers_.size()); }
+
+  /// Neighbours of `v` on `layer`, sorted ascending.
+  std::span<const VertexId> Neighbors(LayerId layer, VertexId v) const {
+    const Csr& csr = layers_[static_cast<size_t>(layer)];
+    const auto begin = csr.offsets[static_cast<size_t>(v)];
+    const auto end = csr.offsets[static_cast<size_t>(v) + 1];
+    return {csr.neighbors.data() + begin, static_cast<size_t>(end - begin)};
+  }
+
+  /// Degree of `v` on `layer` (the paper's d_{G_i}(v)).
+  int32_t Degree(LayerId layer, VertexId v) const {
+    const Csr& csr = layers_[static_cast<size_t>(layer)];
+    return static_cast<int32_t>(csr.offsets[static_cast<size_t>(v) + 1] -
+                                csr.offsets[static_cast<size_t>(v)]);
+  }
+
+  /// True iff edge (u, v) exists on `layer`. O(log degree).
+  bool HasEdge(LayerId layer, VertexId u, VertexId v) const;
+
+  /// Number of undirected edges on `layer` (|E_i|).
+  int64_t NumEdges(LayerId layer) const {
+    return static_cast<int64_t>(
+               layers_[static_cast<size_t>(layer)].neighbors.size()) /
+           2;
+  }
+
+  /// Sum of per-layer edge counts (the paper's Σ|E(G_i)| statistic).
+  int64_t TotalEdges() const;
+
+  /// Number of distinct edges across layers (the paper's |∪E(G_i)|).
+  /// Computed on demand in O(Σ degree · log l) time.
+  int64_t DistinctEdges() const;
+
+  /// Materialises the multi-layer subgraph induced by `vertices`
+  /// (paper's G[S]) with vertices renumbered to [0, |S|). If `old_ids` is
+  /// non-null it receives the mapping from new id to original id.
+  /// `vertices` must be sorted and duplicate-free.
+  MultiLayerGraph InducedSubgraph(const VertexSet& vertices,
+                                  std::vector<VertexId>* old_ids) const;
+
+  /// Returns a graph containing only the given layers (renumbered to
+  /// [0, |layers|) in the given order). Used by the Fig 27 q-sweep.
+  MultiLayerGraph SelectLayers(const LayerSet& layers) const;
+
+ private:
+  friend class GraphBuilder;
+
+  struct Csr {
+    std::vector<int64_t> offsets;   // size n+1
+    std::vector<VertexId> neighbors;
+  };
+
+  int32_t num_vertices_ = 0;
+  std::vector<Csr> layers_;
+};
+
+/// Returns [0, 1, ..., n-1].
+VertexSet AllVertices(const MultiLayerGraph& graph);
+/// Returns [0, 1, ..., l-1].
+LayerSet AllLayers(const MultiLayerGraph& graph);
+
+/// Intersection of two sorted vertex sets.
+VertexSet IntersectSorted(const VertexSet& a, const VertexSet& b);
+/// Union of two sorted vertex sets.
+VertexSet UnionSorted(const VertexSet& a, const VertexSet& b);
+/// True iff sorted set `a` is a subset of sorted set `b`.
+bool IsSubsetSorted(const VertexSet& a, const VertexSet& b);
+
+}  // namespace mlcore
+
+#endif  // MLCORE_GRAPH_MULTILAYER_GRAPH_H_

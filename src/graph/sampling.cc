@@ -1,0 +1,44 @@
+#include "graph/sampling.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/rng.h"
+
+namespace mlcore {
+
+MultiLayerGraph SampleVertices(const MultiLayerGraph& graph, double p,
+                               uint64_t seed) {
+  MLCORE_CHECK(p > 0.0 && p <= 1.0);
+  if (p >= 1.0) return graph;
+  const auto n = static_cast<size_t>(graph.NumVertices());
+  auto keep_count = static_cast<size_t>(p * static_cast<double>(n));
+  if (keep_count == 0) keep_count = 1;
+
+  std::vector<VertexId> ids(n);
+  std::iota(ids.begin(), ids.end(), 0);
+  Rng rng(seed);
+  std::shuffle(ids.begin(), ids.end(), rng.engine());
+  ids.resize(keep_count);
+  std::sort(ids.begin(), ids.end());
+  return graph.InducedSubgraph(ids, nullptr);
+}
+
+MultiLayerGraph SampleLayers(const MultiLayerGraph& graph, double q,
+                             uint64_t seed) {
+  MLCORE_CHECK(q > 0.0 && q <= 1.0);
+  if (q >= 1.0) return graph;
+  const auto l = static_cast<size_t>(graph.NumLayers());
+  auto keep_count = static_cast<size_t>(q * static_cast<double>(l));
+  if (keep_count == 0) keep_count = 1;
+
+  std::vector<LayerId> ids(l);
+  std::iota(ids.begin(), ids.end(), 0);
+  Rng rng(seed);
+  std::shuffle(ids.begin(), ids.end(), rng.engine());
+  ids.resize(keep_count);
+  std::sort(ids.begin(), ids.end());
+  return graph.SelectLayers(ids);
+}
+
+}  // namespace mlcore

@@ -1,0 +1,22 @@
+#ifndef MLCORE_GRAPH_SAMPLING_H_
+#define MLCORE_GRAPH_SAMPLING_H_
+
+#include <cstdint>
+
+#include "graph/multilayer_graph.h"
+
+namespace mlcore {
+
+/// Induced subgraph on a uniformly random fraction `p` of the vertices
+/// (paper §VI scalability parameter p). Deterministic for a fixed seed.
+MultiLayerGraph SampleVertices(const MultiLayerGraph& graph, double p,
+                               uint64_t seed);
+
+/// Restriction to a uniformly random fraction `q` of the layers
+/// (paper §VI scalability parameter q). Deterministic for a fixed seed.
+MultiLayerGraph SampleLayers(const MultiLayerGraph& graph, double q,
+                             uint64_t seed);
+
+}  // namespace mlcore
+
+#endif  // MLCORE_GRAPH_SAMPLING_H_

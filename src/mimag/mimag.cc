@@ -1,0 +1,307 @@
+#include "mimag/mimag.h"
+
+#include <algorithm>
+
+#include "mimag/quasi_clique.h"
+#include "util/bitset.h"
+#include "util/check.h"
+#include "util/timing.h"
+
+namespace mlcore {
+
+namespace {
+
+class Miner {
+ public:
+  Miner(const MultiLayerGraph& graph, const MimagParams& params,
+        MimagResult& result)
+      : graph_(graph), params_(params), result_(result) {}
+
+  void Run() {
+    const int32_t n = graph_.NumVertices();
+    // Visit seeds in descending total-degree order: dense regions carry the
+    // quasi-cliques, so they should consume the node budget first. The
+    // subsets enumerated under a seed are fixed by vertex id, so the seed
+    // visiting order does not affect which subsets exist — only which are
+    // reached before the budget runs out.
+    std::vector<VertexId> seeds(static_cast<size_t>(n));
+    for (VertexId v = 0; v < n; ++v) seeds[static_cast<size_t>(v)] = v;
+    std::stable_sort(seeds.begin(), seeds.end(), [&](VertexId a, VertexId b) {
+      int64_t da = 0, db = 0;
+      for (LayerId layer = 0; layer < graph_.NumLayers(); ++layer) {
+        da += graph_.Degree(layer, a);
+        db += graph_.Degree(layer, b);
+      }
+      return da > db;
+    });
+    for (VertexId seed : seeds) {
+      if (result_.budget_exhausted) break;
+      VertexSet candidates = SeedCandidates(seed);
+      if (static_cast<int>(candidates.size()) + 1 < params_.min_size) {
+        continue;
+      }
+      seed_nodes_ = 0;
+      seed_budget_hit_ = false;
+      VertexSet q = {seed};
+      Dfs(q, candidates);
+    }
+  }
+
+ private:
+  // Candidates for subsets seeded at `seed`: vertices with larger id lying
+  // within distance 2 of the seed on at least `min_support` layers — the
+  // diameter bound of ref [11] for γ ≥ 0.5.
+  VertexSet SeedCandidates(VertexId seed) {
+    const auto n = static_cast<size_t>(graph_.NumVertices());
+    std::vector<int> hop_support(n, 0);
+    Bitset two_hop(n);
+    for (LayerId layer = 0; layer < graph_.NumLayers(); ++layer) {
+      two_hop.Reset();
+      for (VertexId u : graph_.Neighbors(layer, seed)) {
+        two_hop.Set(static_cast<size_t>(u));
+        for (VertexId w : graph_.Neighbors(layer, u)) {
+          two_hop.Set(static_cast<size_t>(w));
+        }
+      }
+      for (size_t v = 0; v < n; ++v) {
+        if (two_hop.Test(v)) ++hop_support[v];
+      }
+    }
+    VertexSet candidates;
+    for (VertexId v = seed + 1; v < graph_.NumVertices(); ++v) {
+      if (hop_support[static_cast<size_t>(v)] >= params_.min_support) {
+        candidates.push_back(v);
+      }
+    }
+    return candidates;
+  }
+
+  void Dfs(VertexSet& q, const VertexSet& candidates) {
+    if (++result_.nodes_explored > params_.max_nodes) {
+      result_.budget_exhausted = true;
+      return;
+    }
+    if (++seed_nodes_ > params_.max_nodes_per_seed) {
+      seed_budget_hit_ = true;
+      return;
+    }
+
+    const auto size = static_cast<int>(q.size());
+    if (size >= params_.min_size) {
+      LayerSet support = SupportingLayers(graph_, q, params_.gamma);
+      if (static_cast<int>(support.size()) >= params_.min_support &&
+          IsLocallyMaximal(q, candidates)) {
+        raw_.push_back(MimagCluster{q, std::move(support)});
+        ++result_.raw_clusters;
+      }
+    }
+    if (candidates.empty()) return;
+    if (size + static_cast<int>(candidates.size()) < params_.min_size) {
+      return;
+    }
+
+    // Layer liveness + candidate filtering, iterated to a fixpoint: on a
+    // live layer every current member can still reach the degree demanded
+    // by any strict superset (threshold ⌈γ|Q|⌉, since |Q'| ≥ |Q| + 1), and
+    // every surviving candidate must itself meet that threshold on at
+    // least min_support live layers. Dropping candidates shrinks Q ∪ C,
+    // which can kill more layers, hence the loop.
+    const int extension_threshold =
+        QuasiCliqueDegreeThreshold(params_.gamma, size + 1);
+    VertexSet filtered = candidates;
+    LayerSet alive;
+    while (true) {
+      VertexSet q_and_c = UnionSorted(q, filtered);
+      alive.clear();
+      for (LayerId layer = 0; layer < graph_.NumLayers(); ++layer) {
+        bool ok = true;
+        for (VertexId v : q) {
+          if (InternalDegree(graph_, layer, v, q_and_c) <
+              extension_threshold) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) alive.push_back(layer);
+      }
+      if (static_cast<int>(alive.size()) < params_.min_support) return;
+
+      VertexSet next;
+      next.reserve(filtered.size());
+      for (VertexId u : filtered) {
+        int viable_layers = 0;
+        for (LayerId layer : alive) {
+          if (InternalDegree(graph_, layer, u, q_and_c) >=
+              extension_threshold) {
+            ++viable_layers;
+          }
+        }
+        if (viable_layers >= params_.min_support) next.push_back(u);
+      }
+      if (next.size() == filtered.size()) break;
+      filtered = std::move(next);
+      if (size + static_cast<int>(filtered.size()) < params_.min_size) {
+        return;
+      }
+    }
+
+    for (size_t i = 0; i < filtered.size(); ++i) {
+      if (result_.budget_exhausted || seed_budget_hit_) return;
+      VertexSet rest(filtered.begin() + static_cast<long>(i) + 1,
+                     filtered.end());
+      // Keep q sorted across the recursion (vertices are added in
+      // increasing id order by construction).
+      q.push_back(filtered[i]);
+      Dfs(q, rest);
+      q.pop_back();
+    }
+  }
+
+  bool IsLocallyMaximal(const VertexSet& q, const VertexSet& candidates) {
+    // Cap the lookahead; over-recording is cleaned by the redundancy
+    // filter, while an unbounded scan dominates node cost on hub vertices.
+    constexpr size_t kMaxLookahead = 128;
+    if (candidates.size() > kMaxLookahead) return true;
+    for (VertexId u : candidates) {
+      VertexSet extended = q;
+      extended.insert(
+          std::upper_bound(extended.begin(), extended.end(), u), u);
+      if (static_cast<int>(
+              SupportingLayers(graph_, extended, params_.gamma).size()) >=
+          params_.min_support) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+ public:
+  std::vector<MimagCluster> raw_;
+
+ private:
+  const MultiLayerGraph& graph_;
+  const MimagParams& params_;
+  MimagResult& result_;
+  int64_t seed_nodes_ = 0;
+  bool seed_budget_hit_ = false;
+};
+
+}  // namespace
+
+VertexSet MimagResult::Cover() const {
+  VertexSet cover;
+  for (const auto& cluster : clusters) {
+    cover = UnionSorted(cover, cluster.vertices);
+  }
+  return cover;
+}
+
+namespace {
+
+// Greedily extends a quasi-clique to maximality: repeatedly add the vertex
+// that keeps Q a γ-quasi-clique on the most layers, as long as the support
+// stays ≥ min_support. Real MiMAG reports maximal clusters; the budgeted
+// set-enumeration finds (possibly non-maximal) witnesses deep in dense
+// regions, and this pass grows them to the maximal clusters it would have
+// reported.
+void MaximalizeCluster(const MultiLayerGraph& graph,
+                       const MimagParams& params, MimagCluster* cluster) {
+  while (true) {
+    VertexId best_vertex = -1;
+    // Accept any extension that stays above the support threshold,
+    // preferring the one preserving the most layers.
+    auto best_support = static_cast<size_t>(params.min_support - 1);
+    // Candidates: neighbours of the cluster on any supporting layer.
+    VertexSet candidates;
+    for (LayerId layer : cluster->layers) {
+      for (VertexId v : cluster->vertices) {
+        for (VertexId u : graph.Neighbors(layer, v)) {
+          candidates.push_back(u);
+        }
+      }
+    }
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+    for (VertexId u : candidates) {
+      if (std::binary_search(cluster->vertices.begin(),
+                             cluster->vertices.end(), u)) {
+        continue;
+      }
+      VertexSet extended = cluster->vertices;
+      extended.insert(
+          std::upper_bound(extended.begin(), extended.end(), u), u);
+      LayerSet support = SupportingLayers(graph, extended, params.gamma);
+      if (support.size() > best_support) {
+        best_support = support.size();
+        best_vertex = u;
+      }
+    }
+    if (best_vertex < 0) return;
+    cluster->vertices.insert(
+        std::upper_bound(cluster->vertices.begin(), cluster->vertices.end(),
+                         best_vertex),
+        best_vertex);
+    cluster->layers =
+        SupportingLayers(graph, cluster->vertices, params.gamma);
+  }
+}
+
+}  // namespace
+
+MimagResult MineMimag(const MultiLayerGraph& graph,
+                      const MimagParams& params) {
+  MLCORE_CHECK(params.gamma >= 0.0 && params.gamma <= 1.0);
+  MLCORE_CHECK(params.min_size >= 2);
+  WallTimer timer;
+  MimagResult result;
+  Miner miner(graph, params, result);
+  miner.Run();
+
+  // Diversified output: rank witnesses by quality (size, then support),
+  // drop those mostly covered by better ones (MiMAG's redundancy filter),
+  // then grow each survivor to a maximal cluster. Maximalising only the
+  // diversified survivors keeps the post-processing linear in the output
+  // size rather than in the (much larger) witness count.
+  std::stable_sort(miner.raw_.begin(), miner.raw_.end(),
+                   [](const MimagCluster& a, const MimagCluster& b) {
+                     if (a.vertices.size() != b.vertices.size()) {
+                       return a.vertices.size() > b.vertices.size();
+                     }
+                     return a.layers.size() > b.layers.size();
+                   });
+  Bitset covered(static_cast<size_t>(graph.NumVertices()));
+  for (auto& cluster : miner.raw_) {
+    int64_t overlap = 0;
+    for (VertexId v : cluster.vertices) {
+      if (covered.Test(static_cast<size_t>(v))) ++overlap;
+    }
+    if (static_cast<double>(overlap) >
+        params.redundancy_threshold *
+            static_cast<double>(cluster.vertices.size())) {
+      continue;
+    }
+    MaximalizeCluster(graph, params, &cluster);
+    for (VertexId v : cluster.vertices) covered.Set(static_cast<size_t>(v));
+    result.clusters.push_back(std::move(cluster));
+  }
+  // Maximalisation can merge survivors into identical clusters; dedupe.
+  std::sort(result.clusters.begin(), result.clusters.end(),
+            [](const MimagCluster& a, const MimagCluster& b) {
+              return a.vertices < b.vertices;
+            });
+  result.clusters.erase(
+      std::unique(result.clusters.begin(), result.clusters.end(),
+                  [](const MimagCluster& a, const MimagCluster& b) {
+                    return a.vertices == b.vertices;
+                  }),
+      result.clusters.end());
+  std::stable_sort(result.clusters.begin(), result.clusters.end(),
+                   [](const MimagCluster& a, const MimagCluster& b) {
+                     return a.vertices.size() > b.vertices.size();
+                   });
+  result.seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace mlcore

@@ -1,0 +1,61 @@
+#ifndef MLCORE_MIMAG_MIMAG_H_
+#define MLCORE_MIMAG_MIMAG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/multilayer_graph.h"
+
+namespace mlcore {
+
+/// Parameters of the cross-graph quasi-clique miner (the paper's MiMAG
+/// comparator, ref [4]; see DESIGN.md §5 for the substitution rationale).
+struct MimagParams {
+  /// Quasi-clique density γ ∈ [0, 1]. The paper's comparison uses 0.8.
+  double gamma = 0.8;
+  /// Minimum cluster size (the paper's d′; set to d + 1 in Fig 29).
+  int min_size = 5;
+  /// Minimum number of supporting layers (same s as DCCS).
+  int min_support = 4;
+  /// Diversified-output redundancy threshold: a cluster is kept only if at
+  /// most this fraction of its vertices is already covered by previously
+  /// kept (higher-quality) clusters.
+  double redundancy_threshold = 0.5;
+  /// Global branch-and-bound node budget; exploration stops (and reports
+  /// `budget_exhausted`) past it. MiMAG's set-enumeration tree has 2^|V|
+  /// nodes (paper §VI), so a safety valve is mandatory on larger inputs.
+  int64_t max_nodes = 2'000'000;
+  /// Per-seed budget: caps the subtree explored from any single seed vertex
+  /// so one dense region cannot starve the rest of the graph.
+  int64_t max_nodes_per_seed = 4'000;
+};
+
+/// A mined cross-graph quasi-clique: the vertex set and its supporting
+/// layers.
+struct MimagCluster {
+  VertexSet vertices;
+  LayerSet layers;
+};
+
+struct MimagResult {
+  /// Diversified (redundancy-filtered) clusters, best quality first.
+  std::vector<MimagCluster> clusters;
+  /// Locally-maximal qualifying quasi-cliques found before diversification.
+  int64_t raw_clusters = 0;
+  int64_t nodes_explored = 0;
+  bool budget_exhausted = false;
+  double seconds = 0.0;
+
+  /// Union of all cluster vertex sets (Cov(R_Q) in the paper's metrics).
+  VertexSet Cover() const;
+};
+
+/// Mines diversified cross-graph γ-quasi-cliques recurring on at least
+/// `min_support` layers, via set-enumeration branch-and-bound with
+/// per-layer degree-bound pruning and a diameter-2 candidate restriction
+/// (valid for γ ≥ 0.5, ref [11]).
+MimagResult MineMimag(const MultiLayerGraph& graph, const MimagParams& params);
+
+}  // namespace mlcore
+
+#endif  // MLCORE_MIMAG_MIMAG_H_

@@ -1,0 +1,47 @@
+#include "mimag/quasi_clique.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mlcore {
+
+int QuasiCliqueDegreeThreshold(double gamma, int size) {
+  // ⌈γ(size−1)⌉ with a tolerance so that e.g. γ=0.8, size=6 → 4 exactly.
+  return static_cast<int>(std::ceil(gamma * (size - 1) - 1e-9));
+}
+
+int InternalDegree(const MultiLayerGraph& graph, LayerId layer, VertexId v,
+                   const VertexSet& q) {
+  int degree = 0;
+  auto nbrs = graph.Neighbors(layer, v);
+  // Merge-count the two sorted sequences.
+  auto it = q.begin();
+  for (VertexId u : nbrs) {
+    while (it != q.end() && *it < u) ++it;
+    if (it == q.end()) break;
+    if (*it == u) ++degree;
+  }
+  return degree;
+}
+
+bool IsQuasiClique(const MultiLayerGraph& graph, LayerId layer,
+                   const VertexSet& q, double gamma) {
+  if (q.size() <= 1) return true;
+  const int threshold =
+      QuasiCliqueDegreeThreshold(gamma, static_cast<int>(q.size()));
+  for (VertexId v : q) {
+    if (InternalDegree(graph, layer, v, q) < threshold) return false;
+  }
+  return true;
+}
+
+LayerSet SupportingLayers(const MultiLayerGraph& graph, const VertexSet& q,
+                          double gamma) {
+  LayerSet layers;
+  for (LayerId layer = 0; layer < graph.NumLayers(); ++layer) {
+    if (IsQuasiClique(graph, layer, q, gamma)) layers.push_back(layer);
+  }
+  return layers;
+}
+
+}  // namespace mlcore

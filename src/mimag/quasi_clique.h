@@ -1,0 +1,27 @@
+#ifndef MLCORE_MIMAG_QUASI_CLIQUE_H_
+#define MLCORE_MIMAG_QUASI_CLIQUE_H_
+
+#include "graph/multilayer_graph.h"
+
+namespace mlcore {
+
+/// Smallest integer degree satisfying the γ-quasi-clique constraint for a
+/// vertex set of size `size`: ⌈γ·(size − 1)⌉ (paper §I: each vertex adjacent
+/// to at least γ(|Q|−1) vertices of Q).
+int QuasiCliqueDegreeThreshold(double gamma, int size);
+
+/// Number of neighbours of `v` inside sorted set `q` on `layer`.
+int InternalDegree(const MultiLayerGraph& graph, LayerId layer, VertexId v,
+                   const VertexSet& q);
+
+/// True iff sorted set `q` is a γ-quasi-clique on `layer`.
+bool IsQuasiClique(const MultiLayerGraph& graph, LayerId layer,
+                   const VertexSet& q, double gamma);
+
+/// Layers of `graph` on which `q` is a γ-quasi-clique, sorted.
+LayerSet SupportingLayers(const MultiLayerGraph& graph, const VertexSet& q,
+                          double gamma);
+
+}  // namespace mlcore
+
+#endif  // MLCORE_MIMAG_QUASI_CLIQUE_H_

@@ -1,0 +1,100 @@
+#ifndef MLCORE_UTIL_BITSET_H_
+#define MLCORE_UTIL_BITSET_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace mlcore {
+
+/// Fixed-capacity dynamic bitset with word-level set operations.
+///
+/// Used pervasively as the membership-test companion of sorted vertex-id
+/// vectors: algorithms keep vertex subsets as sorted `std::vector<int>` for
+/// iteration and as a `Bitset` for O(1) membership and O(n/64) intersection.
+class Bitset {
+ public:
+  Bitset() = default;
+  explicit Bitset(size_t n) : n_(n), words_((n + 63) / 64, 0) {}
+
+  void Resize(size_t n) {
+    n_ = n;
+    words_.assign((n + 63) / 64, 0);
+  }
+
+  size_t size() const { return n_; }
+
+  void Set(size_t i) {
+    MLCORE_DCHECK(i < n_);
+    words_[i >> 6] |= (uint64_t{1} << (i & 63));
+  }
+
+  void Clear(size_t i) {
+    MLCORE_DCHECK(i < n_);
+    words_[i >> 6] &= ~(uint64_t{1} << (i & 63));
+  }
+
+  bool Test(size_t i) const {
+    MLCORE_DCHECK(i < n_);
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  void Reset() { std::fill(words_.begin(), words_.end(), uint64_t{0}); }
+
+  /// Sets every bit in [0, size()).
+  void SetAll() {
+    std::fill(words_.begin(), words_.end(), ~uint64_t{0});
+    TrimTail();
+  }
+
+  /// this &= other. Both bitsets must have the same size.
+  void IntersectWith(const Bitset& other) {
+    MLCORE_DCHECK(n_ == other.n_);
+    for (size_t w = 0; w < words_.size(); ++w) words_[w] &= other.words_[w];
+  }
+
+  /// this |= other. Both bitsets must have the same size.
+  void UnionWith(const Bitset& other) {
+    MLCORE_DCHECK(n_ == other.n_);
+    for (size_t w = 0; w < words_.size(); ++w) words_[w] |= other.words_[w];
+  }
+
+  /// Number of set bits.
+  size_t Count() const {
+    size_t c = 0;
+    for (uint64_t w : words_) c += static_cast<size_t>(__builtin_popcountll(w));
+    return c;
+  }
+
+  /// Extracts the sorted list of set positions.
+  std::vector<int> ToVector() const {
+    std::vector<int> out;
+    out.reserve(Count());
+    for (size_t w = 0; w < words_.size(); ++w) {
+      uint64_t bits = words_[w];
+      while (bits != 0) {
+        int b = __builtin_ctzll(bits);
+        out.push_back(static_cast<int>(w * 64 + static_cast<size_t>(b)));
+        bits &= bits - 1;
+      }
+    }
+    return out;
+  }
+
+ private:
+  void TrimTail() {
+    size_t tail = n_ & 63;
+    if (tail != 0 && !words_.empty()) {
+      words_.back() &= (uint64_t{1} << tail) - 1;
+    }
+  }
+
+  size_t n_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace mlcore
+
+#endif  // MLCORE_UTIL_BITSET_H_

@@ -1,0 +1,40 @@
+#ifndef MLCORE_UTIL_CHECK_H_
+#define MLCORE_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Lightweight assertion macros in the spirit of glog's CHECK family.
+//
+// MLCORE_CHECK is always on (also in release builds): the DCCS algorithms
+// rely on nontrivial invariants (coverage bookkeeping, pruning bounds) whose
+// violation should abort loudly rather than silently corrupt results.
+// MLCORE_DCHECK compiles away in NDEBUG builds and is used on hot paths.
+
+#define MLCORE_CHECK(cond)                                                   \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,          \
+                   __LINE__, #cond);                                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define MLCORE_CHECK_MSG(cond, msg)                                          \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s (%s)\n", __FILE__,     \
+                   __LINE__, #cond, msg);                                    \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#ifdef NDEBUG
+#define MLCORE_DCHECK(cond) \
+  do {                      \
+  } while (0)
+#else
+#define MLCORE_DCHECK(cond) MLCORE_CHECK(cond)
+#endif
+
+#endif  // MLCORE_UTIL_CHECK_H_

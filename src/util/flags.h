@@ -1,0 +1,30 @@
+#ifndef MLCORE_UTIL_FLAGS_H_
+#define MLCORE_UTIL_FLAGS_H_
+
+#include <map>
+#include <string>
+
+namespace mlcore {
+
+/// Tiny `--key=value` command-line parser for the examples and benchmark
+/// binaries. Not a general flags library; supports exactly the `--k=10`
+/// and `--quick` (boolean) forms the harness needs.
+class Flags {
+ public:
+  Flags(int argc, char** argv);
+
+  /// Returns the flag value or `def` when absent.
+  std::string GetString(const std::string& key, const std::string& def) const;
+  long long GetInt(const std::string& key, long long def) const;
+  double GetDouble(const std::string& key, double def) const;
+  bool GetBool(const std::string& key, bool def) const;
+
+  bool Has(const std::string& key) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace mlcore
+
+#endif  // MLCORE_UTIL_FLAGS_H_

@@ -1,0 +1,39 @@
+#ifndef MLCORE_UTIL_TABLE_H_
+#define MLCORE_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace mlcore {
+
+/// Minimal fixed-column text table used by the benchmark harness to print
+/// the rows/series reported by the paper's figures and tables.
+///
+/// Usage:
+///   Table t({"s", "GD-DCCS (s)", "BU-DCCS (s)"});
+///   t.AddRow({"1", "0.42", "0.05"});
+///   t.Print();
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the table (header, separator, rows) to stdout.
+  void Print() const;
+
+  /// Renders the table as comma-separated values (for scripting).
+  std::string ToCsv() const;
+
+  /// Convenience numeric formatting helpers.
+  static std::string Num(double v, int precision = 3);
+  static std::string Int(long long v);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mlcore
+
+#endif  // MLCORE_UTIL_TABLE_H_

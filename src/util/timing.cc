@@ -1,0 +1,21 @@
+#include "util/timing.h"
+
+#include <cstdio>
+
+namespace mlcore {
+
+std::string FormatSeconds(double seconds) {
+  char buf[64];
+  if (seconds < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.0fms", seconds * 1e3);
+  } else if (seconds < 120.0) {
+    std::snprintf(buf, sizeof(buf), "%.2fs", seconds);
+  } else {
+    int minutes = static_cast<int>(seconds) / 60;
+    int rem = static_cast<int>(seconds) % 60;
+    std::snprintf(buf, sizeof(buf), "%dm%02ds", minutes, rem);
+  }
+  return buf;
+}
+
+}  // namespace mlcore

@@ -1,0 +1,36 @@
+#ifndef MLCORE_UTIL_TIMING_H_
+#define MLCORE_UTIL_TIMING_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace mlcore {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction / the last Restart, in seconds.
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Formats a duration in seconds as a short human-readable string
+/// ("312ms", "4.21s", "2m31s").
+std::string FormatSeconds(double seconds);
+
+}  // namespace mlcore
+
+#endif  // MLCORE_UTIL_TIMING_H_

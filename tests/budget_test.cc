@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "core/dcc.h"
+#include "dccs/dccs.h"
+#include "graph/generators.h"
+
+namespace mlcore {
+namespace {
+
+MultiLayerGraph BudgetGraph() {
+  PlantedGraphConfig config;
+  config.num_vertices = 2000;
+  config.num_layers = 10;
+  config.num_communities = 20;
+  config.community_size_min = 15;
+  config.community_size_max = 40;
+  config.seed = 5150;
+  return GeneratePlanted(config).graph;
+}
+
+TEST(TimeBudgetTest, BottomUpHonoursBudget) {
+  MultiLayerGraph graph = BudgetGraph();
+  DccsParams params;
+  params.d = 2;
+  params.s = 8;  // unfavourable regime for BU — deep lattice
+  params.k = 10;
+  params.time_budget_seconds = 0.05;
+  DccsResult result = BottomUpDccs(graph, params);
+  // Must stop well before an unbudgeted run would (allow generous slack
+  // for the in-flight dCC call finishing).
+  EXPECT_LT(result.stats.search_seconds, 5.0);
+  // Whatever was returned must still be valid.
+  for (const auto& core : result.cores) {
+    EXPECT_EQ(core.vertices, CoherentCore(graph, core.layers, params.d));
+  }
+}
+
+TEST(TimeBudgetTest, TopDownHonoursBudget) {
+  MultiLayerGraph graph = BudgetGraph();
+  DccsParams params;
+  params.d = 2;
+  params.s = 5;
+  params.k = 10;
+  params.time_budget_seconds = 0.05;
+  DccsResult result = TopDownDccs(graph, params);
+  EXPECT_LT(result.stats.search_seconds, 5.0);
+  for (const auto& core : result.cores) {
+    EXPECT_EQ(core.vertices, CoherentCore(graph, core.layers, params.d));
+  }
+}
+
+TEST(TimeBudgetTest, UnlimitedByDefault) {
+  MultiLayerGraph graph = BudgetGraph();
+  DccsParams params;
+  params.d = 3;
+  params.s = 2;
+  params.k = 5;
+  DccsResult result = BottomUpDccs(graph, params);
+  EXPECT_FALSE(result.stats.budget_exhausted);
+}
+
+TEST(TimeBudgetTest, BudgetedResultIsSubQualityButValid) {
+  // The anytime result can be worse but never invalid, and never exceeds
+  // the unbudgeted cover.
+  MultiLayerGraph graph = BudgetGraph();
+  DccsParams params;
+  params.d = 2;
+  params.s = 3;
+  params.k = 6;
+  DccsResult full = BottomUpDccs(graph, params);
+  params.time_budget_seconds = 1e-9;  // expire immediately after first poll
+  DccsResult budgeted = BottomUpDccs(graph, params);
+  EXPECT_LE(budgeted.CoverSize(), full.CoverSize() + 0);
+}
+
+}  // namespace
+}  // namespace mlcore

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/dcc.h"
+#include "core/fds.h"
+#include "dccs/community_search.h"
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+
+namespace mlcore {
+namespace {
+
+TEST(CommunitySearchTest, FindsPlantedCommunityOfQuery) {
+  PlantedGraphConfig config;
+  config.num_vertices = 300;
+  config.num_layers = 6;
+  config.num_communities = 3;
+  config.community_size_min = 18;
+  config.community_size_max = 24;
+  config.internal_prob_min = 0.95;
+  config.internal_prob_max = 1.0;
+  config.community_layers_min = 3;
+  config.background_avg_degree = 1.0;
+  config.seed = 21;
+  PlantedGraph planted = GeneratePlanted(config);
+
+  for (const auto& community : planted.communities) {
+    const int s = static_cast<int>(community.layers.size());
+    VertexId query = community.vertices[community.vertices.size() / 2];
+    CommunitySearchResult result =
+        SearchCommunity(planted.graph, query, /*d=*/8, s);
+    ASSERT_TRUE(result.Found());
+    EXPECT_TRUE(std::binary_search(result.community.begin(),
+                                   result.community.end(), query));
+    // The community containing the query must be covered.
+    VertexSet overlap = IntersectSorted(result.community, community.vertices);
+    EXPECT_GE(overlap.size(), community.vertices.size() * 9 / 10);
+  }
+}
+
+TEST(CommunitySearchTest, ResultIsExactCoherentCore) {
+  MultiLayerGraph graph = GenerateErdosRenyi(80, 4, 0.12, 31);
+  for (VertexId query : {0, 17, 42}) {
+    CommunitySearchResult result = SearchCommunity(graph, query, 2, 2);
+    if (!result.Found()) continue;
+    EXPECT_EQ(static_cast<int>(result.layers.size()), 2);
+    EXPECT_EQ(result.community, CoherentCore(graph, result.layers, 2));
+  }
+}
+
+TEST(CommunitySearchTest, IsolatedQueryNotFound) {
+  GraphBuilder builder(10, 2);
+  for (VertexId u = 0; u < 5; ++u) {
+    for (VertexId v = u + 1; v < 5; ++v) {
+      builder.AddEdge(0, u, v);
+      builder.AddEdge(1, u, v);
+    }
+  }
+  MultiLayerGraph graph = builder.Build();
+  CommunitySearchResult result = SearchCommunity(graph, /*query=*/9, 2, 2);
+  EXPECT_FALSE(result.Found());
+  // A clique member, by contrast, is found.
+  CommunitySearchResult member = SearchCommunity(graph, /*query=*/2, 2, 2);
+  ASSERT_TRUE(member.Found());
+  EXPECT_EQ(member.community, (VertexSet{0, 1, 2, 3, 4}));
+}
+
+TEST(CommunitySearchTest, SupportAboveLayerCountNotFound) {
+  MultiLayerGraph graph = GenerateErdosRenyi(30, 2, 0.2, 41);
+  EXPECT_FALSE(SearchCommunity(graph, 0, 1, 5).Found());
+}
+
+TEST(CommunitySearchTest, GreedyCloseToExhaustiveOnSmallGraphs) {
+  // Compare against the best |C^d_L| over all C(l, s) subsets containing
+  // the query. The greedy is a heuristic; require it to find a community
+  // whenever one exists and to reach at least half the optimal size.
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    MultiLayerGraph graph = GenerateErdosRenyi(60, 4, 0.14, 50 + seed);
+    const int d = 2, s = 2;
+    auto candidates = EnumerateFds(graph, d, s);
+    for (VertexId query : {3, 25, 48}) {
+      size_t best = 0;
+      for (const auto& candidate : candidates) {
+        if (std::binary_search(candidate.vertices.begin(),
+                               candidate.vertices.end(), query)) {
+          best = std::max(best, candidate.vertices.size());
+        }
+      }
+      CommunitySearchResult result = SearchCommunity(graph, query, d, s);
+      if (best == 0) {
+        EXPECT_FALSE(result.Found());
+      } else {
+        ASSERT_TRUE(result.Found()) << "seed " << seed;
+        EXPECT_GE(result.community.size() * 2, best) << "seed " << seed;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mlcore

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/coreness.h"
+#include "core/dcc.h"
+#include "core/dcore.h"
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+
+namespace mlcore {
+namespace {
+
+TEST(CoherentCorenessTest, SingleLayerMatchesCoreDecomposition) {
+  MultiLayerGraph graph = GenerateErdosRenyi(80, 3, 0.08, 5);
+  for (LayerId layer = 0; layer < 3; ++layer) {
+    EXPECT_EQ(CoherentCoreness(graph, {layer}),
+              CoreDecomposition(graph, layer));
+  }
+}
+
+class CorenessPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CorenessPropertyTest, ThresholdingEqualsCoherentCore) {
+  // {v : coreness_L(v) ≥ d} must equal C^d_L(G) for every d.
+  MultiLayerGraph graph = GenerateErdosRenyi(70, 4, 0.1, GetParam());
+  LayerSet layers = {0, 2, 3};
+  std::vector<int> coreness = CoherentCoreness(graph, layers);
+  int max_core = *std::max_element(coreness.begin(), coreness.end());
+  for (int d = 0; d <= max_core + 1; ++d) {
+    VertexSet from_coreness;
+    for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+      if (coreness[static_cast<size_t>(v)] >= d) from_coreness.push_back(v);
+    }
+    EXPECT_EQ(from_coreness, CoherentCore(graph, layers, d)) << "d=" << d;
+  }
+}
+
+TEST_P(CorenessPropertyTest, HierarchyMatchesAndNests) {
+  MultiLayerGraph graph =
+      GenerateErdosRenyi(60, 3, 0.12, GetParam() + 100);
+  LayerSet layers = {0, 1};
+  std::vector<VertexSet> hierarchy = CoherentCoreHierarchy(graph, layers);
+  ASSERT_FALSE(hierarchy.empty());
+  EXPECT_EQ(hierarchy[0].size(), static_cast<size_t>(graph.NumVertices()));
+  for (size_t d = 0; d < hierarchy.size(); ++d) {
+    EXPECT_EQ(hierarchy[d], CoherentCore(graph, layers, static_cast<int>(d)));
+    if (d > 0) {
+      EXPECT_TRUE(IsSubsetSorted(hierarchy[d], hierarchy[d - 1]))
+          << "hierarchy property violated at d=" << d;
+    }
+  }
+  // The top of the hierarchy is non-empty by construction.
+  EXPECT_FALSE(hierarchy.back().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CorenessPropertyTest,
+                         ::testing::Range<uint64_t>(0, 8));
+
+TEST(CoherentCorenessTest, PlantedCommunityHasHighCoreness) {
+  PlantedGraphConfig config;
+  config.num_vertices = 200;
+  config.num_layers = 3;
+  config.num_communities = 1;
+  config.community_size_min = 20;
+  config.community_size_max = 20;
+  config.internal_prob_min = 1.0;  // a clique on its layers
+  config.internal_prob_max = 1.0;
+  config.all_layers_fraction = 1.0;
+  config.background_avg_degree = 0.5;
+  config.seed = 11;
+  PlantedGraph planted = GeneratePlanted(config);
+  std::vector<int> coreness =
+      CoherentCoreness(planted.graph, AllLayers(planted.graph));
+  for (VertexId v : planted.communities[0].vertices) {
+    EXPECT_GE(coreness[static_cast<size_t>(v)], 19);
+  }
+}
+
+TEST(CoherentCoreVectorTest, UniformThresholdEqualsCoherentCore) {
+  MultiLayerGraph graph = GenerateErdosRenyi(60, 3, 0.1, 21);
+  for (int d = 1; d <= 3; ++d) {
+    LayerSet layers = {0, 1, 2};
+    std::vector<int> thresholds(layers.size(), d);
+    EXPECT_EQ(CoherentCoreVector(graph, layers, thresholds),
+              CoherentCore(graph, layers, d));
+  }
+}
+
+TEST(CoherentCoreVectorTest, AsymmetricThresholds) {
+  // Clique of 6 on layer 0; a cycle (degree 2 everywhere) plus a pendant
+  // vertex 6 on layer 1.
+  GraphBuilder builder(8, 2);
+  for (VertexId u = 0; u < 6; ++u) {
+    for (VertexId v = u + 1; v < 6; ++v) builder.AddEdge(0, u, v);
+  }
+  for (VertexId v = 0; v < 6; ++v) builder.AddEdge(1, v, (v + 1) % 6);
+  builder.AddEdge(1, 0, 6);
+  MultiLayerGraph graph = builder.Build();
+
+  // Degree 3 on the clique layer, 1 on the cycle layer: vertex 6 dies (no
+  // clique-layer edges), the six cycle/clique vertices survive.
+  EXPECT_EQ(CoherentCoreVector(graph, {0, 1}, {3, 1}),
+            (VertexSet{0, 1, 2, 3, 4, 5}));
+  // Raising the cycle-layer demand to 2 still keeps the cycle intact.
+  EXPECT_EQ(CoherentCoreVector(graph, {0, 1}, {3, 2}),
+            (VertexSet{0, 1, 2, 3, 4, 5}));
+  // Demanding 3 on the cycle layer collapses everything.
+  EXPECT_TRUE(CoherentCoreVector(graph, {0, 1}, {3, 3}).empty());
+}
+
+TEST(CoherentCoreVectorTest, AgainstNaiveFixpoint) {
+  MultiLayerGraph graph = GenerateErdosRenyi(50, 3, 0.12, 31);
+  LayerSet layers = {0, 1, 2};
+  std::vector<int> thresholds = {1, 2, 3};
+  VertexSet result = CoherentCoreVector(graph, layers, thresholds);
+  // Fixpoint check: every member meets all thresholds inside the result.
+  for (VertexId v : result) {
+    for (size_t i = 0; i < layers.size(); ++i) {
+      int degree = 0;
+      for (VertexId u : graph.Neighbors(layers[i], v)) {
+        if (std::binary_search(result.begin(), result.end(), u)) ++degree;
+      }
+      EXPECT_GE(degree, thresholds[i]);
+    }
+  }
+  // Maximality: no excluded vertex meets all thresholds against result.
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    if (std::binary_search(result.begin(), result.end(), v)) continue;
+    bool satisfies_all = true;
+    for (size_t i = 0; i < layers.size() && satisfies_all; ++i) {
+      int degree = 0;
+      for (VertexId u : graph.Neighbors(layers[i], v)) {
+        if (std::binary_search(result.begin(), result.end(), u)) ++degree;
+      }
+      satisfies_all = degree >= thresholds[i];
+    }
+    EXPECT_FALSE(satisfies_all) << "vertex " << v << " wrongly excluded";
+  }
+}
+
+}  // namespace
+}  // namespace mlcore

@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "dccs/cover.h"
+
+namespace mlcore {
+namespace {
+
+LayerSet L(std::initializer_list<LayerId> layers) { return layers; }
+
+TEST(CoverageIndexTest, Rule1FillsUpToK) {
+  CoverageIndex index(2);
+  EXPECT_FALSE(index.full());
+  EXPECT_TRUE(index.Update({1, 2, 3}, L({0})));
+  EXPECT_EQ(index.size(), 1);
+  EXPECT_EQ(index.cover_size(), 3);
+  EXPECT_TRUE(index.Update({3, 4}, L({1})));
+  EXPECT_TRUE(index.full());
+  EXPECT_EQ(index.cover_size(), 4);
+  index.CheckInvariants();
+}
+
+TEST(CoverageIndexTest, EmptyCandidateRejected) {
+  CoverageIndex index(2);
+  EXPECT_FALSE(index.Update({}, L({0})));
+  EXPECT_EQ(index.size(), 0);
+}
+
+TEST(CoverageIndexTest, ExclusiveSizesTracked) {
+  CoverageIndex index(3);
+  index.Update({1, 2, 3}, L({0}));
+  index.Update({3, 4, 5}, L({1}));
+  index.Update({5, 6}, L({2}));
+  // Exclusive: {1,2} for slot 0, {4} for slot 1, {6} for slot 2.
+  EXPECT_EQ(index.ExclusiveSize(0), 2);
+  EXPECT_EQ(index.ExclusiveSize(1), 1);
+  EXPECT_EQ(index.ExclusiveSize(2), 1);
+  EXPECT_EQ(index.cover_size(), 6);
+  index.CheckInvariants();
+}
+
+TEST(CoverageIndexTest, Rule2ReplacesMinExclusive) {
+  CoverageIndex index(2);
+  index.Update({1, 2, 3, 4}, L({0}));
+  index.Update({4, 5}, L({1}));  // exclusive {5}: the C* victim
+  EXPECT_EQ(index.cover_size(), 5);
+  // Candidate {10..16}: |Cov((R−C*)∪C)| = |{1,2,3,4}|+7 = 11 ≥ (3/2)·5=7.5 ✓
+  EXPECT_TRUE(index.Update({10, 11, 12, 13, 14, 15, 16}, L({2})));
+  EXPECT_EQ(index.size(), 2);
+  EXPECT_EQ(index.cover_size(), 11);
+  // The replaced entry must be the one that exclusively covered {5}.
+  for (const auto& entry : index.entries()) {
+    EXPECT_NE(entry.vertices, (VertexSet{4, 5}));
+  }
+  index.CheckInvariants();
+}
+
+TEST(CoverageIndexTest, Rule2RejectsInsufficientGain) {
+  CoverageIndex index(2);
+  index.Update({1, 2, 3, 4}, L({0}));
+  index.Update({5, 6, 7}, L({1}));
+  EXPECT_EQ(index.cover_size(), 7);
+  // Candidate {8,9,10}: replacing C* (slot 1, excl 3) yields cover 4+3=7
+  // < (1+1/2)·7 = 10.5 → rejected.
+  EXPECT_FALSE(index.Update({8, 9, 10}, L({2})));
+  EXPECT_EQ(index.cover_size(), 7);
+  index.CheckInvariants();
+}
+
+TEST(CoverageIndexTest, SizeWithReplacementMatchesDefinition) {
+  CoverageIndex index(2);
+  index.Update({1, 2, 3}, L({0}));
+  index.Update({3, 4}, L({1}));  // exclusive {4} → C*
+  // Candidate {2, 4, 9}: (R − C*) covers {1,2,3}; candidate adds {4, 9}.
+  EXPECT_EQ(index.SizeWithReplacement({2, 4, 9}), 5);
+  // Candidate equal to C* reproduces the current cover.
+  EXPECT_EQ(index.SizeWithReplacement({3, 4}), 4);
+}
+
+TEST(CoverageIndexTest, MarginalGain) {
+  CoverageIndex index(2);
+  index.Update({1, 2, 3}, L({0}));
+  EXPECT_EQ(index.MarginalGain({2, 3, 4, 5}), 2);
+  EXPECT_EQ(index.MarginalGain({1, 2}), 0);
+  EXPECT_EQ(index.MarginalGain({7}), 1);
+}
+
+TEST(CoverageIndexTest, Eq1IntegerBoundaryExact) {
+  CoverageIndex index(2);
+  index.Update({1, 2, 3, 4}, L({0}));
+  index.Update({5, 6}, L({1}));  // cover 6, C* = slot 1 (excl 2)
+  // Eq (1) threshold: (1+1/2)·6 = 9. Candidate giving exactly 9 must pass.
+  // (R − C*) covers 4; need candidate adding exactly 5 new: {7,8,9,10,11}.
+  EXPECT_EQ(index.SizeWithReplacement({7, 8, 9, 10, 11}), 9);
+  EXPECT_TRUE(index.SatisfiesEq1({7, 8, 9, 10, 11}));
+  // One fewer vertex → 8 < 9 fails.
+  EXPECT_FALSE(index.SatisfiesEq1({7, 8, 9, 10}));
+}
+
+TEST(CoverageIndexTest, BelowOrderThreshold) {
+  CoverageIndex index(2);
+  index.Update({1, 2, 3, 4}, L({0}));
+  index.Update({5, 6}, L({1}));
+  // Threshold = |Cov|/k + |Δ*| = 6/2 + 2 = 5.
+  EXPECT_TRUE(index.BelowOrderThreshold(4));
+  EXPECT_FALSE(index.BelowOrderThreshold(5));
+}
+
+TEST(CoverageIndexTest, Eq2Threshold) {
+  CoverageIndex index(2);
+  index.Update({1, 2, 3, 4}, L({0}));
+  index.Update({5, 6}, L({1}));
+  // (1/2+1/4)·6 + (3/2)·2 = 4.5+3 = 7.5 → |U| = 7 passes, 8 fails.
+  EXPECT_TRUE(index.SatisfiesEq2(7));
+  EXPECT_FALSE(index.SatisfiesEq2(8));
+}
+
+TEST(CoverageIndexTest, RandomizedInvariantStress) {
+  // Drive the index with many pseudo-random candidates and continuously
+  // validate the M/Δ bookkeeping against recomputation.
+  CoverageIndex index(4);
+  uint64_t state = 88172645463325252ULL;
+  auto next = [&state]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (int round = 0; round < 300; ++round) {
+    VertexSet candidate;
+    int size = 1 + static_cast<int>(next() % 12);
+    for (int i = 0; i < size; ++i) {
+      candidate.push_back(static_cast<VertexId>(next() % 60));
+    }
+    std::sort(candidate.begin(), candidate.end());
+    candidate.erase(std::unique(candidate.begin(), candidate.end()),
+                    candidate.end());
+    int64_t before = index.cover_size();
+    bool updated = index.Update(candidate, L({0}));
+    index.CheckInvariants();
+    if (updated && index.full() && before > 0) {
+      // Rule 2 only fires on a strict-enough improvement.
+      EXPECT_GE(index.cover_size() * 4, before * 4)
+          << "cover may never shrink below the Eq.(1) guarantee";
+    }
+    EXPECT_LE(index.size(), 4);
+  }
+}
+
+TEST(CoverageIndexTest, CoverNeverDecreasesUnderRule2) {
+  CoverageIndex index(3);
+  uint64_t state = 0x2545F4914F6CDD1DULL;
+  auto next = [&state]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  int64_t previous_cover = 0;
+  for (int round = 0; round < 200; ++round) {
+    VertexSet candidate;
+    int size = 1 + static_cast<int>(next() % 15);
+    for (int i = 0; i < size; ++i) {
+      candidate.push_back(static_cast<VertexId>(next() % 80));
+    }
+    std::sort(candidate.begin(), candidate.end());
+    candidate.erase(std::unique(candidate.begin(), candidate.end()),
+                    candidate.end());
+    bool was_full = index.full();
+    index.Update(candidate, L({0}));
+    if (was_full) {
+      EXPECT_GE(index.cover_size(), previous_cover);
+    }
+    previous_cover = index.cover_size();
+  }
+}
+
+}  // namespace
+}  // namespace mlcore

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/dcore.h"
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+
+namespace mlcore {
+namespace {
+
+// Independent reference: repeatedly drop any vertex below the threshold.
+VertexSet NaiveDCore(const MultiLayerGraph& graph, LayerId layer, int d,
+                     VertexSet scope) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    VertexSet next;
+    for (VertexId v : scope) {
+      int degree = 0;
+      for (VertexId u : graph.Neighbors(layer, v)) {
+        if (std::binary_search(scope.begin(), scope.end(), u)) ++degree;
+      }
+      if (degree >= d) {
+        next.push_back(v);
+      } else {
+        changed = true;
+      }
+    }
+    scope = std::move(next);
+  }
+  return scope;
+}
+
+TEST(DCoreTest, TriangleWithPendant) {
+  GraphBuilder builder(4, 1);
+  builder.AddEdge(0, 0, 1);
+  builder.AddEdge(0, 1, 2);
+  builder.AddEdge(0, 0, 2);
+  builder.AddEdge(0, 2, 3);
+  MultiLayerGraph graph = builder.Build();
+
+  EXPECT_EQ(DCore(graph, 0, 1).size(), 4u);
+  EXPECT_EQ(DCore(graph, 0, 2), (VertexSet{0, 1, 2}));
+  EXPECT_TRUE(DCore(graph, 0, 3).empty());
+}
+
+TEST(DCoreTest, ZeroCoreIsEverything) {
+  MultiLayerGraph graph = GenerateErdosRenyi(30, 1, 0.05, 3);
+  EXPECT_EQ(DCore(graph, 0, 0).size(), 30u);
+}
+
+TEST(DCoreTest, CascadingDeletion) {
+  // Path 0-1-2-3-4: the 1-core keeps the path, the 2-core dies entirely
+  // through cascades.
+  GraphBuilder builder(5, 1);
+  for (VertexId v = 0; v + 1 < 5; ++v) builder.AddEdge(0, v, v + 1);
+  MultiLayerGraph graph = builder.Build();
+  EXPECT_EQ(DCore(graph, 0, 1).size(), 5u);
+  EXPECT_TRUE(DCore(graph, 0, 2).empty());
+}
+
+TEST(DCoreTest, MatchesNaiveOnRandomGraphs) {
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    MultiLayerGraph graph = GenerateErdosRenyi(80, 1, 0.06, 100 + seed);
+    for (int d = 1; d <= 5; ++d) {
+      EXPECT_EQ(DCore(graph, 0, d),
+                NaiveDCore(graph, 0, d, AllVertices(graph)))
+          << "seed=" << seed << " d=" << d;
+    }
+  }
+}
+
+TEST(DCoreTest, ScopedMatchesNaive) {
+  MultiLayerGraph graph = GenerateErdosRenyi(60, 1, 0.08, 9);
+  VertexSet scope;
+  for (VertexId v = 0; v < 40; ++v) scope.push_back(v);
+  for (int d = 1; d <= 4; ++d) {
+    EXPECT_EQ(DCoreScoped(graph, 0, d, scope),
+              NaiveDCore(graph, 0, d, scope));
+  }
+}
+
+TEST(DCoreTest, HierarchyProperty) {
+  // C^d ⊆ C^{d-1} (paper Property 2 restricted to one layer).
+  MultiLayerGraph graph = GenerateErdosRenyi(100, 1, 0.08, 21);
+  VertexSet previous = DCore(graph, 0, 0);
+  for (int d = 1; d <= 8; ++d) {
+    VertexSet current = DCore(graph, 0, d);
+    EXPECT_TRUE(IsSubsetSorted(current, previous)) << "d=" << d;
+    previous = std::move(current);
+  }
+}
+
+TEST(CoreDecompositionTest, CorenessConsistentWithDCore) {
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    MultiLayerGraph graph = GenerateErdosRenyi(70, 1, 0.08, 200 + seed);
+    std::vector<int> coreness = CoreDecomposition(graph, 0);
+    int max_core = *std::max_element(coreness.begin(), coreness.end());
+    for (int d = 0; d <= max_core + 1; ++d) {
+      VertexSet expected = DCore(graph, 0, d);
+      VertexSet from_coreness;
+      for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+        if (coreness[static_cast<size_t>(v)] >= d) from_coreness.push_back(v);
+      }
+      EXPECT_EQ(from_coreness, expected) << "seed=" << seed << " d=" << d;
+    }
+  }
+}
+
+TEST(CoreDecompositionTest, CliqueCoreness) {
+  GraphBuilder builder(6, 1);
+  for (VertexId u = 0; u < 6; ++u) {
+    for (VertexId v = u + 1; v < 6; ++v) builder.AddEdge(0, u, v);
+  }
+  MultiLayerGraph graph = builder.Build();
+  std::vector<int> coreness = CoreDecomposition(graph, 0);
+  for (int c : coreness) EXPECT_EQ(c, 5);
+}
+
+TEST(CoreDecompositionTest, IsolatedVerticesGetZero) {
+  GraphBuilder builder(4, 1);
+  builder.AddEdge(0, 0, 1);
+  MultiLayerGraph graph = builder.Build();
+  std::vector<int> coreness = CoreDecomposition(graph, 0);
+  EXPECT_EQ(coreness[0], 1);
+  EXPECT_EQ(coreness[1], 1);
+  EXPECT_EQ(coreness[2], 0);
+  EXPECT_EQ(coreness[3], 0);
+}
+
+}  // namespace
+}  // namespace mlcore

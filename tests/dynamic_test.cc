@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/dcore.h"
+#include "dynamic/decremental_core.h"
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+#include "util/rng.h"
+
+namespace mlcore {
+namespace {
+
+// Reference: recompute the d-core of each layer from scratch over the
+// still-alive vertices.
+VertexSet ReferenceCore(const MultiLayerGraph& graph, LayerId layer, int d,
+                        const std::vector<bool>& alive) {
+  VertexSet scope;
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    if (alive[static_cast<size_t>(v)]) scope.push_back(v);
+  }
+  return DCoreScoped(graph, layer, d, scope);
+}
+
+TEST(DecrementalCoreTest, InitialStateMatchesStaticCores) {
+  MultiLayerGraph graph = GenerateErdosRenyi(80, 3, 0.08, 3);
+  DecrementalCoreMaintainer maintainer(graph, 2, AllVertices(graph));
+  for (LayerId layer = 0; layer < 3; ++layer) {
+    EXPECT_EQ(maintainer.CoreMembers(layer), DCore(graph, layer, 2));
+  }
+}
+
+TEST(DecrementalCoreTest, SupportCountsCoreMemberships) {
+  MultiLayerGraph graph = GenerateErdosRenyi(60, 4, 0.1, 5);
+  DecrementalCoreMaintainer maintainer(graph, 2, AllVertices(graph));
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    int expected = 0;
+    for (LayerId layer = 0; layer < 4; ++layer) {
+      if (maintainer.InCore(layer, v)) ++expected;
+    }
+    EXPECT_EQ(maintainer.Support(v), expected);
+  }
+}
+
+class DecrementalPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DecrementalPropertyTest, RandomDeletionsMatchRecomputation) {
+  MultiLayerGraph graph =
+      GenerateErdosRenyi(70, 3, 0.1, 900 + GetParam());
+  const int d = 2;
+  DecrementalCoreMaintainer maintainer(graph, d, AllVertices(graph));
+  std::vector<bool> alive(static_cast<size_t>(graph.NumVertices()), true);
+
+  Rng rng(GetParam());
+  for (int step = 0; step < 30; ++step) {
+    auto v = static_cast<VertexId>(
+        rng.Uniform(0, graph.NumVertices() - 1));
+    maintainer.RemoveVertex(v, nullptr);
+    alive[static_cast<size_t>(v)] = false;
+    // After every deletion, all three maintained quantities must agree
+    // with a from-scratch recomputation.
+    for (LayerId layer = 0; layer < graph.NumLayers(); ++layer) {
+      ASSERT_EQ(maintainer.CoreMembers(layer),
+                ReferenceCore(graph, layer, d, alive))
+          << "step " << step << " layer " << layer;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DecrementalPropertyTest,
+                         ::testing::Range<uint64_t>(0, 6));
+
+TEST(DecrementalCoreTest, ExitEventsReported) {
+  // A 4-clique on one layer: deleting any member evaporates the whole
+  // 3-core, producing four exit events (the deleted vertex + cascade).
+  GraphBuilder builder(6, 1);
+  for (VertexId u = 0; u < 4; ++u) {
+    for (VertexId v = u + 1; v < 4; ++v) builder.AddEdge(0, u, v);
+  }
+  MultiLayerGraph graph = builder.Build();
+  DecrementalCoreMaintainer maintainer(graph, 3, AllVertices(graph));
+  EXPECT_EQ(maintainer.CoreMembers(0), (VertexSet{0, 1, 2, 3}));
+
+  std::vector<std::pair<VertexId, LayerId>> exits;
+  maintainer.RemoveVertex(1, &exits);
+  EXPECT_EQ(exits.size(), 4u);
+  EXPECT_TRUE(maintainer.CoreMembers(0).empty());
+  for (VertexId v = 0; v < 4; ++v) EXPECT_EQ(maintainer.Support(v), 0);
+}
+
+TEST(DecrementalCoreTest, RemoveIsIdempotent) {
+  MultiLayerGraph graph = GenerateErdosRenyi(40, 2, 0.15, 7);
+  DecrementalCoreMaintainer maintainer(graph, 2, AllVertices(graph));
+  maintainer.RemoveVertex(5, nullptr);
+  VertexSet after_first = maintainer.CoreMembers(0);
+  std::vector<std::pair<VertexId, LayerId>> exits;
+  maintainer.RemoveVertex(5, &exits);
+  EXPECT_TRUE(exits.empty());
+  EXPECT_EQ(maintainer.CoreMembers(0), after_first);
+  EXPECT_TRUE(maintainer.Deleted(5));
+}
+
+TEST(DecrementalCoreTest, SupportFilterMatchesPreprocessRule) {
+  MultiLayerGraph graph = GenerateErdosRenyi(80, 4, 0.09, 9);
+  const int d = 2, s = 3;
+  DecrementalCoreMaintainer maintainer(graph, d, AllVertices(graph));
+  VertexSet filtered = maintainer.VerticesWithSupportAtLeast(s);
+  for (VertexId v : filtered) {
+    EXPECT_GE(maintainer.Support(v), s);
+  }
+  // Completeness: everything above threshold is present.
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    if (maintainer.Support(v) >= s && !maintainer.Deleted(v)) {
+      EXPECT_TRUE(std::binary_search(filtered.begin(), filtered.end(), v));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mlcore

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "core/dcc.h"
+#include "core/dcore.h"
+#include "dccs/dccs.h"
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+
+namespace mlcore {
+namespace {
+
+TEST(EdgeCaseTest, DegreeZeroKeepsEveryVertex) {
+  // d = 0: every vertex trivially satisfies the degree constraint, so the
+  // d-CC w.r.t. any layer subset is the whole vertex set.
+  MultiLayerGraph graph = GenerateErdosRenyi(30, 3, 0.05, 1);
+  EXPECT_EQ(CoherentCore(graph, {0, 1, 2}, 0).size(), 30u);
+  DccsParams params;
+  params.d = 0;
+  params.s = 2;
+  params.k = 3;
+  for (DccsAlgorithm algorithm :
+       {DccsAlgorithm::kGreedy, DccsAlgorithm::kBottomUp,
+        DccsAlgorithm::kTopDown}) {
+    DccsResult result = SolveDccs(graph, params, algorithm);
+    ASSERT_FALSE(result.cores.empty()) << AlgorithmName(algorithm);
+    EXPECT_EQ(result.CoverSize(), 30) << AlgorithmName(algorithm);
+  }
+}
+
+TEST(EdgeCaseTest, SingleLayerGraph) {
+  GraphBuilder builder(8, 1);
+  for (VertexId u = 0; u < 5; ++u) {
+    for (VertexId v = u + 1; v < 5; ++v) builder.AddEdge(0, u, v);
+  }
+  MultiLayerGraph graph = builder.Build();
+  DccsParams params;
+  params.d = 3;
+  params.s = 1;
+  params.k = 2;
+  for (DccsAlgorithm algorithm :
+       {DccsAlgorithm::kGreedy, DccsAlgorithm::kBottomUp,
+        DccsAlgorithm::kTopDown}) {
+    DccsResult result = SolveDccs(graph, params, algorithm);
+    ASSERT_EQ(result.cores.size(), 1u) << AlgorithmName(algorithm);
+    EXPECT_EQ(result.cores[0].vertices, (VertexSet{0, 1, 2, 3, 4}));
+  }
+}
+
+TEST(EdgeCaseTest, EmptyLayersYieldNoCores) {
+  // Layers with no edges: every d-core (d ≥ 1) is empty.
+  GraphBuilder builder(10, 3);
+  builder.AddEdge(0, 0, 1);  // a single edge on layer 0 only
+  MultiLayerGraph graph = builder.Build();
+  DccsParams params;
+  params.d = 2;
+  params.s = 2;
+  params.k = 3;
+  for (DccsAlgorithm algorithm :
+       {DccsAlgorithm::kGreedy, DccsAlgorithm::kBottomUp,
+        DccsAlgorithm::kTopDown}) {
+    DccsResult result = SolveDccs(graph, params, algorithm);
+    EXPECT_TRUE(result.cores.empty()) << AlgorithmName(algorithm);
+    EXPECT_EQ(result.CoverSize(), 0);
+  }
+}
+
+TEST(EdgeCaseTest, KLargerThanCandidatePool) {
+  // Only C(2, 1) = 2 candidates exist but k = 10: the algorithms must
+  // return the available ones and no duplicates.
+  GraphBuilder builder(12, 2);
+  for (VertexId u = 0; u < 5; ++u) {
+    for (VertexId v = u + 1; v < 5; ++v) builder.AddEdge(0, u, v);
+  }
+  for (VertexId u = 6; u < 12; ++u) {
+    for (VertexId v = u + 1; v < 12; ++v) builder.AddEdge(1, u, v);
+  }
+  MultiLayerGraph graph = builder.Build();
+  DccsParams params;
+  params.d = 2;
+  params.s = 1;
+  params.k = 10;
+  for (DccsAlgorithm algorithm :
+       {DccsAlgorithm::kGreedy, DccsAlgorithm::kBottomUp}) {
+    DccsResult result = SolveDccs(graph, params, algorithm);
+    EXPECT_EQ(result.cores.size(), 2u) << AlgorithmName(algorithm);
+    EXPECT_EQ(result.CoverSize(), 11) << AlgorithmName(algorithm);
+  }
+}
+
+TEST(EdgeCaseTest, KEqualsOne) {
+  MultiLayerGraph graph = GenerateErdosRenyi(60, 3, 0.12, 3);
+  DccsParams params;
+  params.d = 2;
+  params.s = 2;
+  params.k = 1;
+  DccsResult exact = ExactDccs(graph, params);
+  for (DccsAlgorithm algorithm :
+       {DccsAlgorithm::kGreedy, DccsAlgorithm::kBottomUp,
+        DccsAlgorithm::kTopDown}) {
+    DccsResult result = SolveDccs(graph, params, algorithm);
+    EXPECT_LE(result.cores.size(), 1u);
+    // k = 1: greedy is optimal; the searches are 1/4-approximate.
+    if (algorithm == DccsAlgorithm::kGreedy) {
+      EXPECT_EQ(result.CoverSize(), exact.CoverSize());
+    } else {
+      EXPECT_GE(4 * result.CoverSize(), exact.CoverSize());
+    }
+  }
+}
+
+TEST(EdgeCaseTest, DisconnectedCliquesAllFound) {
+  // Eight disjoint 4-cliques on both layers; with k = 8 every algorithm
+  // must cover all 32 vertices.
+  GraphBuilder builder(32, 2);
+  for (int c = 0; c < 8; ++c) {
+    for (VertexId u = 0; u < 4; ++u) {
+      for (VertexId v = u + 1; v < 4; ++v) {
+        builder.AddEdge(0, c * 4 + u, c * 4 + v);
+        builder.AddEdge(1, c * 4 + u, c * 4 + v);
+      }
+    }
+  }
+  MultiLayerGraph graph = builder.Build();
+  DccsParams params;
+  params.d = 3;
+  params.s = 2;
+  params.k = 8;
+  for (DccsAlgorithm algorithm :
+       {DccsAlgorithm::kGreedy, DccsAlgorithm::kBottomUp,
+        DccsAlgorithm::kTopDown}) {
+    DccsResult result = SolveDccs(graph, params, algorithm);
+    // All cliques live in the single d-CC w.r.t. {0, 1}; one core covers
+    // everything.
+    EXPECT_EQ(result.CoverSize(), 32) << AlgorithmName(algorithm);
+  }
+}
+
+TEST(EdgeCaseTest, HighDegreeThresholdEmptyResult) {
+  MultiLayerGraph graph = GenerateErdosRenyi(40, 2, 0.2, 9);
+  DccsParams params;
+  params.d = 100;
+  params.s = 1;
+  params.k = 2;
+  for (DccsAlgorithm algorithm :
+       {DccsAlgorithm::kGreedy, DccsAlgorithm::kBottomUp,
+        DccsAlgorithm::kTopDown}) {
+    EXPECT_TRUE(SolveDccs(graph, params, algorithm).cores.empty());
+  }
+}
+
+TEST(EdgeCaseTest, CoreDecompositionOnEmptyLayer) {
+  GraphBuilder builder(5, 1);
+  MultiLayerGraph graph = builder.Build();
+  std::vector<int> coreness = CoreDecomposition(graph, 0);
+  for (int c : coreness) EXPECT_EQ(c, 0);
+  EXPECT_TRUE(DCore(graph, 0, 1).empty());
+  EXPECT_EQ(DCore(graph, 0, 0).size(), 5u);
+}
+
+}  // namespace
+}  // namespace mlcore

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "eval/complexes.h"
+#include "eval/dot_export.h"
+#include "eval/metrics.h"
+#include "graph/graph_builder.h"
+
+namespace mlcore {
+namespace {
+
+TEST(MetricsTest, CoverOverlapBasics) {
+  OverlapMetrics m = CoverOverlap({1, 2, 3, 4}, {3, 4, 5});
+  EXPECT_DOUBLE_EQ(m.precision, 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(m.recall, 0.5);
+  EXPECT_NEAR(m.f1, 2 * (2.0 / 3.0) * 0.5 / (2.0 / 3.0 + 0.5), 1e-12);
+}
+
+TEST(MetricsTest, PerfectAndZeroOverlap) {
+  OverlapMetrics perfect = CoverOverlap({1, 2}, {1, 2});
+  EXPECT_DOUBLE_EQ(perfect.precision, 1.0);
+  EXPECT_DOUBLE_EQ(perfect.recall, 1.0);
+  EXPECT_DOUBLE_EQ(perfect.f1, 1.0);
+  OverlapMetrics zero = CoverOverlap({1, 2}, {3, 4});
+  EXPECT_DOUBLE_EQ(zero.f1, 0.0);
+  OverlapMetrics empty = CoverOverlap({}, {1});
+  EXPECT_DOUBLE_EQ(empty.precision, 0.0);
+}
+
+TEST(MetricsTest, ContainmentDistribution) {
+  std::vector<VertexSet> cliques = {{1, 2, 3}, {4, 5, 6}, {1, 2, 9}};
+  VertexSet cover = {1, 2, 3, 4};
+  auto dist = ContainmentDistribution(cliques, cover);
+  ASSERT_TRUE(dist.count(3));
+  const auto& row = dist[3];
+  ASSERT_EQ(row.size(), 4u);
+  EXPECT_DOUBLE_EQ(row[0], 0.0);
+  EXPECT_DOUBLE_EQ(row[1], 1.0 / 3.0);  // {4,5,6} ∩ cover = {4}
+  EXPECT_DOUBLE_EQ(row[2], 1.0 / 3.0);  // {1,2,9} ∩ cover = {1,2}
+  EXPECT_DOUBLE_EQ(row[3], 1.0 / 3.0);  // {1,2,3} fully contained
+  double sum = 0;
+  for (double f : row) sum += f;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(MetricsTest, ContainmentDistributionGroupsBySize) {
+  std::vector<VertexSet> cliques = {{1, 2, 3}, {1, 2, 3, 4}};
+  auto dist = ContainmentDistribution(cliques, {1, 2, 3, 4});
+  EXPECT_EQ(dist.size(), 2u);
+  EXPECT_DOUBLE_EQ(dist[3][3], 1.0);
+  EXPECT_DOUBLE_EQ(dist[4][4], 1.0);
+}
+
+TEST(MetricsTest, SetF1Basics) {
+  EXPECT_DOUBLE_EQ(SetF1({1, 2, 3}, {1, 2, 3}), 1.0);
+  EXPECT_DOUBLE_EQ(SetF1({1, 2}, {3, 4}), 0.0);
+  EXPECT_DOUBLE_EQ(SetF1({}, {1}), 0.0);
+  // truth {1,2,3,4}, found {3,4,5}: p=2/3, r=1/2 → F1 = 4/7.
+  EXPECT_NEAR(SetF1({1, 2, 3, 4}, {3, 4, 5}), 4.0 / 7.0, 1e-12);
+}
+
+TEST(MetricsTest, CommunityRecoveryScore) {
+  std::vector<VertexSet> truth = {{1, 2, 3}, {10, 11, 12, 13}};
+  std::vector<VertexSet> found = {{1, 2, 3}, {10, 11}, {50}};
+  // First community matched exactly (1.0); second best-matched by {10,11}:
+  // p=1, r=1/2 → F1 = 2/3. Average = 5/6.
+  EXPECT_NEAR(CommunityRecoveryScore(truth, found), (1.0 + 2.0 / 3.0) / 2,
+              1e-12);
+  EXPECT_DOUBLE_EQ(CommunityRecoveryScore({}, found), 0.0);
+  EXPECT_DOUBLE_EQ(CommunityRecoveryScore(truth, {}), 0.0);
+}
+
+TEST(ComplexesTest, RecallCountsFullContainmentOnly) {
+  std::vector<VertexSet> complexes = {{1, 2}, {3, 4}, {5, 6}};
+  std::vector<VertexSet> subgraphs = {{1, 2, 3}, {5, 6, 7, 8}};
+  // {1,2} ⊆ first, {5,6} ⊆ second, {3,4} split across → 2/3.
+  EXPECT_NEAR(ComplexRecall(complexes, subgraphs), 2.0 / 3.0, 1e-12);
+}
+
+TEST(ComplexesTest, EmptyInputs) {
+  EXPECT_DOUBLE_EQ(ComplexRecall({}, {{1}}), 0.0);
+  EXPECT_DOUBLE_EQ(ComplexRecall({{1}}, {}), 0.0);
+}
+
+TEST(DotExportTest, EmitsVerticesEdgesAndColors) {
+  GraphBuilder builder(4, 1);
+  builder.AddEdge(0, 0, 1);
+  builder.AddEdge(0, 1, 2);
+  builder.AddEdge(0, 2, 3);
+  MultiLayerGraph graph = builder.Build();
+  std::map<VertexId, std::string> colors = {
+      {0, "red"}, {1, "green"}, {2, "blue"}};
+  std::string dot = ExportDot(graph, 0, colors, "fig31");
+  EXPECT_NE(dot.find("graph fig31 {"), std::string::npos);
+  EXPECT_NE(dot.find("v0 [fillcolor=red]"), std::string::npos);
+  EXPECT_NE(dot.find("v0 -- v1"), std::string::npos);
+  EXPECT_NE(dot.find("v1 -- v2"), std::string::npos);
+  // Vertex 3 has no colour class → excluded, as is its edge.
+  EXPECT_EQ(dot.find("v3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mlcore

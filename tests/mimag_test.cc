@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+#include "mimag/mimag.h"
+#include "mimag/quasi_clique.h"
+
+namespace mlcore {
+namespace {
+
+MultiLayerGraph TwoCliqueGraph() {
+  // Clique {0..4} on layers {0,1}; clique {5..9} on layers {1,2};
+  // a sparse path elsewhere.
+  GraphBuilder builder(12, 3);
+  auto add_clique = [&](VertexId first, VertexId last,
+                        std::initializer_list<LayerId> layers) {
+    for (VertexId u = first; u <= last; ++u) {
+      for (VertexId v = u + 1; v <= last; ++v) {
+        for (LayerId layer : layers) builder.AddEdge(layer, u, v);
+      }
+    }
+  };
+  add_clique(0, 4, {0, 1});
+  add_clique(5, 9, {1, 2});
+  builder.AddEdge(0, 10, 11);
+  return builder.Build();
+}
+
+TEST(QuasiCliqueTest, DegreeThreshold) {
+  EXPECT_EQ(QuasiCliqueDegreeThreshold(0.8, 6), 4);  // ⌈0.8·5⌉ = 4
+  EXPECT_EQ(QuasiCliqueDegreeThreshold(0.5, 5), 2);  // ⌈0.5·4⌉ = 2
+  EXPECT_EQ(QuasiCliqueDegreeThreshold(1.0, 4), 3);  // clique
+  EXPECT_EQ(QuasiCliqueDegreeThreshold(0.0, 9), 0);
+}
+
+TEST(QuasiCliqueTest, InternalDegree) {
+  MultiLayerGraph graph = TwoCliqueGraph();
+  EXPECT_EQ(InternalDegree(graph, 0, 0, {0, 1, 2, 3, 4}), 4);
+  EXPECT_EQ(InternalDegree(graph, 0, 0, {0, 1, 2}), 2);
+  EXPECT_EQ(InternalDegree(graph, 2, 0, {0, 1, 2, 3, 4}), 0);
+}
+
+TEST(QuasiCliqueTest, CliqueIsQuasiCliqueAtGammaOne) {
+  MultiLayerGraph graph = TwoCliqueGraph();
+  EXPECT_TRUE(IsQuasiClique(graph, 0, {0, 1, 2, 3, 4}, 1.0));
+  EXPECT_TRUE(IsQuasiClique(graph, 1, {0, 1, 2, 3, 4}, 1.0));
+  EXPECT_FALSE(IsQuasiClique(graph, 2, {0, 1, 2, 3, 4}, 0.5));
+}
+
+TEST(QuasiCliqueTest, SupportingLayers) {
+  MultiLayerGraph graph = TwoCliqueGraph();
+  EXPECT_EQ(SupportingLayers(graph, {0, 1, 2, 3, 4}, 0.8), (LayerSet{0, 1}));
+  EXPECT_EQ(SupportingLayers(graph, {5, 6, 7, 8, 9}, 0.8), (LayerSet{1, 2}));
+}
+
+TEST(QuasiCliqueTest, SingletonSupportedEverywhere) {
+  MultiLayerGraph graph = TwoCliqueGraph();
+  EXPECT_EQ(SupportingLayers(graph, {0}, 0.8).size(), 3u);
+}
+
+TEST(MimagTest, FindsPlantedCliques) {
+  MultiLayerGraph graph = TwoCliqueGraph();
+  MimagParams params;
+  params.gamma = 0.8;
+  params.min_size = 4;
+  params.min_support = 2;
+  MimagResult result = MineMimag(graph, params);
+  ASSERT_FALSE(result.clusters.empty());
+  VertexSet cover = result.Cover();
+  EXPECT_TRUE(IsSubsetSorted({0, 1, 2, 3, 4}, cover));
+  EXPECT_TRUE(IsSubsetSorted({5, 6, 7, 8, 9}, cover));
+  // The path vertices cannot belong to any size-4 quasi-clique.
+  EXPECT_FALSE(std::binary_search(cover.begin(), cover.end(), VertexId{10}));
+  EXPECT_FALSE(result.budget_exhausted);
+}
+
+TEST(MimagTest, EveryClusterSatisfiesItsContract) {
+  PlantedGraphConfig config;
+  config.num_vertices = 120;
+  config.num_layers = 4;
+  config.num_communities = 3;
+  config.community_size_min = 6;
+  config.community_size_max = 10;
+  config.internal_prob_min = 0.9;
+  config.internal_prob_max = 1.0;
+  config.seed = 11;
+  MultiLayerGraph graph = GeneratePlanted(config).graph;
+  MimagParams params;
+  params.gamma = 0.8;
+  params.min_size = 4;
+  params.min_support = 2;
+  MimagResult result = MineMimag(graph, params);
+  for (const auto& cluster : result.clusters) {
+    EXPECT_GE(static_cast<int>(cluster.vertices.size()), params.min_size);
+    EXPECT_GE(static_cast<int>(cluster.layers.size()), params.min_support);
+    for (LayerId layer : cluster.layers) {
+      EXPECT_TRUE(
+          IsQuasiClique(graph, layer, cluster.vertices, params.gamma));
+    }
+    // The recorded layer set is exactly the supporting set.
+    EXPECT_EQ(cluster.layers,
+              SupportingLayers(graph, cluster.vertices, params.gamma));
+  }
+}
+
+TEST(MimagTest, DiversificationLimitsOverlap) {
+  MultiLayerGraph graph = TwoCliqueGraph();
+  MimagParams params;
+  params.gamma = 0.8;
+  params.min_size = 4;
+  params.min_support = 2;
+  params.redundancy_threshold = 0.5;
+  MimagResult result = MineMimag(graph, params);
+  // Kept clusters must pairwise overlap at most ~50% with earlier ones.
+  for (size_t i = 0; i < result.clusters.size(); ++i) {
+    for (size_t j = 0; j < i; ++j) {
+      VertexSet overlap = IntersectSorted(result.clusters[i].vertices,
+                                          result.clusters[j].vertices);
+      EXPECT_LE(overlap.size(),
+                result.clusters[i].vertices.size() / 2 + 1);
+    }
+  }
+}
+
+TEST(MimagTest, ClustersAreMaximal) {
+  // After the maximalisation pass, no returned cluster can absorb another
+  // vertex without dropping below the support threshold.
+  PlantedGraphConfig config;
+  config.num_vertices = 100;
+  config.num_layers = 4;
+  config.num_communities = 3;
+  config.community_size_min = 8;
+  config.community_size_max = 12;
+  config.internal_prob_min = 0.9;
+  config.internal_prob_max = 1.0;
+  config.seed = 99;
+  MultiLayerGraph graph = GeneratePlanted(config).graph;
+  MimagParams params;
+  params.gamma = 0.8;
+  params.min_size = 4;
+  params.min_support = 2;
+  MimagResult result = MineMimag(graph, params);
+  ASSERT_FALSE(result.clusters.empty());
+  for (const auto& cluster : result.clusters) {
+    for (VertexId u = 0; u < graph.NumVertices(); ++u) {
+      if (std::binary_search(cluster.vertices.begin(),
+                             cluster.vertices.end(), u)) {
+        continue;
+      }
+      VertexSet extended = cluster.vertices;
+      extended.insert(
+          std::upper_bound(extended.begin(), extended.end(), u), u);
+      EXPECT_LT(SupportingLayers(graph, extended, params.gamma).size(),
+                static_cast<size_t>(params.min_support))
+          << "cluster extensible by vertex " << u << " — not maximal";
+    }
+  }
+}
+
+TEST(MimagTest, BudgetStopsExploration) {
+  PlantedGraphConfig config;
+  config.num_vertices = 150;
+  config.num_layers = 4;
+  config.num_communities = 4;
+  config.community_size_min = 12;
+  config.community_size_max = 16;
+  config.internal_prob_min = 0.95;
+  config.internal_prob_max = 1.0;
+  config.seed = 13;
+  MultiLayerGraph graph = GeneratePlanted(config).graph;
+  MimagParams params;
+  params.min_size = 3;
+  params.min_support = 2;
+  params.max_nodes = 500;
+  MimagResult result = MineMimag(graph, params);
+  EXPECT_TRUE(result.budget_exhausted);
+  EXPECT_LE(result.nodes_explored, 502);
+}
+
+TEST(MimagTest, MinSupportFiltersClusters) {
+  MultiLayerGraph graph = TwoCliqueGraph();
+  MimagParams params;
+  params.gamma = 0.8;
+  params.min_size = 4;
+  params.min_support = 3;  // no clique spans 3 layers
+  MimagResult result = MineMimag(graph, params);
+  EXPECT_TRUE(result.clusters.empty());
+}
+
+}  // namespace
+}  // namespace mlcore

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/dcc.h"
+#include "core/fds.h"
+#include "dccs/dccs.h"
+#include "graph/generators.h"
+
+namespace mlcore {
+namespace {
+
+// Cross-algorithm property sweep over a (d, s) grid on small planted
+// instances where the exact optimum is computable. For every point:
+//   - results are valid, distinct members of F_{d,s},
+//   - GD meets its (1 − 1/e) bound, BU/TD meet their 1/4 bounds,
+//   - the greedy cover is reproducible from the materialised F_{d,s}.
+
+MultiLayerGraph GridGraph(uint64_t seed) {
+  PlantedGraphConfig config;
+  config.num_vertices = 100;
+  config.num_layers = 5;
+  config.num_communities = 6;
+  config.community_size_min = 8;
+  config.community_size_max = 14;
+  config.internal_prob_min = 0.75;
+  config.internal_prob_max = 0.95;
+  config.background_avg_degree = 1.2;
+  config.seed = seed;
+  return GeneratePlanted(config).graph;
+}
+
+class GridPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(GridPropertyTest, AllAlgorithmsMeetBoundsAndContracts) {
+  auto [d, s] = GetParam();
+  MultiLayerGraph graph = GridGraph(static_cast<uint64_t>(d * 31 + s));
+  DccsParams params;
+  params.d = d;
+  params.s = s;
+  params.k = 3;
+
+  DccsResult exact = ExactDccs(graph, params);
+  for (DccsAlgorithm algorithm :
+       {DccsAlgorithm::kGreedy, DccsAlgorithm::kBottomUp,
+        DccsAlgorithm::kTopDown}) {
+    DccsResult result = SolveDccs(graph, params, algorithm);
+
+    // Contract: valid, distinct candidates.
+    std::set<LayerSet> seen;
+    for (const auto& core : result.cores) {
+      EXPECT_EQ(static_cast<int>(core.layers.size()), s);
+      EXPECT_TRUE(seen.insert(core.layers).second)
+          << AlgorithmName(algorithm) << " returned a duplicate layer set";
+      EXPECT_EQ(core.vertices, CoherentCore(graph, core.layers, d))
+          << AlgorithmName(algorithm);
+    }
+
+    // Approximation bounds.
+    EXPECT_GE(4 * result.CoverSize(), exact.CoverSize())
+        << AlgorithmName(algorithm) << " d=" << d << " s=" << s;
+    if (algorithm == DccsAlgorithm::kGreedy) {
+      EXPECT_GE(static_cast<double>(result.CoverSize()) + 1e-9,
+                (1.0 - 1.0 / 2.718281828) *
+                    static_cast<double>(exact.CoverSize()))
+          << "d=" << d << " s=" << s;
+    }
+
+    // Non-trivial instances must produce something whenever F is
+    // non-empty.
+    if (exact.CoverSize() > 0) {
+      EXPECT_GT(result.CoverSize(), 0) << AlgorithmName(algorithm);
+    }
+  }
+}
+
+TEST_P(GridPropertyTest, GreedyIsReproducibleFromFds) {
+  // GD-DCCS must equal a straightforward greedy max-cover over the
+  // materialised F_{d,s} (same cover size; Fig 2 lines 8–10).
+  auto [d, s] = GetParam();
+  MultiLayerGraph graph = GridGraph(static_cast<uint64_t>(d * 131 + s));
+  DccsParams params;
+  params.d = d;
+  params.s = s;
+  params.k = 3;
+
+  auto candidates = EnumerateFds(graph, d, s);
+  std::set<VertexId> covered;
+  for (int round = 0; round < params.k; ++round) {
+    int64_t best_gain = 0;
+    const CandidateCore* best = nullptr;
+    for (const auto& candidate : candidates) {
+      int64_t gain = 0;
+      for (VertexId v : candidate.vertices) {
+        if (covered.count(v) == 0) ++gain;
+      }
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = &candidate;
+      }
+    }
+    if (best == nullptr) break;
+    covered.insert(best->vertices.begin(), best->vertices.end());
+  }
+
+  DccsResult greedy = GreedyDccs(graph, params);
+  EXPECT_EQ(greedy.CoverSize(), static_cast<int64_t>(covered.size()))
+      << "d=" << d << " s=" << s;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, GridPropertyTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4),
+                       ::testing::Values(1, 2, 3, 5)),
+    [](const auto& info) {
+      return "d" + std::to_string(std::get<0>(info.param)) + "_s" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace mlcore

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "analysis/statistics.h"
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+
+namespace mlcore {
+namespace {
+
+MultiLayerGraph StatsGraph() {
+  // Layer 0: 5-clique + isolated vertices; layer 1: path 0..7; layer 2:
+  // copy of layer 0's clique (identical edge set).
+  GraphBuilder builder(10, 3);
+  for (VertexId u = 0; u < 5; ++u) {
+    for (VertexId v = u + 1; v < 5; ++v) {
+      builder.AddEdge(0, u, v);
+      builder.AddEdge(2, u, v);
+    }
+  }
+  for (VertexId v = 0; v + 1 < 8; ++v) builder.AddEdge(1, v, v + 1);
+  return builder.Build();
+}
+
+TEST(StatisticsTest, LayerStatistics) {
+  auto stats = ComputeLayerStatistics(StatsGraph());
+  ASSERT_EQ(stats.size(), 3u);
+  EXPECT_EQ(stats[0].edges, 10);
+  EXPECT_EQ(stats[0].max_degree, 4);
+  EXPECT_EQ(stats[0].active_vertices, 5);
+  EXPECT_EQ(stats[0].degeneracy, 4);  // clique of 5
+  EXPECT_EQ(stats[1].edges, 7);
+  EXPECT_EQ(stats[1].degeneracy, 1);  // path
+  EXPECT_DOUBLE_EQ(stats[1].average_degree, 14.0 / 10.0);
+}
+
+TEST(StatisticsTest, LayerJaccard) {
+  MultiLayerGraph graph = StatsGraph();
+  EXPECT_DOUBLE_EQ(LayerEdgeJaccard(graph, 0, 2), 1.0);  // identical
+  EXPECT_DOUBLE_EQ(LayerEdgeJaccard(graph, 0, 0), 1.0);
+  // Layers 0 and 1 share edges {01, 12, 23, 34}: 4 common, union 13.
+  EXPECT_NEAR(LayerEdgeJaccard(graph, 0, 1), 4.0 / 13.0, 1e-12);
+}
+
+TEST(StatisticsTest, SimilarityMatrixSymmetric) {
+  MultiLayerGraph graph = StatsGraph();
+  auto matrix = LayerSimilarityMatrix(graph);
+  ASSERT_EQ(matrix.size(), 9u);
+  for (size_t a = 0; a < 3; ++a) {
+    EXPECT_DOUBLE_EQ(matrix[a * 3 + a], 1.0);
+    for (size_t b = 0; b < 3; ++b) {
+      EXPECT_DOUBLE_EQ(matrix[a * 3 + b], matrix[b * 3 + a]);
+    }
+  }
+  EXPECT_DOUBLE_EQ(matrix[0 * 3 + 2], 1.0);
+}
+
+TEST(StatisticsTest, EmptyLayersAreSimilar) {
+  GraphBuilder builder(5, 2);
+  MultiLayerGraph graph = builder.Build();
+  EXPECT_DOUBLE_EQ(LayerEdgeJaccard(graph, 0, 1), 1.0);
+}
+
+TEST(StatisticsTest, DegreeHistogram) {
+  auto histogram = DegreeHistogram(StatsGraph(), 0);
+  ASSERT_EQ(histogram.size(), 5u);  // max degree 4
+  EXPECT_EQ(histogram[0], 5);       // vertices 5..9 isolated
+  EXPECT_EQ(histogram[4], 5);       // the clique
+  EXPECT_EQ(histogram[1] + histogram[2] + histogram[3], 0);
+}
+
+TEST(StatisticsTest, SupportHistogram) {
+  MultiLayerGraph graph = StatsGraph();
+  auto histogram = SupportHistogram(graph, 2);
+  ASSERT_EQ(histogram.size(), 4u);  // l + 1 buckets
+  // 2-cores: layers 0 and 2 have the clique; layer 1 has none.
+  EXPECT_EQ(histogram[2], 5);  // clique members in exactly 2 cores
+  EXPECT_EQ(histogram[0], 5);  // everyone else in none
+}
+
+TEST(StatisticsTest, ConnectedComponents) {
+  MultiLayerGraph graph = StatsGraph();
+  auto components = ConnectedComponents(graph, 0);
+  // Clique = 1 component, isolated 5..9 = 5 singletons.
+  EXPECT_EQ(CountComponents(components), 6);
+  EXPECT_EQ(components[0], components[4]);
+  EXPECT_NE(components[0], components[5]);
+  auto path_components = ConnectedComponents(graph, 1);
+  EXPECT_EQ(CountComponents(path_components), 3);  // path 0-7 + {8}, {9}
+}
+
+TEST(StatisticsTest, RandomGraphSanity) {
+  MultiLayerGraph graph = GenerateErdosRenyi(100, 2, 0.05, 77);
+  auto stats = ComputeLayerStatistics(graph);
+  for (const auto& layer_stats : stats) {
+    EXPECT_GT(layer_stats.edges, 0);
+    EXPECT_GE(layer_stats.max_degree, 1);
+    EXPECT_GE(layer_stats.degeneracy, 1);
+    EXPECT_NEAR(layer_stats.average_degree, 0.05 * 99, 2.0);
+  }
+  auto histogram = DegreeHistogram(graph, 0);
+  int64_t total = 0;
+  for (int64_t count : histogram) total += count;
+  EXPECT_EQ(total, 100);
+}
+
+}  // namespace
+}  // namespace mlcore

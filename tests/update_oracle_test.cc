@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "dccs/cover.h"
+#include "util/rng.h"
+
+namespace mlcore {
+namespace {
+
+// A deliberately slow, obviously-correct model of the §IV-A Update rules.
+// Every decision of the production CoverageIndex is replayed against it.
+class NaiveResultSet {
+ public:
+  explicit NaiveResultSet(int k) : k_(k) {}
+
+  int64_t CoverSize() const { return static_cast<int64_t>(Cover().size()); }
+
+  bool Update(const VertexSet& candidate, const LayerSet& layers) {
+    if (candidate.empty()) return false;
+    for (const auto& [l, c] : entries_) {
+      if (l == layers) return false;
+    }
+    if (static_cast<int>(entries_.size()) < k_) {  // Rule 1
+      entries_.emplace_back(layers, candidate);
+      return true;
+    }
+    // Rule 2: replace the entry with minimum exclusive coverage if the
+    // replacement cover reaches (1 + 1/k)|Cov(R)|.
+    size_t star = MinExclusiveIndex();
+    std::set<VertexId> replaced;
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      if (i == star) continue;
+      replaced.insert(entries_[i].second.begin(), entries_[i].second.end());
+    }
+    replaced.insert(candidate.begin(), candidate.end());
+    if (static_cast<int64_t>(replaced.size()) * k_ >=
+        (k_ + 1) * CoverSize()) {
+      entries_[star] = {layers, candidate};
+      return true;
+    }
+    return false;
+  }
+
+  std::set<VertexId> Cover() const {
+    std::set<VertexId> cover;
+    for (const auto& [l, c] : entries_) cover.insert(c.begin(), c.end());
+    return cover;
+  }
+
+  int64_t MinExclusiveSize() const {
+    if (entries_.empty()) return 0;
+    return Exclusive(MinExclusiveIndex());
+  }
+
+ private:
+  int64_t Exclusive(size_t slot) const {
+    int64_t count = 0;
+    for (VertexId v : entries_[slot].second) {
+      bool elsewhere = false;
+      for (size_t i = 0; i < entries_.size() && !elsewhere; ++i) {
+        if (i == slot) continue;
+        elsewhere = std::binary_search(entries_[i].second.begin(),
+                                       entries_[i].second.end(), v);
+      }
+      if (!elsewhere) ++count;
+    }
+    return count;
+  }
+
+  size_t MinExclusiveIndex() const {
+    // Same tie-breaking rule as the production index: minimal |Δ|, then
+    // lexicographically smallest layer set.
+    size_t best = 0;
+    for (size_t i = 1; i < entries_.size(); ++i) {
+      int64_t delta = Exclusive(i), best_delta = Exclusive(best);
+      if (delta < best_delta ||
+          (delta == best_delta && entries_[i].first < entries_[best].first)) {
+        best = i;
+      }
+    }
+    return best;
+  }
+
+  int k_;
+  std::vector<std::pair<LayerSet, VertexSet>> entries_;
+};
+
+class UpdateOracleTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(UpdateOracleTest, ProductionMatchesOracleOnRandomStreams) {
+  const int k = GetParam();
+  Rng rng(static_cast<uint64_t>(k) * 7919 + 13);
+  CoverageIndex index(k);
+  NaiveResultSet oracle(k);
+  for (int round = 0; round < 400; ++round) {
+    VertexSet candidate;
+    const int size = static_cast<int>(rng.Uniform(0, 25));
+    for (int i = 0; i < size; ++i) {
+      candidate.push_back(static_cast<VertexId>(rng.Uniform(0, 70)));
+    }
+    std::sort(candidate.begin(), candidate.end());
+    candidate.erase(std::unique(candidate.begin(), candidate.end()),
+                    candidate.end());
+    LayerSet layers = {static_cast<LayerId>(round % 59),
+                       static_cast<LayerId>(59 + round / 59)};
+
+    bool expected = oracle.Update(candidate, layers);
+    bool actual = index.Update(candidate, layers);
+    ASSERT_EQ(actual, expected) << "round " << round << " k=" << k;
+    ASSERT_EQ(index.cover_size(), oracle.CoverSize()) << "round " << round;
+    ASSERT_EQ(index.MinExclusiveSize(), oracle.MinExclusiveSize())
+        << "round " << round;
+    index.CheckInvariants();
+  }
+  // Final covers agree element-wise.
+  std::set<VertexId> expected_cover = oracle.Cover();
+  std::set<VertexId> actual_cover;
+  for (const auto& entry : index.entries()) {
+    actual_cover.insert(entry.vertices.begin(), entry.vertices.end());
+  }
+  EXPECT_EQ(actual_cover, expected_cover);
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, UpdateOracleTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13));
+
+}  // namespace
+}  // namespace mlcore

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "util/bitset.h"
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/table.h"
+#include "util/timing.h"
+
+namespace mlcore {
+namespace {
+
+TEST(BitsetTest, SetTestClear) {
+  Bitset bits(130);
+  EXPECT_EQ(bits.Count(), 0u);
+  bits.Set(0);
+  bits.Set(64);
+  bits.Set(129);
+  EXPECT_TRUE(bits.Test(0));
+  EXPECT_TRUE(bits.Test(64));
+  EXPECT_TRUE(bits.Test(129));
+  EXPECT_FALSE(bits.Test(1));
+  EXPECT_EQ(bits.Count(), 3u);
+  bits.Clear(64);
+  EXPECT_FALSE(bits.Test(64));
+  EXPECT_EQ(bits.Count(), 2u);
+}
+
+TEST(BitsetTest, ToVectorSorted) {
+  Bitset bits(200);
+  bits.Set(150);
+  bits.Set(3);
+  bits.Set(63);
+  bits.Set(64);
+  EXPECT_EQ(bits.ToVector(), (std::vector<int>{3, 63, 64, 150}));
+}
+
+TEST(BitsetTest, SetAllRespectsSize) {
+  Bitset bits(70);
+  bits.SetAll();
+  EXPECT_EQ(bits.Count(), 70u);
+  EXPECT_TRUE(bits.Test(69));
+}
+
+TEST(BitsetTest, IntersectAndUnion) {
+  Bitset a(100), b(100);
+  a.Set(1);
+  a.Set(50);
+  a.Set(99);
+  b.Set(50);
+  b.Set(99);
+  b.Set(2);
+  Bitset inter = a;
+  inter.IntersectWith(b);
+  EXPECT_EQ(inter.ToVector(), (std::vector<int>{50, 99}));
+  Bitset uni = a;
+  uni.UnionWith(b);
+  EXPECT_EQ(uni.ToVector(), (std::vector<int>{1, 2, 50, 99}));
+}
+
+TEST(BitsetTest, ResetClearsEverything) {
+  Bitset bits(80);
+  bits.SetAll();
+  bits.Reset();
+  EXPECT_EQ(bits.Count(), 0u);
+}
+
+TEST(RngTest, DeterministicForFixedSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Uniform(0, 1000), b.Uniform(0, 1000));
+  }
+}
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.Uniform(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, SkewedIndexInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.SkewedIndex(100, 0.4);
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 100);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(FlagsTest, ParsesKeyValueAndBooleans) {
+  const char* argv[] = {"prog", "--k=10", "--gamma=0.8", "--name=stack",
+                        "--quick"};
+  Flags flags(5, const_cast<char**>(argv));
+  EXPECT_EQ(flags.GetInt("k", 0), 10);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("gamma", 0.0), 0.8);
+  EXPECT_EQ(flags.GetString("name", ""), "stack");
+  EXPECT_TRUE(flags.GetBool("quick", false));
+  EXPECT_FALSE(flags.GetBool("missing", false));
+  EXPECT_EQ(flags.GetInt("missing", 7), 7);
+  EXPECT_TRUE(flags.Has("k"));
+  EXPECT_FALSE(flags.Has("j"));
+}
+
+TEST(TableTest, CsvRoundTrip) {
+  Table table({"a", "b"});
+  table.AddRow({"1", "2"});
+  table.AddRow({"x", "y"});
+  EXPECT_EQ(table.ToCsv(), "a,b\n1,2\nx,y\n");
+}
+
+TEST(TableTest, NumFormatting) {
+  EXPECT_EQ(Table::Num(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::Int(42), "42");
+}
+
+TEST(TimingTest, FormatSeconds) {
+  EXPECT_EQ(FormatSeconds(0.25), "250ms");
+  EXPECT_EQ(FormatSeconds(4.2), "4.20s");
+  EXPECT_EQ(FormatSeconds(151.0), "2m31s");
+}
+
+TEST(TimingTest, TimerAdvances) {
+  WallTimer timer;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
+  EXPECT_GT(timer.Seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace mlcore

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/dcc.h"
+#include "dccs/preprocess.h"
+#include "dccs/vertex_index.h"
+#include "graph/generators.h"
+#include "util/check.h"
+
+namespace mlcore {
+namespace {
+
+TEST(VertexIndexTest, PartitionsAllActiveVertices) {
+  MultiLayerGraph graph = GenerateErdosRenyi(100, 4, 0.08, 5);
+  VertexSet active = AllVertices(graph);
+  VertexLevelIndex index(graph, 2, active);
+  size_t assigned = 0;
+  for (int level = 0; level < index.num_levels(); ++level) {
+    assigned += index.at_level(level).size();
+    for (VertexId v : index.at_level(level)) {
+      EXPECT_EQ(index.level(v), level);
+    }
+  }
+  EXPECT_EQ(assigned, active.size());
+}
+
+TEST(VertexIndexTest, StagesAreMonotoneAcrossLevels) {
+  MultiLayerGraph graph = GenerateErdosRenyi(120, 5, 0.07, 6);
+  VertexLevelIndex index(graph, 2, AllVertices(graph));
+  int previous_stage = 0;
+  for (int level = 0; level < index.num_levels(); ++level) {
+    ASSERT_FALSE(index.at_level(level).empty());
+    int stage = index.stage(index.at_level(level)[0]);
+    for (VertexId v : index.at_level(level)) {
+      EXPECT_EQ(index.stage(v), stage) << "mixed stages within one batch";
+    }
+    EXPECT_GE(stage, previous_stage);
+    previous_stage = stage;
+  }
+}
+
+TEST(VertexIndexTest, LabelsBoundedByStage) {
+  // |L(v)| can exceed the removal stage only before the first batch at that
+  // stage; by construction Num(v) ≤ stage(v) at removal, so |L(v)| ≤ stage.
+  MultiLayerGraph graph = GenerateErdosRenyi(90, 4, 0.08, 7);
+  VertexLevelIndex index(graph, 2, AllVertices(graph));
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    ASSERT_GE(index.stage(v), 1);
+    EXPECT_LE(static_cast<int>(index.label(v).size()), index.stage(v));
+    EXPECT_TRUE(std::is_sorted(index.label(v).begin(), index.label(v).end()));
+  }
+}
+
+TEST(VertexIndexTest, Lemma8ScopeContainsCoherentCores) {
+  // Lemma 8: C^d_{L'} ⊆ {v : stage(v) ≥ |L'|} for every layer subset L'.
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    PlantedGraphConfig config;
+    config.num_vertices = 150;
+    config.num_layers = 5;
+    config.num_communities = 4;
+    config.seed = 500 + seed;
+    MultiLayerGraph graph = GeneratePlanted(config).graph;
+    const int d = 3;
+    VertexLevelIndex index(graph, d, AllVertices(graph));
+    DccSolver solver(graph);
+    std::vector<LayerSet> subsets = {
+        {0}, {0, 1}, {1, 2, 3}, {0, 2, 3, 4}, {0, 1, 2, 3, 4}};
+    for (const LayerSet& layers : subsets) {
+      VertexSet core = solver.Compute(layers, d, AllVertices(graph));
+      for (VertexId v : core) {
+        EXPECT_GE(index.stage(v), static_cast<int>(layers.size()))
+            << "seed=" << seed;
+      }
+    }
+  }
+}
+
+TEST(VertexIndexTest, VerticesOutsideActiveGetMinusOne) {
+  MultiLayerGraph graph = GenerateErdosRenyi(40, 2, 0.1, 8);
+  VertexSet active;
+  for (VertexId v = 0; v < 20; ++v) active.push_back(v);
+  VertexLevelIndex index(graph, 1, active);
+  for (VertexId v = 20; v < 40; ++v) {
+    EXPECT_EQ(index.level(v), -1);
+    EXPECT_EQ(index.stage(v), -1);
+  }
+}
+
+TEST(VertexIndexTest, LabelMatchesCoreMembershipAtRemoval) {
+  // Spot property: for vertices on the very first level, L(v) must equal
+  // their membership in the *initial* per-layer d-cores.
+  MultiLayerGraph graph = GenerateErdosRenyi(80, 3, 0.09, 9);
+  const int d = 2;
+  PreprocessResult pre = Preprocess(graph, d, /*s=*/1, false);
+  VertexLevelIndex index(graph, d, AllVertices(graph));
+  ASSERT_GT(index.num_levels(), 0);
+  for (VertexId v : index.at_level(0)) {
+    LayerSet expected;
+    for (LayerId layer = 0; layer < graph.NumLayers(); ++layer) {
+      if (pre.layer_core_bits[static_cast<size_t>(layer)].Test(
+              static_cast<size_t>(v))) {
+        expected.push_back(layer);
+      }
+    }
+    EXPECT_EQ(index.label(v), expected);
+  }
+}
+
+}  // namespace
+}  // namespace mlcore
