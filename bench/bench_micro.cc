@@ -7,10 +7,12 @@
 #include "core/dcc.h"
 #include "core/dcore.h"
 #include "dccs/cover.h"
+#include "dccs/dccs.h"
 #include "dccs/preprocess.h"
 #include "dccs/vertex_index.h"
 #include "graph/generators.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -72,6 +74,88 @@ void BM_DccBins(benchmark::State& state) {
 }
 BENCHMARK(BM_DccBins)->Arg(2)->Arg(4);
 
+// The DCCS searches issue thousands of dCC calls over *small* scopes (a
+// community-sized candidate inside a 20k-vertex graph); per-call setup cost
+// dominates there, not peeling itself. 64 random community-sized scopes,
+// |L| = 2, cycled per iteration.
+std::vector<mlcore::VertexSet> ScopedWorkload() {
+  mlcore::Rng rng(41);
+  std::vector<mlcore::VertexSet> scopes;
+  const int n = BenchGraph().NumVertices();
+  for (int i = 0; i < 64; ++i) {
+    mlcore::VertexSet scope;
+    int size = static_cast<int>(rng.Uniform(40, 400));
+    for (int j = 0; j < size; ++j) {
+      scope.push_back(static_cast<mlcore::VertexId>(rng.Uniform(0, n - 1)));
+    }
+    std::sort(scope.begin(), scope.end());
+    scope.erase(std::unique(scope.begin(), scope.end()), scope.end());
+    scopes.push_back(std::move(scope));
+  }
+  return scopes;
+}
+
+void BM_DccQueueScoped(benchmark::State& state) {
+  const auto& graph = BenchGraph();
+  mlcore::DccSolver solver(graph);
+  const std::vector<mlcore::VertexSet> scopes = ScopedWorkload();
+  mlcore::LayerSet layers = {1, 5};
+  const int d = static_cast<int>(state.range(0));
+  size_t next = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        solver.Compute(layers, d, scopes[next], mlcore::DccEngine::kQueue));
+    next = (next + 1) % scopes.size();
+  }
+}
+BENCHMARK(BM_DccQueueScoped)->Arg(2)->Arg(4);
+
+void BM_DccBinsScoped(benchmark::State& state) {
+  const auto& graph = BenchGraph();
+  mlcore::DccSolver solver(graph);
+  const std::vector<mlcore::VertexSet> scopes = ScopedWorkload();
+  mlcore::LayerSet layers = {1, 5};
+  const int d = static_cast<int>(state.range(0));
+  size_t next = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        solver.Compute(layers, d, scopes[next], mlcore::DccEngine::kBins));
+    next = (next + 1) % scopes.size();
+  }
+}
+BENCHMARK(BM_DccBinsScoped)->Arg(2)->Arg(4);
+
+// Fully allocation-free variant: the caller-owned result buffer is reused
+// across calls (the driver-loop pattern of the BU/TD searches).
+void BM_DccComputeInto(benchmark::State& state) {
+  const auto& graph = BenchGraph();
+  mlcore::DccSolver solver(graph);
+  const std::vector<mlcore::VertexSet> scopes = ScopedWorkload();
+  mlcore::LayerSet layers = {1, 5};
+  mlcore::VertexSet out;
+  const int d = static_cast<int>(state.range(0));
+  size_t next = 0;
+  for (auto _ : state) {
+    solver.Compute(layers, d, scopes[next], &out, mlcore::DccEngine::kQueue);
+    benchmark::DoNotOptimize(out.data());
+    next = (next + 1) % scopes.size();
+  }
+}
+BENCHMARK(BM_DccComputeInto)->Arg(2)->Arg(4);
+
+void BM_GreedyDccs(benchmark::State& state) {
+  const auto& graph = BenchGraph();
+  mlcore::DccsParams params;
+  params.d = 4;
+  params.s = 3;
+  params.k = 10;
+  params.num_threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mlcore::GreedyDccs(graph, params));
+  }
+}
+BENCHMARK(BM_GreedyDccs)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
 void BM_CoverageUpdate(benchmark::State& state) {
   // Pre-generate a stream of pseudo-random candidate sets.
   mlcore::Rng rng(7);
@@ -101,12 +185,13 @@ BENCHMARK(BM_CoverageUpdate);
 
 void BM_Preprocess(benchmark::State& state) {
   const auto& graph = BenchGraph();
+  mlcore::ThreadPool pool(static_cast<int>(state.range(0)));
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        mlcore::Preprocess(graph, /*d=*/4, /*s=*/3, true));
+        mlcore::Preprocess(graph, /*d=*/4, /*s=*/3, true, &pool));
   }
 }
-BENCHMARK(BM_Preprocess);
+BENCHMARK(BM_Preprocess)->Arg(1)->Arg(4);
 
 void BM_VertexIndexBuild(benchmark::State& state) {
   const auto& graph = BenchGraph();

@@ -5,7 +5,6 @@
 #include <vector>
 
 #include "graph/multilayer_graph.h"
-#include "util/bitset.h"
 
 namespace mlcore {
 
@@ -25,9 +24,20 @@ enum class DccEngine {
 /// T ⊆ scope such that every v ∈ T has ≥ d neighbours inside T on every
 /// layer of L. Runs in O((|scope| + m[scope])·|L|).
 ///
-/// The solver owns O(n·l) scratch arrays sized once at construction, so the
-/// DCCS searches can issue thousands of scoped dCC calls without per-call
-/// allocation. Not thread-safe; use one solver per thread.
+/// The solver is allocation-free in steady state (see DESIGN.md §2):
+///  - Per-vertex membership scratch is *epoch-stamped*: a generation
+///    counter is bumped at the start of every call, so invalidating the
+///    previous call's marks is O(1) instead of O(|scope|).
+///  - Scoped degrees live in layer-major blocks `degree_[pos·n + v]`,
+///    where `pos` indexes the *queried* layer set. The blocks grow to the
+///    largest |L| ever queried (≤ n·l), and layer-major order keeps the
+///    per-layer peeling sweeps on contiguous memory instead of striding
+///    through an n×l matrix.
+///  - The `Compute(..., VertexSet* out)` overload writes into a
+///    caller-owned buffer, so driver loops issuing thousands of scoped
+///    calls perform zero result allocations after warm-up.
+///
+/// Not thread-safe; use one solver per thread.
 class DccSolver {
  public:
   explicit DccSolver(const MultiLayerGraph& graph);
@@ -40,27 +50,68 @@ class DccSolver {
   VertexSet Compute(const LayerSet& layers, int d, const VertexSet& scope,
                     DccEngine engine = DccEngine::kQueue);
 
+  /// Buffer-reusing form: clears `*out` and fills it with the d-CC, reusing
+  /// its capacity. `out` must not alias `scope`.
+  void Compute(const LayerSet& layers, int d, const VertexSet& scope,
+               VertexSet* out, DccEngine engine = DccEngine::kQueue);
+
   /// Number of Compute invocations so far (search-effort statistic).
   int64_t num_calls() const { return num_calls_; }
 
  private:
-  VertexSet ComputeQueue(const LayerSet& layers, int d,
-                         const VertexSet& scope);
-  VertexSet ComputeBins(const LayerSet& layers, int d, const VertexSet& scope);
+  void ComputeQueue(const LayerSet& layers, int d, const VertexSet& scope,
+                    VertexSet* out);
+  void ComputeBins(const LayerSet& layers, int d, const VertexSet& scope,
+                   VertexSet* out);
 
-  // Fills degree_ for all scope vertices on the given layers and returns the
-  // vertices already below threshold. Shared by both engines.
-  void InitDegrees(const LayerSet& layers, const VertexSet& scope);
-  void ClearScratch(const VertexSet& scope);
+  // Starts a new call: bumps the epoch (resetting the stamp arrays on the
+  // rare uint32 wrap), stamps the scope, and sizes degree_ for |layers|
+  // layer-major blocks. Initial degrees are filled by the engines.
+  void BeginCall(const LayerSet& layers, const VertexSet& scope);
+
+  bool InScope(VertexId v) const {
+    return scope_epoch_[static_cast<size_t>(v)] == epoch_;
+  }
+  bool Removed(VertexId v) const {
+    return removed_epoch_[static_cast<size_t>(v)] == epoch_;
+  }
+  void MarkRemoved(VertexId v) {
+    removed_epoch_[static_cast<size_t>(v)] = epoch_;
+  }
+
+  // Fills degree_ for every (queried layer, scope vertex) pair, layer by
+  // layer. When `seed_queue` is set, vertices already below `d` are marked
+  // removed and pushed onto queue_. The queue engine consumes the queue;
+  // the bins engine discards it but keeps the removal marks as a
+  // skip-doomed-vertices optimisation (see ComputeBins).
+  void InitDegrees(const LayerSet& layers, int d, const VertexSet& scope,
+                   bool seed_queue);
 
   const MultiLayerGraph& graph_;
   int64_t num_calls_ = 0;
 
-  Bitset in_scope_;
-  std::vector<uint8_t> removed_;
-  // degree_[v * num_layers + layer]: degree of v within the current scope
-  // on `layer`. Only entries for (scope vertex, queried layer) are valid.
+  // Epoch stamps: v is in the current scope iff scope_epoch_[v] == epoch_,
+  // removed iff removed_epoch_[v] == epoch_.
+  uint32_t epoch_ = 0;
+  std::vector<uint32_t> scope_epoch_;
+  std::vector<uint32_t> removed_epoch_;
+  // degree_[pos * n + v]: degree of scope vertex v within the scope on the
+  // pos-th *queried* layer. Grown to max |L| seen; entries are fully
+  // rewritten by InitDegrees, so stale values never need clearing.
   std::vector<int32_t> degree_;
+  // Peeling worklist (both engines) — capacity reused across calls.
+  std::vector<VertexId> queue_;
+
+  // kBins scratch: dense index per scope vertex, bin boundaries, the
+  // ver/pos permutation and per-removal touched list (Appendix B arrays).
+  // dense_ is only read for in-scope vertices, each of which is rewritten
+  // at the start of a kBins call, so it needs no clearing either.
+  std::vector<int32_t> dense_;
+  std::vector<int32_t> min_deg_;
+  std::vector<size_t> bin_;
+  std::vector<VertexId> ver_;
+  std::vector<size_t> pos_;
+  std::vector<VertexId> touched_;
 };
 
 /// Convenience wrapper: the coherent core C^d_L(G) over the full vertex set.

@@ -6,6 +6,7 @@
 #include "core/dcc.h"
 #include "dccs/cover.h"
 #include "dccs/preprocess.h"
+#include "util/thread_pool.h"
 #include "util/timing.h"
 
 namespace mlcore {
@@ -51,14 +52,8 @@ class BottomUpSearch {
         order_[static_cast<size_t>(pos)])];
   }
 
-  LayerSet ToLayerIds(const LayerSet& positions) const {
-    LayerSet ids;
-    ids.reserve(positions.size());
-    for (LayerId pos : positions) {
-      ids.push_back(order_[static_cast<size_t>(pos)]);
-    }
-    std::sort(ids.begin(), ids.end());
-    return ids;
+  void ToLayerIdsInto(const LayerSet& positions, LayerSet* ids) const {
+    PositionsToLayerIds(order_, positions, ids);
   }
 
   // BU-Gen (Fig 3). `positions` is the node's L (ascending positions),
@@ -84,65 +79,68 @@ class BottomUpSearch {
     std::vector<Child> recurse;  // the LR set with its computed d-CCs
     uint64_t in_lr = 0;
 
+    const bool leaf = depth + 1 == params_.s;
     if (!result_.full()) {
       // Lines 2–9: no pruning is applicable while |R| < k.
       for (int j : expandable) {
         if (BudgetExpired()) return;
         ++stats_.nodes_visited;
-        LayerSet child_positions = positions;
-        child_positions.push_back(static_cast<LayerId>(j));
-        LayerSet child_ids = ToLayerIds(child_positions);
-        VertexSet scope = IntersectSorted(core, CoreAtPosition(j));
-        VertexSet child_core =
-            solver_.Compute(child_ids, params_.d, scope, params_.dcc_engine);
-        if (depth + 1 == params_.s) {
-          if (result_.Update(child_core, child_ids)) {
+        positions_buf_ = positions;
+        positions_buf_.push_back(static_cast<LayerId>(j));
+        ToLayerIdsInto(positions_buf_, &ids_buf_);
+        IntersectSortedInto(core, CoreAtPosition(j), &scope_buf_);
+        solver_.Compute(ids_buf_, params_.d, scope_buf_, &core_buf_,
+                        params_.dcc_engine);
+        if (leaf) {
+          if (result_.Update(core_buf_, ids_buf_)) {
             ++stats_.updates_accepted;
           }
-        } else if (!child_core.empty()) {
+        } else if (!core_buf_.empty()) {
           in_lr |= uint64_t{1} << j;
-          recurse.push_back(Child{j, std::move(child_core)});
+          recurse.push_back(Child{j, core_buf_});
         }
       }
     } else {
       // Lines 10–22: sort candidates by |C ∩ C^d(G_j)| descending and apply
       // order-based (Lemma 3), Eq. (1) (Lemma 2) and layer (Lemma 4)
-      // pruning.
-      struct Scoped {
-        int position;
-        VertexSet scope;
-      };
-      std::vector<Scoped> scoped;
-      scoped.reserve(expandable.size());
-      for (int j : expandable) {
-        scoped.push_back(Scoped{j, IntersectSorted(core, CoreAtPosition(j))});
+      // pruning. The scopes live in a member arena indexed by expandable
+      // position and only the index permutation is sorted; the arena is
+      // dead by the time the recursion below reuses it.
+      const size_t num_scoped = expandable.size();
+      if (scope_arena_.size() < num_scoped) scope_arena_.resize(num_scoped);
+      scoped_order_.clear();
+      for (size_t idx = 0; idx < num_scoped; ++idx) {
+        IntersectSortedInto(core, CoreAtPosition(expandable[idx]),
+                            &scope_arena_[idx]);
+        scoped_order_.push_back(idx);
       }
-      std::stable_sort(scoped.begin(), scoped.end(),
-                       [](const Scoped& a, const Scoped& b) {
-                         return a.scope.size() > b.scope.size();
+      std::stable_sort(scoped_order_.begin(), scoped_order_.end(),
+                       [&](size_t a, size_t b) {
+                         return scope_arena_[a].size() > scope_arena_[b].size();
                        });
-      for (size_t idx = 0; idx < scoped.size(); ++idx) {
+      for (size_t rank = 0; rank < num_scoped; ++rank) {
         if (BudgetExpired()) return;
-        const auto& [j, scope] = scoped[idx];
+        const int j = expandable[scoped_order_[rank]];
+        const VertexSet& scope = scope_arena_[scoped_order_[rank]];
         if (result_.BelowOrderThreshold(
                 static_cast<int64_t>(scope.size()))) {
           // Lemma 3: this and all later children in the order are hopeless.
-          stats_.pruned_order += static_cast<int64_t>(scoped.size() - idx);
+          stats_.pruned_order += static_cast<int64_t>(num_scoped - rank);
           break;
         }
         ++stats_.nodes_visited;
-        LayerSet child_positions = positions;
-        child_positions.push_back(static_cast<LayerId>(j));
-        LayerSet child_ids = ToLayerIds(child_positions);
-        VertexSet child_core =
-            solver_.Compute(child_ids, params_.d, scope, params_.dcc_engine);
-        if (depth + 1 == params_.s) {
-          if (result_.Update(child_core, child_ids)) {
+        positions_buf_ = positions;
+        positions_buf_.push_back(static_cast<LayerId>(j));
+        ToLayerIdsInto(positions_buf_, &ids_buf_);
+        solver_.Compute(ids_buf_, params_.d, scope, &core_buf_,
+                        params_.dcc_engine);
+        if (leaf) {
+          if (result_.Update(core_buf_, ids_buf_)) {
             ++stats_.updates_accepted;
           }
-        } else if (!child_core.empty() && result_.SatisfiesEq1(child_core)) {
+        } else if (!core_buf_.empty() && result_.SatisfiesEq1(core_buf_)) {
           in_lr |= uint64_t{1} << j;
-          recurse.push_back(Child{j, std::move(child_core)});
+          recurse.push_back(Child{j, core_buf_});
         } else {
           ++stats_.pruned_eq1;  // Lemma 2 subtree prune
         }
@@ -176,6 +174,13 @@ class BottomUpSearch {
   CoverageIndex& result_;
   SearchStats& stats_;
   WallTimer timer_;
+
+  // Reusable per-node buffers; leaf children (the vast majority of tree
+  // nodes at the search frontier) complete without any allocation.
+  LayerSet positions_buf_, ids_buf_;
+  VertexSet scope_buf_, core_buf_;
+  std::vector<VertexSet> scope_arena_;
+  std::vector<size_t> scoped_order_;
 };
 
 }  // namespace
@@ -193,9 +198,14 @@ DccsResult BottomUpDccs(const MultiLayerGraph& graph,
     return result;
   }
 
-  // Fig 7 lines 1–7: vertex deletion.
-  PreprocessResult preprocess =
-      Preprocess(graph, params.d, params.s, params.vertex_deletion);
+  // Fig 7 lines 1–7: vertex deletion (per-layer d-cores fan out over a
+  // pool scoped to this call; the search itself is sequential through the
+  // shared top-k state, so the workers are released before it starts).
+  PreprocessResult preprocess = [&] {
+    ThreadPool pool(params.num_threads);
+    return Preprocess(graph, params.d, params.s, params.vertex_deletion,
+                      &pool);
+  }();
   result.stats.preprocess_seconds = preprocess.seconds;
 
   WallTimer search_timer;

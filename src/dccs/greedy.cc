@@ -1,12 +1,13 @@
 #include "dccs/greedy.h"
 
 #include <algorithm>
-#include <thread>
+#include <memory>
 
 #include "core/dcc.h"
 #include "core/fds.h"
 #include "dccs/preprocess.h"
 #include "util/bitset.h"
+#include "util/thread_pool.h"
 #include "util/timing.h"
 
 namespace mlcore {
@@ -16,8 +17,12 @@ DccsResult GreedyDccs(const MultiLayerGraph& graph, const DccsParams& params) {
   DccsResult result;
   const auto n = static_cast<size_t>(graph.NumVertices());
 
+  // One pool serves both phases: per-layer d-cores in preprocessing and the
+  // C(l, s) candidate evaluations below.
+  ThreadPool pool(params.num_threads);
+
   PreprocessResult preprocess =
-      Preprocess(graph, params.d, params.s, params.vertex_deletion);
+      Preprocess(graph, params.d, params.s, params.vertex_deletion, &pool);
   result.stats.preprocess_seconds = preprocess.seconds;
 
   if (params.s > graph.NumLayers()) {
@@ -47,45 +52,43 @@ DccsResult GreedyDccs(const MultiLayerGraph& graph, const DccsParams& params) {
                             subsets.push_back(layers);
                           });
 
+  // Per-worker arenas: one solver plus reusable scope/core buffers per pool
+  // lane, so the candidate loop performs no steady-state allocation. Each
+  // candidate writes only its own subset-indexed slot, which keeps the
+  // output independent of how the pool schedules items across lanes.
   std::vector<Candidate> slots(subsets.size());
-  auto evaluate_range = [&](size_t begin, size_t end) {
-    DccSolver solver(graph);
-    for (size_t i = begin; i < end; ++i) {
-      const LayerSet& layers = subsets[i];
-      VertexSet scope =
-          preprocess.layer_cores[static_cast<size_t>(layers[0])];
-      for (size_t j = 1; j < layers.size() && !scope.empty(); ++j) {
-        scope = IntersectSorted(
-            scope, preprocess.layer_cores[static_cast<size_t>(layers[j])]);
-      }
-      VertexSet core =
-          solver.Compute(layers, params.d, scope, params.dcc_engine);
-      if (!core.empty()) {
-        slots[i] = Candidate{layers, std::move(core)};
-      }
-    }
+  struct WorkerArena {
+    std::unique_ptr<DccSolver> solver;
+    VertexSet scope;
+    VertexSet tmp;
+    VertexSet core;
   };
-
-  const int threads =
-      std::max(1, std::min<int>(params.num_threads,
-                                static_cast<int>(subsets.size()) > 0
-                                    ? static_cast<int>(subsets.size())
-                                    : 1));
-  if (threads == 1) {
-    evaluate_range(0, subsets.size());
-  } else {
-    std::vector<std::thread> workers;
-    workers.reserve(static_cast<size_t>(threads));
-    const size_t chunk = (subsets.size() + static_cast<size_t>(threads) - 1) /
-                         static_cast<size_t>(threads);
-    for (int t = 0; t < threads; ++t) {
-      size_t begin = static_cast<size_t>(t) * chunk;
-      size_t end = std::min(subsets.size(), begin + chunk);
-      if (begin >= end) break;
-      workers.emplace_back(evaluate_range, begin, end);
-    }
-    for (auto& worker : workers) worker.join();
-  }
+  std::vector<WorkerArena> arenas(static_cast<size_t>(pool.num_threads()));
+  pool.ParallelFor(
+      static_cast<int64_t>(subsets.size()), [&](int worker, int64_t i) {
+        WorkerArena& arena = arenas[static_cast<size_t>(worker)];
+        if (arena.solver == nullptr) {
+          // Lazily built: lanes that never claim an item (fewer subsets
+          // than threads) never pay the solver's O(n) scratch.
+          arena.solver = std::make_unique<DccSolver>(graph);
+        }
+        const LayerSet& layers = subsets[static_cast<size_t>(i)];
+        const VertexSet& first =
+            preprocess.layer_cores[static_cast<size_t>(layers[0])];
+        arena.scope.assign(first.begin(), first.end());
+        for (size_t j = 1; j < layers.size() && !arena.scope.empty(); ++j) {
+          IntersectSortedInto(
+              arena.scope,
+              preprocess.layer_cores[static_cast<size_t>(layers[j])],
+              &arena.tmp);
+          std::swap(arena.scope, arena.tmp);
+        }
+        arena.solver->Compute(layers, params.d, arena.scope, &arena.core,
+                              params.dcc_engine);
+        if (!arena.core.empty()) {
+          slots[static_cast<size_t>(i)] = Candidate{layers, arena.core};
+        }
+      });
 
   std::vector<Candidate> candidates;
   candidates.reserve(slots.size());

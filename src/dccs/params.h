@@ -23,10 +23,12 @@ struct DccsParams {
   /// Engine for the dCC peeling procedure (Appendix B).
   DccEngine dcc_engine = DccEngine::kQueue;
 
-  /// Worker threads for GD-DCCS candidate generation (the C(l, s) dCC
-  /// evaluations are embarrassingly parallel). 1 = sequential. Results are
-  /// bit-identical for any thread count; BU/TD ignore this (their searches
-  /// are inherently sequential through the shared top-k state).
+  /// Worker threads for the shared thread pool: GD-DCCS candidate
+  /// generation (the C(l, s) dCC evaluations are embarrassingly parallel)
+  /// and the per-layer d-core loop of preprocessing in all three
+  /// algorithms. 1 = sequential. Results are bit-identical for any thread
+  /// count (see DESIGN.md §4); the BU/TD *searches* remain sequential
+  /// through the shared top-k state.
   int num_threads = 1;
 
   /// Wall-clock budget for the search phase, in seconds (0 = unlimited).

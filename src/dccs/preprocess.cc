@@ -9,7 +9,7 @@
 namespace mlcore {
 
 PreprocessResult Preprocess(const MultiLayerGraph& graph, int d, int s,
-                            bool vertex_deletion) {
+                            bool vertex_deletion, ThreadPool* pool) {
   WallTimer timer;
   PreprocessResult result;
   const auto n = static_cast<size_t>(graph.NumVertices());
@@ -20,19 +20,31 @@ PreprocessResult Preprocess(const MultiLayerGraph& graph, int d, int s,
 
   // Lines 1–7 of BU-DCCS: iterate {recompute per-layer d-cores; drop
   // vertices supported by fewer than s layers} to a fixpoint. One pass with
-  // no deletion when the ablation disables vertex deletion.
+  // no deletion when the ablation disables vertex deletion. The l per-layer
+  // d-cores of a round are independent, so they fan out over `pool`; every
+  // core lands in its layer-indexed slot and the support/bitmap merge runs
+  // sequentially afterwards, keeping the result thread-count-invariant.
   while (true) {
-    result.layer_cores.clear();
+    result.layer_cores.assign(l, VertexSet());
     result.layer_core_bits.assign(l, Bitset(n));
     std::fill(result.support.begin(), result.support.end(), 0);
+    auto compute_layer = [&](int /*worker*/, int64_t layer) {
+      result.layer_cores[static_cast<size_t>(layer)] =
+          DCoreScoped(graph, static_cast<LayerId>(layer), d, result.active);
+    };
+    if (pool != nullptr) {
+      pool->ParallelFor(static_cast<int64_t>(l), compute_layer);
+    } else {
+      for (int64_t layer = 0; layer < static_cast<int64_t>(l); ++layer) {
+        compute_layer(0, layer);
+      }
+    }
     for (LayerId layer = 0; layer < graph.NumLayers(); ++layer) {
-      VertexSet core = DCoreScoped(graph, layer, d, result.active);
-      for (VertexId v : core) {
+      for (VertexId v : result.layer_cores[static_cast<size_t>(layer)]) {
         result.layer_core_bits[static_cast<size_t>(layer)].Set(
             static_cast<size_t>(v));
         ++result.support[static_cast<size_t>(v)];
       }
-      result.layer_cores.push_back(std::move(core));
     }
     if (!vertex_deletion) break;
 
@@ -68,6 +80,16 @@ std::vector<LayerId> SortedLayerOrder(const PreprocessResult& preprocess,
     return descending ? size_a > size_b : size_a < size_b;
   });
   return order;
+}
+
+void PositionsToLayerIds(const std::vector<LayerId>& order,
+                         const LayerSet& positions, LayerSet* ids) {
+  ids->clear();
+  ids->reserve(positions.size());
+  for (LayerId pos : positions) {
+    ids->push_back(order[static_cast<size_t>(pos)]);
+  }
+  std::sort(ids->begin(), ids->end());
 }
 
 void InitTopK(const MultiLayerGraph& graph, const DccsParams& params,

@@ -8,6 +8,7 @@
 #include "dccs/params.h"
 #include "graph/multilayer_graph.h"
 #include "util/bitset.h"
+#include "util/thread_pool.h"
 
 namespace mlcore {
 
@@ -29,14 +30,26 @@ struct PreprocessResult {
 /// Runs the vertex-deletion preprocessing of §IV-C. When `vertex_deletion`
 /// is false (the Fig 28 No-VD ablation) the per-layer d-cores are computed
 /// once over the whole graph and no vertex is deleted.
+///
+/// When `pool` is non-null the l independent per-layer d-core computations
+/// of each deletion round fan out over the pool. Each core lands in its
+/// layer-indexed slot and the support merge stays sequential, so the result
+/// is bit-identical for every thread count (DESIGN.md §4).
 PreprocessResult Preprocess(const MultiLayerGraph& graph, int d, int s,
-                            bool vertex_deletion);
+                            bool vertex_deletion, ThreadPool* pool = nullptr);
 
 /// Layer ids sorted by |C^d(G_i)|; descending order for BU-DCCS (Fig 7
 /// line 9), ascending for TD-DCCS (Fig 11 line 2). When `sort_layers` is
 /// false (the No-SL ablation) returns the identity order.
 std::vector<LayerId> SortedLayerOrder(const PreprocessResult& preprocess,
                                       bool descending, bool sort_layers);
+
+/// Translates sorted layer *positions* (indices into `order`) into the
+/// ascending original layer ids, reusing `ids`' capacity. The BU and TD
+/// searches address layers by position in their sorted order and call this
+/// on every dCC evaluation / result update.
+void PositionsToLayerIds(const std::vector<LayerId>& order,
+                         const LayerSet& positions, LayerSet* ids);
 
 /// The InitTopK procedure (Appendix D): greedily seeds the top-k result set
 /// with k candidate d-CCs so that the Eq. (1) pruning rules engage from the

@@ -9,6 +9,7 @@
 #include "dccs/vertex_index.h"
 #include "util/bitset.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 #include "util/timing.h"
 
 namespace mlcore {
@@ -82,23 +83,26 @@ class TopDownSearch {
 
   LayerSet ToLayerIds(const LayerSet& positions) const {
     LayerSet ids;
-    ids.reserve(positions.size());
-    for (LayerId pos : positions) {
-      ids.push_back(order_[static_cast<size_t>(pos)]);
-    }
-    std::sort(ids.begin(), ids.end());
+    ToLayerIdsInto(positions, &ids);
     return ids;
   }
 
-  // Largest position missing from sorted `positions`, or -1 if none below l.
+  // Buffer-reusing form for transient translations on the hot path.
+  void ToLayerIdsInto(const LayerSet& positions, LayerSet* ids) const {
+    PositionsToLayerIds(order_, positions, ids);
+  }
+
+  // Largest position missing from sorted `positions`, or -1 if none below
+  // l. l ≤ 64 (checked at entry), so a word-sized mask replaces the Bitset
+  // this built per tree node.
   int MaxComplement(const LayerSet& positions) const {
     const int l = graph_.NumLayers();
-    Bitset present(static_cast<size_t>(l));
-    for (LayerId p : positions) present.Set(static_cast<size_t>(p));
-    for (int j = l - 1; j >= 0; --j) {
-      if (!present.Test(static_cast<size_t>(j))) return j;
-    }
-    return -1;
+    uint64_t present = 0;
+    for (LayerId p : positions) present |= uint64_t{1} << p;
+    const uint64_t missing = ~present & ((l == 64) ? ~uint64_t{0}
+                                                   : (uint64_t{1} << l) - 1);
+    if (missing == 0) return -1;
+    return 63 - __builtin_clzll(missing);
   }
 
   // RefineU (Fig 9): shrinks the parent's potential set to U^d_{L'}.
@@ -106,21 +110,24 @@ class TopDownSearch {
   // the preprocessed per-layer d-cores (static), then Method 1 peels to
   // d-density on the Class-1 layers; since the Method-2 counts never change
   // during peeling, one pass of each reaches the paper's fixpoint.
-  VertexSet RefineU(const VertexSet& parent_u, const LayerSet& positions) {
+  void RefineU(const VertexSet& parent_u, const LayerSet& positions,
+               VertexSet* out) {
     const int max_comp = MaxComplement(positions);
-    LayerSet class1, class2;
+    class1_.clear();
+    class2_.clear();
     for (LayerId p : positions) {
-      (p < max_comp ? class1 : class2).push_back(p);
+      (p < max_comp ? class1_ : class2_).push_back(p);
     }
     const int need =
-        params_.s - static_cast<int>(class1.size());  // s − |M_{L'}|
+        params_.s - static_cast<int>(class1_.size());  // s − |M_{L'}|
 
-    VertexSet filtered;
+    VertexSet& filtered = class1_.empty() ? *out : filter_buf_;
+    filtered.clear();
     filtered.reserve(parent_u.size());
     for (VertexId v : parent_u) {
       int count = 0;
       if (need > 0) {
-        for (LayerId p : class2) {
+        for (LayerId p : class2_) {
           if (CoreBitsAtPosition(p).Test(static_cast<size_t>(v))) ++count;
           if (count >= need) break;
         }
@@ -128,26 +135,29 @@ class TopDownSearch {
       }
       filtered.push_back(v);
     }
-    if (class1.empty()) return filtered;
+    if (class1_.empty()) return;
     // Method 1: peel to d-density on the must-keep layers.
-    return solver_.Compute(ToLayerIds(class1), params_.d, filtered,
-                           params_.dcc_engine);
+    ToLayerIdsInto(class1_, &ids_buf_);
+    solver_.Compute(ids_buf_, params_.d, filtered, out, params_.dcc_engine);
   }
 
   // RefineC: computes C^d_{L'}(G) inside U^d_{L'}. Both paths first apply
   // the Lemma 8 stage bound.
-  VertexSet RefineC(const VertexSet& potential, const LayerSet& positions) {
+  void RefineC(const VertexSet& potential, const LayerSet& positions,
+               VertexSet* out) {
     const auto depth = static_cast<int>(positions.size());
-    VertexSet scope;
-    scope.reserve(potential.size());
+    scope_buf_.clear();
+    scope_buf_.reserve(potential.size());
     for (VertexId v : potential) {
-      if (index_.stage(v) >= depth) scope.push_back(v);
+      if (index_.stage(v) >= depth) scope_buf_.push_back(v);
     }
-    LayerSet ids = ToLayerIds(positions);
+    ToLayerIdsInto(positions, &ids_buf_);
     if (!params_.use_index_refinec) {
-      return solver_.Compute(ids, params_.d, scope, params_.dcc_engine);
+      solver_.Compute(ids_buf_, params_.d, scope_buf_, out,
+                      params_.dcc_engine);
+      return;
     }
-    return RefineCIndexed(scope, ids);
+    RefineCIndexed(scope_buf_, ids_buf_, out);
   }
 
   // The index-based Fig 10 search in the two-pass form justified by
@@ -156,7 +166,8 @@ class TopDownSearch {
   // the reached set to d-density on L'. Fig 10's single fused sweep
   // (states + CascadeD) discards reachable vertices on mixed levels and
   // under-approximates the d-CC; see DESIGN.md §3.
-  VertexSet RefineCIndexed(const VertexSet& scope, const LayerSet& ids);
+  void RefineCIndexed(const VertexSet& scope, const LayerSet& ids,
+                      VertexSet* out);
 
   // TD-Gen (Fig 8). `positions` = L (|L| > s), `core` = C^d_L, `potential`
   // = U^d_L.
@@ -191,8 +202,8 @@ class TopDownSearch {
       child.positions.erase(std::find(child.positions.begin(),
                                       child.positions.end(),
                                       static_cast<LayerId>(j)));
-      child.potential = RefineU(potential, child.positions);
-      child.core = RefineC(child.potential, child.positions);
+      RefineU(potential, child.positions, &child.potential);
+      RefineC(child.potential, child.positions, &child.core);
       children.push_back(std::move(child));
     }
 
@@ -201,7 +212,8 @@ class TopDownSearch {
       for (Child& child : children) {
         if (BudgetExpired()) return;
         if (depth - 1 == params_.s) {
-          if (result_.Update(child.core, ToLayerIds(child.positions))) {
+          ToLayerIdsInto(child.positions, &ids_buf_);
+          if (result_.Update(child.core, ids_buf_)) {
             ++stats_.updates_accepted;
           }
         } else {
@@ -225,7 +237,8 @@ class TopDownSearch {
         break;  // Lemma 6
       }
       if (depth - 1 == params_.s) {
-        if (result_.Update(child.core, ToLayerIds(child.positions))) {
+        ToLayerIdsInto(child.positions, &ids_buf_);
+        if (result_.Update(child.core, ids_buf_)) {
           ++stats_.updates_accepted;
         }
         continue;
@@ -274,15 +287,15 @@ class TopDownSearch {
         descendant.push_back(p);
       }
     }
-    VertexSet scope;
-    scope.reserve(potential.size());
+    scope_buf_.clear();
+    scope_buf_.reserve(potential.size());
     for (VertexId v : potential) {
-      if (index_.stage(v) >= params_.s) scope.push_back(v);
+      if (index_.stage(v) >= params_.s) scope_buf_.push_back(v);
     }
-    LayerSet ids = ToLayerIds(descendant);
-    VertexSet core = solver_.Compute(ids, params_.d, scope,
-                                     params_.dcc_engine);
-    if (result_.Update(core, ids)) ++stats_.updates_accepted;
+    ToLayerIdsInto(descendant, &ids_buf_);
+    solver_.Compute(ids_buf_, params_.d, scope_buf_, &core_buf_,
+                    params_.dcc_engine);
+    if (result_.Update(core_buf_, ids_buf_)) ++stats_.updates_accepted;
     return true;
   }
 
@@ -304,12 +317,21 @@ class TopDownSearch {
   std::vector<uint8_t> state_;
   std::vector<int32_t> dplus_;
   Bitset in_z_;
+
+  // Reusable per-node buffers: the tree search calls RefineU/RefineC/
+  // TryPotentialShortcut thousands of times; these hold their transient
+  // layer translations, scope filters and leaf cores across calls.
+  LayerSet class1_, class2_, ids_buf_;
+  VertexSet filter_buf_, scope_buf_, core_buf_, reached_buf_;
+  std::vector<std::pair<int, VertexId>> by_level_buf_;
+  std::vector<VertexId> peel_queue_;
 };
 
-VertexSet TopDownSearch::RefineCIndexed(const VertexSet& scope,
-                                        const LayerSet& ids) {
+void TopDownSearch::RefineCIndexed(const VertexSet& scope,
+                                   const LayerSet& ids, VertexSet* out) {
   const auto l = static_cast<size_t>(graph_.NumLayers());
-  if (scope.empty()) return {};
+  out->clear();
+  if (scope.empty()) return;
 
   for (VertexId v : scope) {
     in_z_.Set(static_cast<size_t>(v));
@@ -321,7 +343,8 @@ VertexSet TopDownSearch::RefineCIndexed(const VertexSet& scope,
   // covers L'. Sweeping levels in ascending order makes one pass
   // sufficient: a vertex is reached either by its own label or from a
   // strictly lower (already swept) level.
-  std::vector<std::pair<int, VertexId>> by_level;
+  std::vector<std::pair<int, VertexId>>& by_level = by_level_buf_;
+  by_level.clear();
   by_level.reserve(scope.size());
   for (VertexId v : scope) by_level.emplace_back(index_.level(v), v);
   std::sort(by_level.begin(), by_level.end());
@@ -331,7 +354,8 @@ VertexSet TopDownSearch::RefineCIndexed(const VertexSet& scope,
     return std::includes(label.begin(), label.end(), ids.begin(), ids.end());
   };
 
-  VertexSet reached;
+  VertexSet& reached = reached_buf_;
+  reached.clear();
   reached.reserve(scope.size());
   for (const auto& [level, v] : by_level) {
     if (state_[static_cast<size_t>(v)] == kUntouched && !label_covers(v)) {
@@ -368,7 +392,8 @@ VertexSet TopDownSearch::RefineCIndexed(const VertexSet& scope,
       dplus_[static_cast<size_t>(v) * l + static_cast<size_t>(layer)] = count;
     }
   }
-  std::vector<VertexId> queue;
+  std::vector<VertexId>& queue = peel_queue_;
+  queue.clear();
   for (VertexId v : reached) {
     for (LayerId layer : ids) {
       if (dplus_[static_cast<size_t>(v) * l + static_cast<size_t>(layer)] <
@@ -397,15 +422,13 @@ VertexSet TopDownSearch::RefineCIndexed(const VertexSet& scope,
     }
   }
 
-  VertexSet core;
   for (VertexId v : reached) {
-    if (state_[static_cast<size_t>(v)] == kUndetermined) core.push_back(v);
+    if (state_[static_cast<size_t>(v)] == kUndetermined) out->push_back(v);
   }
   for (VertexId v : scope) {
     in_z_.Clear(static_cast<size_t>(v));
     state_[static_cast<size_t>(v)] = kUntouched;
   }
-  return core;
 }
 
 }  // namespace
@@ -422,9 +445,14 @@ DccsResult TopDownDccs(const MultiLayerGraph& graph, const DccsParams& params) {
     return result;
   }
 
-  // Fig 11 line 1 = BU-DCCS lines 1–8: vertex deletion + InitTopK.
-  PreprocessResult preprocess =
-      Preprocess(graph, params.d, params.s, params.vertex_deletion);
+  // Fig 11 line 1 = BU-DCCS lines 1–8: vertex deletion + InitTopK. The
+  // per-layer d-cores fan out over a pool scoped to this call; the search
+  // is sequential, so the workers are released before it starts.
+  PreprocessResult preprocess = [&] {
+    ThreadPool pool(params.num_threads);
+    return Preprocess(graph, params.d, params.s, params.vertex_deletion,
+                      &pool);
+  }();
   result.stats.preprocess_seconds = preprocess.seconds;
 
   WallTimer search_timer;

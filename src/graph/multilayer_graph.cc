@@ -107,10 +107,16 @@ LayerSet AllLayers(const MultiLayerGraph& graph) {
 
 VertexSet IntersectSorted(const VertexSet& a, const VertexSet& b) {
   VertexSet out;
-  out.reserve(std::min(a.size(), b.size()));
-  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
-                        std::back_inserter(out));
+  IntersectSortedInto(a, b, &out);
   return out;
+}
+
+void IntersectSortedInto(const VertexSet& a, const VertexSet& b,
+                         VertexSet* out) {
+  out->clear();
+  out->reserve(std::min(a.size(), b.size()));
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(*out));
 }
 
 VertexSet UnionSorted(const VertexSet& a, const VertexSet& b) {

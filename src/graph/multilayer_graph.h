@@ -99,6 +99,10 @@ LayerSet AllLayers(const MultiLayerGraph& graph);
 
 /// Intersection of two sorted vertex sets.
 VertexSet IntersectSorted(const VertexSet& a, const VertexSet& b);
+/// Buffer-reusing form: clears `*out` (which must alias neither input) and
+/// fills it with a ∩ b.
+void IntersectSortedInto(const VertexSet& a, const VertexSet& b,
+                         VertexSet* out);
 /// Union of two sorted vertex sets.
 VertexSet UnionSorted(const VertexSet& a, const VertexSet& b);
 /// True iff sorted set `a` is a subset of sorted set `b`.

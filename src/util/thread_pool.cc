@@ -1,0 +1,80 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+namespace mlcore {
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(std::max(1, num_threads)) {
+  workers_.reserve(static_cast<size_t>(num_threads_ - 1));
+  for (int w = 1; w < num_threads_; ++w) {
+    workers_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::RunBatch(int worker) {
+  while (true) {
+    int64_t item;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (next_ >= count_) break;
+      item = next_++;
+    }
+    (*fn_)(worker, item);
+    bool finished;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      finished = ++done_ == count_;
+    }
+    if (finished) batch_done_.notify_one();
+  }
+}
+
+void ThreadPool::WorkerLoop(int worker) {
+  uint64_t seen_generation = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_ready_.wait(lock, [&] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+    }
+    RunBatch(worker);
+  }
+}
+
+void ThreadPool::ParallelFor(int64_t count,
+                             const std::function<void(int, int64_t)>& fn) {
+  if (count <= 0) return;
+  if (num_threads_ == 1 || count == 1) {
+    // Sequential fast path: no locking, same per-item semantics.
+    for (int64_t item = 0; item < count; ++item) fn(0, item);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fn_ = &fn;
+    count_ = count;
+    next_ = 0;
+    done_ = 0;
+    ++generation_;
+  }
+  work_ready_.notify_all();
+  RunBatch(/*worker=*/0);
+  std::unique_lock<std::mutex> lock(mu_);
+  batch_done_.wait(lock, [&] { return done_ == count_; });
+  fn_ = nullptr;
+}
+
+}  // namespace mlcore

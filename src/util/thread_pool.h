@@ -1,0 +1,67 @@
+#ifndef MLCORE_UTIL_THREAD_POOL_H_
+#define MLCORE_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mlcore {
+
+/// A small reusable fork-join pool for the embarrassingly parallel loops in
+/// the DCCS stack (per-layer d-core preprocessing, GD-DCCS candidate
+/// generation). Construct once per search, reuse across many ParallelFor
+/// calls; workers sleep between calls.
+///
+/// Determinism contract (see DESIGN.md §4): ParallelFor schedules item
+/// indices dynamically, so the *assignment* of items to workers varies
+/// between runs, but callers write results only into per-item slots (and
+/// keep any mutable scratch per-worker), which makes the merged output
+/// bit-identical for every thread count. Worker ids are in
+/// [0, num_threads()) and the calling thread participates as worker 0.
+class ThreadPool {
+ public:
+  /// `num_threads` is the total parallelism (callers usually pass
+  /// DccsParams::num_threads); values < 1 are clamped to 1. The pool spawns
+  /// `num_threads - 1` background workers.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// Runs fn(worker, item) for every item in [0, count), blocking until all
+  /// items finish. Items are claimed dynamically; `worker` identifies the
+  /// executing lane for indexing per-worker scratch arenas. Not reentrant:
+  /// fn must not call ParallelFor on the same pool.
+  void ParallelFor(int64_t count, const std::function<void(int, int64_t)>& fn);
+
+ private:
+  void WorkerLoop(int worker);
+  // Claims and runs items until the current batch is drained. Completion is
+  // tracked per *item*, not per worker, so a small batch finishes as soon
+  // as its items do — the caller never waits for idle workers to wake, and
+  // a worker waking late simply finds nothing to claim.
+  void RunBatch(int worker);
+
+  const int num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::condition_variable batch_done_;
+  const std::function<void(int, int64_t)>* fn_ = nullptr;  // current batch
+  int64_t count_ = 0;
+  int64_t next_ = 0;        // next unclaimed item
+  int64_t done_ = 0;        // items finished in the current batch
+  uint64_t generation_ = 0; // bumped once per ParallelFor to wake workers
+  bool shutdown_ = false;
+};
+
+}  // namespace mlcore
+
+#endif  // MLCORE_UTIL_THREAD_POOL_H_
