@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_17_cover_vs_s.dir/bench/bench_fig16_17_cover_vs_s.cc.o"
+  "CMakeFiles/bench_fig16_17_cover_vs_s.dir/bench/bench_fig16_17_cover_vs_s.cc.o.d"
+  "bench_fig16_17_cover_vs_s"
+  "bench_fig16_17_cover_vs_s.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_17_cover_vs_s.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig16_17_cover_vs_s.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_21_vary_d.dir/bench/bench_fig18_21_vary_d.cc.o"
+  "CMakeFiles/bench_fig18_21_vary_d.dir/bench/bench_fig18_21_vary_d.cc.o.d"
+  "bench_fig18_21_vary_d"
+  "bench_fig18_21_vary_d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_21_vary_d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

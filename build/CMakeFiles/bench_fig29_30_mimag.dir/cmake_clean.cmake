@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig29_30_mimag.dir/bench/bench_fig29_30_mimag.cc.o"
+  "CMakeFiles/bench_fig29_30_mimag.dir/bench/bench_fig29_30_mimag.cc.o.d"
+  "bench_fig29_30_mimag"
+  "bench_fig29_30_mimag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig29_30_mimag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig31_dot_export.dir/bench/bench_fig31_dot_export.cc.o"
+  "CMakeFiles/bench_fig31_dot_export.dir/bench/bench_fig31_dot_export.cc.o.d"
+  "bench_fig31_dot_export"
+  "bench_fig31_dot_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig31_dot_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

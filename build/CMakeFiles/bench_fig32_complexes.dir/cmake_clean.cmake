@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig32_complexes.dir/bench/bench_fig32_complexes.cc.o"
+  "CMakeFiles/bench_fig32_complexes.dir/bench/bench_fig32_complexes.cc.o.d"
+  "bench_fig32_complexes"
+  "bench_fig32_complexes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig32_complexes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig32_complexes.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biological_modules.dir/examples/biological_modules.cpp.o"
+  "CMakeFiles/biological_modules.dir/examples/biological_modules.cpp.o.d"
+  "biological_modules"
+  "biological_modules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biological_modules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

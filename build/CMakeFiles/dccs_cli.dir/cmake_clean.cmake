@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dccs_cli.dir/examples/dccs_cli.cpp.o"
+  "CMakeFiles/dccs_cli.dir/examples/dccs_cli.cpp.o.d"
+  "dccs_cli"
+  "dccs_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dccs_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

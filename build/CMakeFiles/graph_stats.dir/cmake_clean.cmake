@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_stats.dir/examples/graph_stats.cpp.o"
+  "CMakeFiles/graph_stats.dir/examples/graph_stats.cpp.o.d"
+  "graph_stats"
+  "graph_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knockout_analysis.dir/examples/knockout_analysis.cpp.o"
+  "CMakeFiles/knockout_analysis.dir/examples/knockout_analysis.cpp.o.d"
+  "knockout_analysis"
+  "knockout_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knockout_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

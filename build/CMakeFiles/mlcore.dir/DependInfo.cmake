@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/statistics.cc" "CMakeFiles/mlcore.dir/src/analysis/statistics.cc.o" "gcc" "CMakeFiles/mlcore.dir/src/analysis/statistics.cc.o.d"
+  "/root/repo/src/core/coreness.cc" "CMakeFiles/mlcore.dir/src/core/coreness.cc.o" "gcc" "CMakeFiles/mlcore.dir/src/core/coreness.cc.o.d"
+  "/root/repo/src/core/dcc.cc" "CMakeFiles/mlcore.dir/src/core/dcc.cc.o" "gcc" "CMakeFiles/mlcore.dir/src/core/dcc.cc.o.d"
+  "/root/repo/src/core/dcore.cc" "CMakeFiles/mlcore.dir/src/core/dcore.cc.o" "gcc" "CMakeFiles/mlcore.dir/src/core/dcore.cc.o.d"
+  "/root/repo/src/core/fds.cc" "CMakeFiles/mlcore.dir/src/core/fds.cc.o" "gcc" "CMakeFiles/mlcore.dir/src/core/fds.cc.o.d"
+  "/root/repo/src/dccs/bottom_up.cc" "CMakeFiles/mlcore.dir/src/dccs/bottom_up.cc.o" "gcc" "CMakeFiles/mlcore.dir/src/dccs/bottom_up.cc.o.d"
+  "/root/repo/src/dccs/community_search.cc" "CMakeFiles/mlcore.dir/src/dccs/community_search.cc.o" "gcc" "CMakeFiles/mlcore.dir/src/dccs/community_search.cc.o.d"
+  "/root/repo/src/dccs/cover.cc" "CMakeFiles/mlcore.dir/src/dccs/cover.cc.o" "gcc" "CMakeFiles/mlcore.dir/src/dccs/cover.cc.o.d"
+  "/root/repo/src/dccs/exact.cc" "CMakeFiles/mlcore.dir/src/dccs/exact.cc.o" "gcc" "CMakeFiles/mlcore.dir/src/dccs/exact.cc.o.d"
+  "/root/repo/src/dccs/greedy.cc" "CMakeFiles/mlcore.dir/src/dccs/greedy.cc.o" "gcc" "CMakeFiles/mlcore.dir/src/dccs/greedy.cc.o.d"
+  "/root/repo/src/dccs/params.cc" "CMakeFiles/mlcore.dir/src/dccs/params.cc.o" "gcc" "CMakeFiles/mlcore.dir/src/dccs/params.cc.o.d"
+  "/root/repo/src/dccs/preprocess.cc" "CMakeFiles/mlcore.dir/src/dccs/preprocess.cc.o" "gcc" "CMakeFiles/mlcore.dir/src/dccs/preprocess.cc.o.d"
+  "/root/repo/src/dccs/top_down.cc" "CMakeFiles/mlcore.dir/src/dccs/top_down.cc.o" "gcc" "CMakeFiles/mlcore.dir/src/dccs/top_down.cc.o.d"
+  "/root/repo/src/dccs/vertex_index.cc" "CMakeFiles/mlcore.dir/src/dccs/vertex_index.cc.o" "gcc" "CMakeFiles/mlcore.dir/src/dccs/vertex_index.cc.o.d"
+  "/root/repo/src/dynamic/decremental_core.cc" "CMakeFiles/mlcore.dir/src/dynamic/decremental_core.cc.o" "gcc" "CMakeFiles/mlcore.dir/src/dynamic/decremental_core.cc.o.d"
+  "/root/repo/src/eval/complexes.cc" "CMakeFiles/mlcore.dir/src/eval/complexes.cc.o" "gcc" "CMakeFiles/mlcore.dir/src/eval/complexes.cc.o.d"
+  "/root/repo/src/eval/dot_export.cc" "CMakeFiles/mlcore.dir/src/eval/dot_export.cc.o" "gcc" "CMakeFiles/mlcore.dir/src/eval/dot_export.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "CMakeFiles/mlcore.dir/src/eval/metrics.cc.o" "gcc" "CMakeFiles/mlcore.dir/src/eval/metrics.cc.o.d"
+  "/root/repo/src/graph/datasets.cc" "CMakeFiles/mlcore.dir/src/graph/datasets.cc.o" "gcc" "CMakeFiles/mlcore.dir/src/graph/datasets.cc.o.d"
+  "/root/repo/src/graph/generators.cc" "CMakeFiles/mlcore.dir/src/graph/generators.cc.o" "gcc" "CMakeFiles/mlcore.dir/src/graph/generators.cc.o.d"
+  "/root/repo/src/graph/graph_builder.cc" "CMakeFiles/mlcore.dir/src/graph/graph_builder.cc.o" "gcc" "CMakeFiles/mlcore.dir/src/graph/graph_builder.cc.o.d"
+  "/root/repo/src/graph/io.cc" "CMakeFiles/mlcore.dir/src/graph/io.cc.o" "gcc" "CMakeFiles/mlcore.dir/src/graph/io.cc.o.d"
+  "/root/repo/src/graph/multilayer_graph.cc" "CMakeFiles/mlcore.dir/src/graph/multilayer_graph.cc.o" "gcc" "CMakeFiles/mlcore.dir/src/graph/multilayer_graph.cc.o.d"
+  "/root/repo/src/graph/sampling.cc" "CMakeFiles/mlcore.dir/src/graph/sampling.cc.o" "gcc" "CMakeFiles/mlcore.dir/src/graph/sampling.cc.o.d"
+  "/root/repo/src/mimag/mimag.cc" "CMakeFiles/mlcore.dir/src/mimag/mimag.cc.o" "gcc" "CMakeFiles/mlcore.dir/src/mimag/mimag.cc.o.d"
+  "/root/repo/src/mimag/quasi_clique.cc" "CMakeFiles/mlcore.dir/src/mimag/quasi_clique.cc.o" "gcc" "CMakeFiles/mlcore.dir/src/mimag/quasi_clique.cc.o.d"
+  "/root/repo/src/util/flags.cc" "CMakeFiles/mlcore.dir/src/util/flags.cc.o" "gcc" "CMakeFiles/mlcore.dir/src/util/flags.cc.o.d"
+  "/root/repo/src/util/table.cc" "CMakeFiles/mlcore.dir/src/util/table.cc.o" "gcc" "CMakeFiles/mlcore.dir/src/util/table.cc.o.d"
+  "/root/repo/src/util/thread_pool.cc" "CMakeFiles/mlcore.dir/src/util/thread_pool.cc.o" "gcc" "CMakeFiles/mlcore.dir/src/util/thread_pool.cc.o.d"
+  "/root/repo/src/util/timing.cc" "CMakeFiles/mlcore.dir/src/util/timing.cc.o" "gcc" "CMakeFiles/mlcore.dir/src/util/timing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

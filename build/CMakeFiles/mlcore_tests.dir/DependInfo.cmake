@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/budget_test.cc" "CMakeFiles/mlcore_tests.dir/tests/budget_test.cc.o" "gcc" "CMakeFiles/mlcore_tests.dir/tests/budget_test.cc.o.d"
+  "/root/repo/tests/community_search_test.cc" "CMakeFiles/mlcore_tests.dir/tests/community_search_test.cc.o" "gcc" "CMakeFiles/mlcore_tests.dir/tests/community_search_test.cc.o.d"
+  "/root/repo/tests/coreness_test.cc" "CMakeFiles/mlcore_tests.dir/tests/coreness_test.cc.o" "gcc" "CMakeFiles/mlcore_tests.dir/tests/coreness_test.cc.o.d"
+  "/root/repo/tests/cover_test.cc" "CMakeFiles/mlcore_tests.dir/tests/cover_test.cc.o" "gcc" "CMakeFiles/mlcore_tests.dir/tests/cover_test.cc.o.d"
+  "/root/repo/tests/dcc_test.cc" "CMakeFiles/mlcore_tests.dir/tests/dcc_test.cc.o" "gcc" "CMakeFiles/mlcore_tests.dir/tests/dcc_test.cc.o.d"
+  "/root/repo/tests/dccs_test.cc" "CMakeFiles/mlcore_tests.dir/tests/dccs_test.cc.o" "gcc" "CMakeFiles/mlcore_tests.dir/tests/dccs_test.cc.o.d"
+  "/root/repo/tests/dcore_test.cc" "CMakeFiles/mlcore_tests.dir/tests/dcore_test.cc.o" "gcc" "CMakeFiles/mlcore_tests.dir/tests/dcore_test.cc.o.d"
+  "/root/repo/tests/dynamic_test.cc" "CMakeFiles/mlcore_tests.dir/tests/dynamic_test.cc.o" "gcc" "CMakeFiles/mlcore_tests.dir/tests/dynamic_test.cc.o.d"
+  "/root/repo/tests/edge_cases_test.cc" "CMakeFiles/mlcore_tests.dir/tests/edge_cases_test.cc.o" "gcc" "CMakeFiles/mlcore_tests.dir/tests/edge_cases_test.cc.o.d"
+  "/root/repo/tests/eval_test.cc" "CMakeFiles/mlcore_tests.dir/tests/eval_test.cc.o" "gcc" "CMakeFiles/mlcore_tests.dir/tests/eval_test.cc.o.d"
+  "/root/repo/tests/graph_test.cc" "CMakeFiles/mlcore_tests.dir/tests/graph_test.cc.o" "gcc" "CMakeFiles/mlcore_tests.dir/tests/graph_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "CMakeFiles/mlcore_tests.dir/tests/integration_test.cc.o" "gcc" "CMakeFiles/mlcore_tests.dir/tests/integration_test.cc.o.d"
+  "/root/repo/tests/mimag_test.cc" "CMakeFiles/mlcore_tests.dir/tests/mimag_test.cc.o" "gcc" "CMakeFiles/mlcore_tests.dir/tests/mimag_test.cc.o.d"
+  "/root/repo/tests/parallel_test.cc" "CMakeFiles/mlcore_tests.dir/tests/parallel_test.cc.o" "gcc" "CMakeFiles/mlcore_tests.dir/tests/parallel_test.cc.o.d"
+  "/root/repo/tests/preprocess_test.cc" "CMakeFiles/mlcore_tests.dir/tests/preprocess_test.cc.o" "gcc" "CMakeFiles/mlcore_tests.dir/tests/preprocess_test.cc.o.d"
+  "/root/repo/tests/properties_test.cc" "CMakeFiles/mlcore_tests.dir/tests/properties_test.cc.o" "gcc" "CMakeFiles/mlcore_tests.dir/tests/properties_test.cc.o.d"
+  "/root/repo/tests/pruning_test.cc" "CMakeFiles/mlcore_tests.dir/tests/pruning_test.cc.o" "gcc" "CMakeFiles/mlcore_tests.dir/tests/pruning_test.cc.o.d"
+  "/root/repo/tests/solver_reuse_test.cc" "CMakeFiles/mlcore_tests.dir/tests/solver_reuse_test.cc.o" "gcc" "CMakeFiles/mlcore_tests.dir/tests/solver_reuse_test.cc.o.d"
+  "/root/repo/tests/statistics_test.cc" "CMakeFiles/mlcore_tests.dir/tests/statistics_test.cc.o" "gcc" "CMakeFiles/mlcore_tests.dir/tests/statistics_test.cc.o.d"
+  "/root/repo/tests/torture_test.cc" "CMakeFiles/mlcore_tests.dir/tests/torture_test.cc.o" "gcc" "CMakeFiles/mlcore_tests.dir/tests/torture_test.cc.o.d"
+  "/root/repo/tests/update_oracle_test.cc" "CMakeFiles/mlcore_tests.dir/tests/update_oracle_test.cc.o" "gcc" "CMakeFiles/mlcore_tests.dir/tests/update_oracle_test.cc.o.d"
+  "/root/repo/tests/util_test.cc" "CMakeFiles/mlcore_tests.dir/tests/util_test.cc.o" "gcc" "CMakeFiles/mlcore_tests.dir/tests/util_test.cc.o.d"
+  "/root/repo/tests/vertex_index_test.cc" "CMakeFiles/mlcore_tests.dir/tests/vertex_index_test.cc.o" "gcc" "CMakeFiles/mlcore_tests.dir/tests/vertex_index_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/mlcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

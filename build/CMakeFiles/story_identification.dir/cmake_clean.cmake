@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/story_identification.dir/examples/story_identification.cpp.o"
+  "CMakeFiles/story_identification.dir/examples/story_identification.cpp.o.d"
+  "story_identification"
+  "story_identification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/story_identification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
