@@ -15,7 +15,8 @@
 
 int main(int argc, char** argv) {
   mlcore::Flags flags(argc, argv);
-  mlcore::DccsParams params;
+  mlcore::DccsRequest request;  // algorithm defaults to kAuto
+  mlcore::DccsParams& params = request.params;
   params.d = static_cast<int>(flags.GetInt("d", 3));
   params.k = static_cast<int>(flags.GetInt("k", 10));
 
@@ -29,12 +30,18 @@ int main(int argc, char** argv) {
   std::printf("searching top-%d diversified %d-CCs on >= %d layers...\n\n",
               params.k, params.d, params.s);
 
-  mlcore::DccsAlgorithm algorithm =
-      mlcore::RecommendedAlgorithm(ppi.graph, params.s);
-  mlcore::DccsResult result = SolveDccs(ppi.graph, params, algorithm);
+  mlcore::Engine engine(&ppi.graph);
+  mlcore::Expected<mlcore::DccsResult> response = engine.Run(request);
+  if (!response.ok()) {
+    std::fprintf(stderr, "invalid query: %s\n",
+                 response.status().message.c_str());
+    return 1;
+  }
+  const mlcore::DccsResult& result = *response;
 
   std::printf("%s found %zu modules covering %lld proteins in %.1f ms\n",
-              mlcore::AlgorithmName(algorithm).c_str(), result.cores.size(),
+              mlcore::AlgorithmName(engine.ResolvedAlgorithm(request)).c_str(),
+              result.cores.size(),
               static_cast<long long>(result.CoverSize()),
               result.stats.total_seconds * 1e3);
   for (size_t m = 0; m < result.cores.size(); ++m) {

@@ -7,6 +7,7 @@
 //   ./examples/coauthorship [--d=3] [--s=5] [--k=8] [--compare_mimag=true]
 
 #include <cstdio>
+#include <utility>
 
 #include "dccs/dccs.h"
 #include "eval/metrics.h"
@@ -29,8 +30,11 @@ int main(int argc, char** argv) {
               author.graph.NumVertices(), author.graph.NumLayers(),
               static_cast<long long>(author.graph.TotalEdges()));
 
-  mlcore::DccsResult result =
-      SolveDccs(author.graph, params, mlcore::DccsAlgorithm::kBottomUp);
+  // One engine per corpus: a notebook-style sweep over (d, s, k) would hit
+  // its preprocessing cache on every repeat (d, s).
+  mlcore::Engine engine(&author.graph);
+  mlcore::DccsResult result = std::move(
+      *engine.Run(mlcore::DccsRequest{params, mlcore::DccsAlgorithm::kBottomUp}));
   std::printf("\nBU-DCCS: %zu sustained groups, %lld authors covered, "
               "%.1f ms\n",
               result.cores.size(),

@@ -3,6 +3,7 @@
 //
 //   ./examples/dccs_cli --graph=network.txt --d=4 --s=3 --k=10
 //       [--algorithm=auto|greedy|bu|td] [--engine=queue|bins] [--csv]
+//       [--threads=N]
 //
 // Input format (see graph/io.h):
 //   n <num_vertices> <num_layers>
@@ -13,6 +14,7 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
 
 #include "dccs/dccs.h"
 #include "graph/datasets.h"
@@ -22,13 +24,11 @@
 
 namespace {
 
-mlcore::DccsAlgorithm ParseAlgorithm(const std::string& name,
-                                     const mlcore::MultiLayerGraph& graph,
-                                     int s) {
+mlcore::DccsAlgorithm ParseAlgorithm(const std::string& name) {
   if (name == "greedy") return mlcore::DccsAlgorithm::kGreedy;
   if (name == "bu") return mlcore::DccsAlgorithm::kBottomUp;
   if (name == "td") return mlcore::DccsAlgorithm::kTopDown;
-  return mlcore::RecommendedAlgorithm(graph, s);  // "auto"
+  return mlcore::DccsAlgorithm::kAuto;  // resolved by the engine
 }
 
 }  // namespace
@@ -56,30 +56,41 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  mlcore::DccsParams params;
-  params.d = static_cast<int>(flags.GetInt("d", 4));
-  params.s = static_cast<int>(flags.GetInt("s", 3));
-  params.k = static_cast<int>(flags.GetInt("k", 10));
-  params.dcc_engine = flags.GetString("engine", "queue") == "bins"
-                          ? mlcore::DccEngine::kBins
-                          : mlcore::DccEngine::kQueue;
-  if (params.s > graph.NumLayers()) {
+  mlcore::DccsRequest request;
+  request.params.d = static_cast<int>(flags.GetInt("d", 4));
+  request.params.s = static_cast<int>(flags.GetInt("s", 3));
+  request.params.k = static_cast<int>(flags.GetInt("k", 10));
+  request.params.dcc_engine = flags.GetString("engine", "queue") == "bins"
+                                  ? mlcore::DccEngine::kBins
+                                  : mlcore::DccEngine::kQueue;
+  request.algorithm = ParseAlgorithm(flags.GetString("algorithm", "auto"));
+  if (request.params.s > graph.NumLayers()) {
     std::fprintf(stderr, "error: s=%d exceeds the graph's %d layers\n",
-                 params.s, graph.NumLayers());
+                 request.params.s, graph.NumLayers());
     return 1;
   }
 
-  mlcore::DccsAlgorithm algorithm =
-      ParseAlgorithm(flags.GetString("algorithm", "auto"), graph, params.s);
+  // The service path: a long-lived engine validates the request (bad flags
+  // produce an error message, not a CHECK-abort) and would amortise
+  // preprocessing across further queries of this graph.
+  mlcore::Engine engine(
+      &graph, mlcore::Engine::Options{
+                  .num_threads = static_cast<int>(flags.GetInt("threads", 1))});
   std::fprintf(stderr,
                "%s on %d vertices / %d layers / %lld edges "
                "(d=%d, s=%d, k=%d)\n",
-               mlcore::AlgorithmName(algorithm).c_str(), graph.NumVertices(),
-               graph.NumLayers(),
-               static_cast<long long>(graph.TotalEdges()), params.d,
-               params.s, params.k);
+               mlcore::AlgorithmName(engine.ResolvedAlgorithm(request)).c_str(),
+               graph.NumVertices(), graph.NumLayers(),
+               static_cast<long long>(graph.TotalEdges()), request.params.d,
+               request.params.s, request.params.k);
 
-  mlcore::DccsResult result = SolveDccs(graph, params, algorithm);
+  mlcore::Expected<mlcore::DccsResult> response = engine.Run(request);
+  if (!response.ok()) {
+    std::fprintf(stderr, "invalid query: %s\n",
+                 response.status().message.c_str());
+    return 1;
+  }
+  mlcore::DccsResult result = std::move(response).value();
 
   mlcore::Table table({"core", "layers", "size", "vertices"});
   for (size_t i = 0; i < result.cores.size(); ++i) {

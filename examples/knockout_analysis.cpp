@@ -29,8 +29,9 @@ int main(int argc, char** argv) {
   params.d = d;
   params.s = ppi.graph.NumLayers() / 2;
   params.k = 1;
-  mlcore::DccsResult result =
-      BottomUpDccs(ppi.graph, params);
+  mlcore::Engine engine(&ppi.graph);
+  mlcore::DccsResult result = std::move(*engine.Run(
+      mlcore::DccsRequest{params, mlcore::DccsAlgorithm::kBottomUp}));
   if (result.cores.empty()) {
     std::printf("no module found at d=%d, s=%d\n", params.d, params.s);
     return 0;

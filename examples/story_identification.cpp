@@ -8,6 +8,7 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "dccs/dccs.h"
@@ -57,12 +58,14 @@ int main(int argc, char** argv) {
               window.graph.NumVertices(), window.graph.NumLayers(),
               static_cast<long long>(window.graph.TotalEdges()));
 
-  mlcore::DccsAlgorithm algorithm =
-      mlcore::RecommendedAlgorithm(window.graph, params.s);
-  mlcore::DccsResult result = SolveDccs(window.graph, params, algorithm);
+  // One engine per snapshot window: a streaming deployment re-queries the
+  // window as posts arrive, amortising preprocessing until the window rolls.
+  mlcore::Engine engine(&window.graph);
+  mlcore::DccsRequest request{params, mlcore::DccsAlgorithm::kAuto};
+  mlcore::DccsResult result = std::move(*engine.Run(request));
 
   std::printf("top-%d stories (%s, %.1f ms):\n", params.k,
-              mlcore::AlgorithmName(algorithm).c_str(),
+              mlcore::AlgorithmName(engine.ResolvedAlgorithm(request)).c_str(),
               result.stats.total_seconds * 1e3);
   for (size_t i = 0; i < result.cores.size(); ++i) {
     const auto& story = result.cores[i];

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <optional>
 
 #include "core/dcc.h"
 #include "dccs/cover.h"
@@ -187,6 +188,16 @@ class BottomUpSearch {
 
 DccsResult BottomUpDccs(const MultiLayerGraph& graph,
                         const DccsParams& params) {
+  // Per-layer d-cores of preprocessing fan out over a pool scoped to this
+  // call; the search itself is sequential through the shared top-k state.
+  ThreadPool pool(params.num_threads);
+  DccsExecution exec;
+  exec.pool = &pool;
+  return BottomUpDccs(graph, params, exec);
+}
+
+DccsResult BottomUpDccs(const MultiLayerGraph& graph, const DccsParams& params,
+                        const DccsExecution& exec) {
   MLCORE_CHECK(params.s >= 1);
   MLCORE_CHECK(params.k >= 1);
   MLCORE_CHECK(graph.NumLayers() <= 64);
@@ -198,21 +209,36 @@ DccsResult BottomUpDccs(const MultiLayerGraph& graph,
     return result;
   }
 
-  // Fig 7 lines 1–7: vertex deletion (per-layer d-cores fan out over a
-  // pool scoped to this call; the search itself is sequential through the
-  // shared top-k state, so the workers are released before it starts).
-  PreprocessResult preprocess = [&] {
-    ThreadPool pool(params.num_threads);
-    return Preprocess(graph, params.d, params.s, params.vertex_deletion,
-                      &pool);
-  }();
-  result.stats.preprocess_seconds = preprocess.seconds;
+  // Fig 7 lines 1–7: vertex deletion, unless the caller injected a cached
+  // §IV-C result (then preprocess_seconds stays 0; the host reports the
+  // true acquisition cost).
+  std::optional<PreprocessResult> local_preprocess;
+  if (exec.preprocess == nullptr) {
+    local_preprocess = Preprocess(graph, params.d, params.s,
+                                  params.vertex_deletion, exec.pool);
+    result.stats.preprocess_seconds = local_preprocess->seconds;
+  }
+  const PreprocessResult& preprocess =
+      exec.preprocess != nullptr ? *exec.preprocess : *local_preprocess;
 
   WallTimer search_timer;
-  DccSolver solver(graph);
+  std::optional<DccSolver> local_solver;
+  if (exec.solver == nullptr) local_solver.emplace(graph);
+  DccSolver& solver = exec.solver != nullptr ? *exec.solver : *local_solver;
+  const int64_t calls_before = solver.num_calls();
+
   CoverageIndex top_k(params.k);
-  // Fig 7 line 8: greedy initialisation of R (Appendix D).
-  InitTopK(graph, params, preprocess, solver, top_k);
+  // Fig 7 line 8: greedy initialisation of R (Appendix D), replayed from a
+  // cached capture when available. Replay performs the same Update sequence
+  // as the computation, so the seeded state is identical either way; its
+  // recorded dCC evaluations keep candidates_generated exact.
+  int64_t seed_calls = 0;
+  if (exec.seeds != nullptr) {
+    ReplayInitSeeds(*exec.seeds, top_k);
+    seed_calls = exec.seeds->solver_calls;
+  } else {
+    InitTopK(graph, params, preprocess, solver, top_k);
+  }
   // Fig 7 line 9: sort layers by |C^d(G_i)| descending.
   std::vector<LayerId> order =
       SortedLayerOrder(preprocess, /*descending=*/true, params.sort_layers);
@@ -223,7 +249,8 @@ DccsResult BottomUpDccs(const MultiLayerGraph& graph,
   search.Run();
 
   result.cores = top_k.entries();
-  result.stats.candidates_generated = solver.num_calls();
+  result.stats.candidates_generated =
+      solver.num_calls() - calls_before + seed_calls;
   result.stats.search_seconds = search_timer.Seconds();
   result.stats.total_seconds = total_timer.Seconds();
   return result;

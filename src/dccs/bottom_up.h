@@ -1,6 +1,7 @@
 #ifndef MLCORE_DCCS_BOTTOM_UP_H_
 #define MLCORE_DCCS_BOTTOM_UP_H_
 
+#include "dccs/execution.h"
 #include "dccs/params.h"
 #include "graph/multilayer_graph.h"
 
@@ -14,8 +15,18 @@ namespace mlcore {
 /// layer sorting, InitTopK). Approximation ratio 1/4 (Theorem 3).
 ///
 /// Preferable when s < l/2; see TD-DCCS for large s.
+///
+/// One-shot form: self-contained, preprocesses from scratch (a thin wrapper
+/// over the execution-injecting overload below; prefer `mlcore::Engine` for
+/// repeated queries on one graph).
 DccsResult BottomUpDccs(const MultiLayerGraph& graph,
                         const DccsParams& params);
+
+/// Execution-injecting form: reuses whatever cached state `exec` provides
+/// (see dccs/execution.h). Semantics and results are identical to the
+/// one-shot form for a matching execution.
+DccsResult BottomUpDccs(const MultiLayerGraph& graph, const DccsParams& params,
+                        const DccsExecution& exec);
 
 }  // namespace mlcore
 

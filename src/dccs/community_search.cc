@@ -12,14 +12,28 @@ CommunitySearchResult SearchCommunity(const MultiLayerGraph& graph,
                                       VertexId query, int d, int s) {
   MLCORE_CHECK(query >= 0 && query < graph.NumVertices());
   MLCORE_CHECK(s >= 1);
+  if (s > graph.NumLayers()) return {};  // vacuous; skip the core loop
+
+  std::vector<VertexSet> cores(static_cast<size_t>(graph.NumLayers()));
+  for (LayerId layer = 0; layer < graph.NumLayers(); ++layer) {
+    cores[static_cast<size_t>(layer)] = DCore(graph, layer, d);
+  }
+  DccSolver solver(graph);
+  return SearchCommunityWithCores(graph, cores, solver, query, d, s);
+}
+
+CommunitySearchResult SearchCommunityWithCores(
+    const MultiLayerGraph& graph, const std::vector<VertexSet>& cores,
+    DccSolver& solver, VertexId query, int d, int s) {
+  MLCORE_CHECK(query >= 0 && query < graph.NumVertices());
+  MLCORE_CHECK(s >= 1);
+  MLCORE_CHECK(static_cast<int32_t>(cores.size()) == graph.NumLayers());
   CommunitySearchResult result;
   if (s > graph.NumLayers()) return result;
 
   // Layers whose d-core contains the query at all.
-  std::vector<VertexSet> cores(static_cast<size_t>(graph.NumLayers()));
   std::vector<LayerId> usable;
   for (LayerId layer = 0; layer < graph.NumLayers(); ++layer) {
-    cores[static_cast<size_t>(layer)] = DCore(graph, layer, d);
     if (std::binary_search(cores[static_cast<size_t>(layer)].begin(),
                            cores[static_cast<size_t>(layer)].end(), query)) {
       usable.push_back(layer);
@@ -27,7 +41,6 @@ CommunitySearchResult SearchCommunity(const MultiLayerGraph& graph,
   }
   if (static_cast<int>(usable.size()) < s) return result;
 
-  DccSolver solver(graph);
   LayerSet chosen;
   VertexSet community;
   for (int step = 0; step < s; ++step) {

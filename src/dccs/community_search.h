@@ -1,6 +1,9 @@
 #ifndef MLCORE_DCCS_COMMUNITY_SEARCH_H_
 #define MLCORE_DCCS_COMMUNITY_SEARCH_H_
 
+#include <vector>
+
+#include "core/dcc.h"
 #include "graph/multilayer_graph.h"
 
 namespace mlcore {
@@ -26,6 +29,14 @@ struct CommunitySearchResult {
 /// against exhaustive search on small graphs.
 CommunitySearchResult SearchCommunity(const MultiLayerGraph& graph,
                                       VertexId query, int d, int s);
+
+/// Reuse-friendly form for long-lived hosts (the Engine, DESIGN.md §5):
+/// `layer_cores[i]` must equal DCore(graph, i, d) — the full-graph per-layer
+/// d-cores the one-shot form computes itself (the dominant cost for repeat
+/// queries with the same d) — and `solver` provides the dCC scratch.
+CommunitySearchResult SearchCommunityWithCores(
+    const MultiLayerGraph& graph, const std::vector<VertexSet>& layer_cores,
+    DccSolver& solver, VertexId query, int d, int s);
 
 }  // namespace mlcore
 

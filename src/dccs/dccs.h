@@ -3,46 +3,54 @@
 
 /// Umbrella header for the diversified coherent core search library.
 ///
-/// Quick start:
+/// Quick start — the service path (preferred; reuses preprocessing across
+/// queries and never aborts on bad input, see DESIGN.md §5):
 ///
 ///   #include "dccs/dccs.h"
 ///
 ///   mlcore::MultiLayerGraph graph = ...;   // via GraphBuilder / io / datasets
-///   mlcore::DccsParams params;
-///   params.d = 4; params.s = 3; params.k = 10;
+///   mlcore::Engine engine(std::move(graph),
+///                         {.num_threads = 4});
+///   mlcore::DccsRequest request;           // algorithm defaults to kAuto
+///   request.params.d = 4; request.params.s = 3; request.params.k = 10;
+///   mlcore::Expected<mlcore::DccsResult> response = engine.Run(request);
+///   if (!response.ok()) { /* response.status().message */ }
+///   for (const auto& core : response->cores) { ... }
+///
+///   // A second query with the same d (and s) skips vertex deletion
+///   // entirely; independent queries batch over the engine's pool:
+///   std::vector<mlcore::DccsRequest> sweep = ...;
+///   auto responses = engine.RunBatch(sweep);
+///
+/// One-shot form — a thin wrapper constructing a temporary Engine per call;
+/// fine for scripts and tests, wasteful for repeated queries:
+///
 ///   mlcore::DccsResult result = mlcore::SolveDccs(
 ///       graph, params, mlcore::DccsAlgorithm::kBottomUp);
-///   for (const auto& core : result.cores) { ... }
 
 #include "dccs/bottom_up.h"
 #include "dccs/exact.h"
 #include "dccs/greedy.h"
 #include "dccs/params.h"
 #include "dccs/top_down.h"
+#include "service/engine.h"
 
 namespace mlcore {
 
-/// Dispatches to the requested DCCS algorithm.
+/// Dispatches to the requested DCCS algorithm (kAuto applies the paper's
+/// recommendation rule) through a temporary single-query `Engine`.
+///
+/// Invalid parameters — including an out-of-enum `algorithm` value — abort
+/// with the engine's validation message rather than returning a silently
+/// empty result; services that must stay up on bad input should hold a
+/// long-lived `Engine` and branch on `Engine::Run`'s status instead.
 inline DccsResult SolveDccs(const MultiLayerGraph& graph,
                             const DccsParams& params,
                             DccsAlgorithm algorithm) {
-  switch (algorithm) {
-    case DccsAlgorithm::kGreedy:
-      return GreedyDccs(graph, params);
-    case DccsAlgorithm::kBottomUp:
-      return BottomUpDccs(graph, params);
-    case DccsAlgorithm::kTopDown:
-      return TopDownDccs(graph, params);
-  }
-  return {};
-}
-
-/// Picks the algorithm the paper recommends for the given support
-/// threshold: bottom-up when s < l/2, top-down otherwise (§I, §V).
-inline DccsAlgorithm RecommendedAlgorithm(const MultiLayerGraph& graph,
-                                          int s) {
-  return 2 * s < graph.NumLayers() ? DccsAlgorithm::kBottomUp
-                                   : DccsAlgorithm::kTopDown;
+  Engine engine(&graph, Engine::Options{.num_threads = params.num_threads});
+  Expected<DccsResult> response = engine.Run(DccsRequest{params, algorithm});
+  MLCORE_CHECK_MSG(response.ok(), response.status().message.c_str());
+  return std::move(response).value();
 }
 
 }  // namespace mlcore

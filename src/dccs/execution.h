@@ -1,0 +1,61 @@
+#ifndef MLCORE_DCCS_EXECUTION_H_
+#define MLCORE_DCCS_EXECUTION_H_
+
+#include <functional>
+
+#include "core/dcc.h"
+#include "dccs/preprocess.h"
+#include "dccs/vertex_index.h"
+#include "util/thread_pool.h"
+
+namespace mlcore {
+
+/// Borrowed, reusable state injected into a DCCS algorithm call by a
+/// long-lived host (the `mlcore::Engine`, DESIGN.md §5). Every field is
+/// optional: a default-constructed execution makes the algorithms
+/// self-contained, computing whatever they need per call — exactly the
+/// historical one-shot behaviour of the free functions.
+///
+/// All pointed-to state is borrowed for the duration of the call and never
+/// mutated (the solver and pool are mutated but owned-elsewhere scratch).
+/// Injected state must match the query: `preprocess` must be the §IV-C
+/// output for (d, s, vertex_deletion), `seeds` the InitTopK capture for
+/// (d, s, k, dcc_engine), and `index` the §V-C vertex index built over
+/// `preprocess->active` with threshold d. The algorithms MLCORE_DCHECK what
+/// they cheaply can; semantic agreement is the injector's contract.
+struct DccsExecution {
+  /// §IV-C preprocessing to reuse; when set, the algorithm skips vertex
+  /// deletion entirely and reports preprocess_seconds = 0 (the host knows
+  /// the true acquisition cost and patches the stat).
+  const PreprocessResult* preprocess = nullptr;
+
+  /// Captured InitTopK seeds to replay instead of re-running Appendix D.
+  /// Ignored by GD-DCCS (which has no InitTopK stage). When null and
+  /// params.init_result is set, the algorithm computes seeds itself.
+  const InitSeeds* seeds = nullptr;
+
+  /// §V-C vertex index to reuse (TD-DCCS only). When null, TD-DCCS builds
+  /// its own over preprocess->active.
+  const VertexLevelIndex* index = nullptr;
+
+  /// Solver scratch to reuse across calls. The algorithms account
+  /// `stats.candidates_generated` as a num_calls() delta, so a solver shared
+  /// across many queries keeps per-query statistics exact. Must not be used
+  /// concurrently by two calls (DccSolver is not thread-safe).
+  DccSolver* solver = nullptr;
+
+  /// Fork-join pool for the parallel stages (per-layer d-core rounds of
+  /// preprocessing, GD-DCCS candidate generation). Null runs them
+  /// sequentially; results are bit-identical either way (DESIGN.md §4).
+  ThreadPool* pool = nullptr;
+
+  /// Per-lane solver provider for GD-DCCS candidate generation: called at
+  /// most once per pool worker id, must be thread-safe, and the returned
+  /// solvers must stay valid for the duration of the call. When empty, the
+  /// candidate loop constructs (and discards) its own per-lane solvers.
+  std::function<DccSolver*(int worker)> worker_solver;
+};
+
+}  // namespace mlcore
+
+#endif  // MLCORE_DCCS_EXECUTION_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <optional>
 
 #include "core/dcc.h"
 #include "core/fds.h"
@@ -13,22 +14,34 @@
 namespace mlcore {
 
 DccsResult GreedyDccs(const MultiLayerGraph& graph, const DccsParams& params) {
+  // One pool serves both phases: per-layer d-cores in preprocessing and the
+  // C(l, s) candidate evaluations.
+  ThreadPool pool(params.num_threads);
+  DccsExecution exec;
+  exec.pool = &pool;
+  return GreedyDccs(graph, params, exec);
+}
+
+DccsResult GreedyDccs(const MultiLayerGraph& graph, const DccsParams& params,
+                      const DccsExecution& exec) {
   WallTimer total_timer;
   DccsResult result;
   const auto n = static_cast<size_t>(graph.NumVertices());
-
-  // One pool serves both phases: per-layer d-cores in preprocessing and the
-  // C(l, s) candidate evaluations below.
-  ThreadPool pool(params.num_threads);
-
-  PreprocessResult preprocess =
-      Preprocess(graph, params.d, params.s, params.vertex_deletion, &pool);
-  result.stats.preprocess_seconds = preprocess.seconds;
 
   if (params.s > graph.NumLayers()) {
     result.stats.total_seconds = total_timer.Seconds();
     return result;
   }
+
+  ThreadPool* pool = exec.pool;
+  std::optional<PreprocessResult> local_preprocess;
+  if (exec.preprocess == nullptr) {
+    local_preprocess = Preprocess(graph, params.d, params.s,
+                                  params.vertex_deletion, pool);
+    result.stats.preprocess_seconds = local_preprocess->seconds;
+  }
+  const PreprocessResult& preprocess =
+      exec.preprocess != nullptr ? *exec.preprocess : *local_preprocess;
 
   WallTimer search_timer;
   // Lines 4–7: generate F = all d-CCs w.r.t. size-s layer subsets, each
@@ -42,7 +55,7 @@ DccsResult GreedyDccs(const MultiLayerGraph& graph, const DccsParams& params) {
   };
   const int64_t total_subsets =
       BinomialCoefficient(graph.NumLayers(), params.s);
-  MLCORE_CHECK_MSG(total_subsets <= (int64_t{1} << 26),
+  MLCORE_CHECK_MSG(total_subsets <= kMaxGreedySubsets,
                    "C(l, s) too large to materialise; this instance is "
                    "intractable for GD-DCCS regardless");
   std::vector<LayerSet> subsets;
@@ -55,40 +68,58 @@ DccsResult GreedyDccs(const MultiLayerGraph& graph, const DccsParams& params) {
   // Per-worker arenas: one solver plus reusable scope/core buffers per pool
   // lane, so the candidate loop performs no steady-state allocation. Each
   // candidate writes only its own subset-indexed slot, which keeps the
-  // output independent of how the pool schedules items across lanes.
+  // output independent of how the pool schedules items across lanes. The
+  // lane solvers come from `exec.worker_solver` when a host provides them
+  // (the Engine's cross-query arenas), else lane 0 borrows `exec.solver`
+  // and the remaining lanes build their own lazily — lanes that never claim
+  // an item never pay the solver's O(n) scratch.
   std::vector<Candidate> slots(subsets.size());
   struct WorkerArena {
-    std::unique_ptr<DccSolver> solver;
+    std::unique_ptr<DccSolver> owned_solver;
+    DccSolver* solver = nullptr;
     VertexSet scope;
     VertexSet tmp;
     VertexSet core;
   };
-  std::vector<WorkerArena> arenas(static_cast<size_t>(pool.num_threads()));
-  pool.ParallelFor(
-      static_cast<int64_t>(subsets.size()), [&](int worker, int64_t i) {
-        WorkerArena& arena = arenas[static_cast<size_t>(worker)];
-        if (arena.solver == nullptr) {
-          // Lazily built: lanes that never claim an item (fewer subsets
-          // than threads) never pay the solver's O(n) scratch.
-          arena.solver = std::make_unique<DccSolver>(graph);
-        }
-        const LayerSet& layers = subsets[static_cast<size_t>(i)];
-        const VertexSet& first =
-            preprocess.layer_cores[static_cast<size_t>(layers[0])];
-        arena.scope.assign(first.begin(), first.end());
-        for (size_t j = 1; j < layers.size() && !arena.scope.empty(); ++j) {
-          IntersectSortedInto(
-              arena.scope,
-              preprocess.layer_cores[static_cast<size_t>(layers[j])],
-              &arena.tmp);
-          std::swap(arena.scope, arena.tmp);
-        }
-        arena.solver->Compute(layers, params.d, arena.scope, &arena.core,
-                              params.dcc_engine);
-        if (!arena.core.empty()) {
-          slots[static_cast<size_t>(i)] = Candidate{layers, arena.core};
-        }
-      });
+  const int num_lanes = pool != nullptr ? pool->num_threads() : 1;
+  std::vector<WorkerArena> arenas(static_cast<size_t>(num_lanes));
+  auto evaluate_candidate = [&](int worker, int64_t i) {
+    WorkerArena& arena = arenas[static_cast<size_t>(worker)];
+    if (arena.solver == nullptr) {
+      if (exec.worker_solver) {
+        arena.solver = exec.worker_solver(worker);
+      } else if (worker == 0 && exec.solver != nullptr) {
+        arena.solver = exec.solver;
+      } else {
+        arena.owned_solver = std::make_unique<DccSolver>(graph);
+        arena.solver = arena.owned_solver.get();
+      }
+    }
+    const LayerSet& layers = subsets[static_cast<size_t>(i)];
+    const VertexSet& first =
+        preprocess.layer_cores[static_cast<size_t>(layers[0])];
+    arena.scope.assign(first.begin(), first.end());
+    for (size_t j = 1; j < layers.size() && !arena.scope.empty(); ++j) {
+      IntersectSortedInto(
+          arena.scope,
+          preprocess.layer_cores[static_cast<size_t>(layers[j])],
+          &arena.tmp);
+      std::swap(arena.scope, arena.tmp);
+    }
+    arena.solver->Compute(layers, params.d, arena.scope, &arena.core,
+                          params.dcc_engine);
+    if (!arena.core.empty()) {
+      slots[static_cast<size_t>(i)] = Candidate{layers, arena.core};
+    }
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(static_cast<int64_t>(subsets.size()),
+                      evaluate_candidate);
+  } else {
+    for (int64_t i = 0; i < static_cast<int64_t>(subsets.size()); ++i) {
+      evaluate_candidate(0, i);
+    }
+  }
 
   std::vector<Candidate> candidates;
   candidates.reserve(slots.size());

@@ -1,10 +1,17 @@
 #ifndef MLCORE_DCCS_GREEDY_H_
 #define MLCORE_DCCS_GREEDY_H_
 
+#include "dccs/execution.h"
 #include "dccs/params.h"
 #include "graph/multilayer_graph.h"
 
 namespace mlcore {
+
+/// Ceiling on materialised GD-DCCS candidate subsets: C(l, s) above this
+/// is intractable for the greedy algorithm regardless of hardware.
+/// GreedyDccs aborts past it; Engine::Validate turns it into a structured
+/// kUnsupported error first.
+inline constexpr int64_t kMaxGreedySubsets = int64_t{1} << 26;
 
 /// The GD-DCCS algorithm (paper §III, Fig 2): materialises all C(l, s)
 /// candidate d-CCs, then selects k of them greedily by marginal cover gain.
@@ -15,6 +22,13 @@ namespace mlcore {
 /// preprocessing is applied before candidate generation when
 /// `params.vertex_deletion` is set.
 DccsResult GreedyDccs(const MultiLayerGraph& graph, const DccsParams& params);
+
+/// Execution-injecting form: reuses whatever cached state `exec` provides
+/// (see dccs/execution.h). GD-DCCS uses `preprocess`, `pool`, `solver` and
+/// `worker_solver`; it has no InitTopK stage, so `seeds`/`index` are
+/// ignored.
+DccsResult GreedyDccs(const MultiLayerGraph& graph, const DccsParams& params,
+                      const DccsExecution& exec);
 
 }  // namespace mlcore
 

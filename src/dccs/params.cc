@@ -20,8 +20,15 @@ std::string AlgorithmName(DccsAlgorithm algorithm) {
       return "BU-DCCS";
     case DccsAlgorithm::kTopDown:
       return "TD-DCCS";
+    case DccsAlgorithm::kAuto:
+      return "AUTO";
   }
   return "unknown";
+}
+
+DccsAlgorithm RecommendedAlgorithm(const MultiLayerGraph& graph, int s) {
+  return 2 * s < graph.NumLayers() ? DccsAlgorithm::kBottomUp
+                                   : DccsAlgorithm::kTopDown;
 }
 
 }  // namespace mlcore

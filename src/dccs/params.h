@@ -95,9 +95,17 @@ struct DccsResult {
 };
 
 /// Identifier of a DCCS algorithm, for harness dispatch and labels.
-enum class DccsAlgorithm { kGreedy, kBottomUp, kTopDown };
+/// `kAuto` defers the choice to `RecommendedAlgorithm` (paper §I/§V rule:
+/// bottom-up when s < l/2, top-down otherwise); it is resolved by the
+/// service layer (`mlcore::Engine`) and by `SolveDccs` before dispatch.
+enum class DccsAlgorithm { kGreedy, kBottomUp, kTopDown, kAuto };
 
 std::string AlgorithmName(DccsAlgorithm algorithm);
+
+/// Picks the algorithm the paper recommends for the given support
+/// threshold: bottom-up when s < l/2, top-down otherwise (§I, §V). This is
+/// what `DccsAlgorithm::kAuto` resolves to.
+DccsAlgorithm RecommendedAlgorithm(const MultiLayerGraph& graph, int s);
 
 }  // namespace mlcore
 

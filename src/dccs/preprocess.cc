@@ -9,7 +9,8 @@
 namespace mlcore {
 
 PreprocessResult Preprocess(const MultiLayerGraph& graph, int d, int s,
-                            bool vertex_deletion, ThreadPool* pool) {
+                            bool vertex_deletion, ThreadPool* pool,
+                            const std::vector<VertexSet>* base_cores) {
   WallTimer timer;
   PreprocessResult result;
   const auto n = static_cast<size_t>(graph.NumVertices());
@@ -24,21 +25,30 @@ PreprocessResult Preprocess(const MultiLayerGraph& graph, int d, int s,
   // d-cores of a round are independent, so they fan out over `pool`; every
   // core lands in its layer-indexed slot and the support/bitmap merge runs
   // sequentially afterwards, keeping the result thread-count-invariant.
+  bool first_round = true;
   while (true) {
-    result.layer_cores.assign(l, VertexSet());
-    result.layer_core_bits.assign(l, Bitset(n));
-    std::fill(result.support.begin(), result.support.end(), 0);
-    auto compute_layer = [&](int /*worker*/, int64_t layer) {
-      result.layer_cores[static_cast<size_t>(layer)] =
-          DCoreScoped(graph, static_cast<LayerId>(layer), d, result.active);
-    };
-    if (pool != nullptr) {
-      pool->ParallelFor(static_cast<int64_t>(l), compute_layer);
+    if (first_round && base_cores != nullptr) {
+      // The first round runs over the full vertex set, so its cores are
+      // exactly the caller-provided full-graph d-cores.
+      MLCORE_DCHECK(base_cores->size() == l);
+      result.layer_cores = *base_cores;
     } else {
-      for (int64_t layer = 0; layer < static_cast<int64_t>(l); ++layer) {
-        compute_layer(0, layer);
+      result.layer_cores.assign(l, VertexSet());
+      auto compute_layer = [&](int /*worker*/, int64_t layer) {
+        result.layer_cores[static_cast<size_t>(layer)] =
+            DCoreScoped(graph, static_cast<LayerId>(layer), d, result.active);
+      };
+      if (pool != nullptr) {
+        pool->ParallelFor(static_cast<int64_t>(l), compute_layer);
+      } else {
+        for (int64_t layer = 0; layer < static_cast<int64_t>(l); ++layer) {
+          compute_layer(0, layer);
+        }
       }
     }
+    first_round = false;
+    result.layer_core_bits.assign(l, Bitset(n));
+    std::fill(result.support.begin(), result.support.end(), 0);
     for (LayerId layer = 0; layer < graph.NumLayers(); ++layer) {
       for (VertexId v : result.layer_cores[static_cast<size_t>(layer)]) {
         result.layer_core_bits[static_cast<size_t>(layer)].Set(
@@ -92,13 +102,22 @@ void PositionsToLayerIds(const std::vector<LayerId>& order,
   std::sort(ids->begin(), ids->end());
 }
 
-void InitTopK(const MultiLayerGraph& graph, const DccsParams& params,
-              const PreprocessResult& preprocess, DccSolver& solver,
-              CoverageIndex& result) {
-  if (!params.init_result) return;
+InitSeeds ComputeInitSeeds(const MultiLayerGraph& graph,
+                           const DccsParams& params,
+                           const PreprocessResult& preprocess,
+                           DccSolver& solver) {
+  InitSeeds captured;
+  if (!params.init_result) return captured;
   const int32_t l = graph.NumLayers();
-  if (params.s > l) return;
+  if (params.s > l) return captured;
 
+  // The greedy seeding consults the result set built so far (MarginalGain),
+  // so the capture runs against a private CoverageIndex; replaying the
+  // recorded Update arguments into another fresh index reproduces the
+  // identical state.
+  CoverageIndex result(params.k);
+  const int64_t calls_before = solver.num_calls();
+  captured.seeds.reserve(static_cast<size_t>(params.k));
   for (int p = 0; p < params.k; ++p) {
     // Seed layer: the d-core with the largest marginal cover gain.
     LayerId best_layer = 0;
@@ -142,7 +161,23 @@ void InitTopK(const MultiLayerGraph& graph, const DccsParams& params,
     VertexSet core =
         solver.Compute(chosen, params.d, intersection, params.dcc_engine);
     result.Update(core, chosen);
+    captured.seeds.push_back(ResultCore{std::move(chosen), std::move(core)});
   }
+  captured.solver_calls = solver.num_calls() - calls_before;
+  return captured;
+}
+
+void ReplayInitSeeds(const InitSeeds& seeds, CoverageIndex& result) {
+  for (const ResultCore& seed : seeds.seeds) {
+    result.Update(seed.vertices, seed.layers);
+  }
+}
+
+void InitTopK(const MultiLayerGraph& graph, const DccsParams& params,
+              const PreprocessResult& preprocess, DccSolver& solver,
+              CoverageIndex& result) {
+  ReplayInitSeeds(ComputeInitSeeds(graph, params, preprocess, solver),
+                  result);
 }
 
 }  // namespace mlcore

@@ -35,8 +35,15 @@ struct PreprocessResult {
 /// of each deletion round fan out over the pool. Each core lands in its
 /// layer-indexed slot and the support merge stays sequential, so the result
 /// is bit-identical for every thread count (DESIGN.md §4).
+///
+/// When `base_cores` is non-null it must hold the full-graph per-layer
+/// d-cores for this `d` (base_cores[i] == DCore(graph, i, d)); the first
+/// deletion round copies them instead of recomputing, which lets a caller
+/// that caches d-cores by `d` (the Engine, DESIGN.md §5) amortise the most
+/// expensive round across queries with different `s`.
 PreprocessResult Preprocess(const MultiLayerGraph& graph, int d, int s,
-                            bool vertex_deletion, ThreadPool* pool = nullptr);
+                            bool vertex_deletion, ThreadPool* pool = nullptr,
+                            const std::vector<VertexSet>* base_cores = nullptr);
 
 /// Layer ids sorted by |C^d(G_i)|; descending order for BU-DCCS (Fig 7
 /// line 9), ascending for TD-DCCS (Fig 11 line 2). When `sort_layers` is
@@ -51,9 +58,34 @@ std::vector<LayerId> SortedLayerOrder(const PreprocessResult& preprocess,
 void PositionsToLayerIds(const std::vector<LayerId>& order,
                          const LayerSet& positions, LayerSet* ids);
 
+/// Captured output of the InitTopK procedure (Appendix D): the candidate
+/// (layers, core) pairs in the order they were offered to the result set,
+/// plus the number of dCC evaluations spent producing them. Replaying the
+/// pairs through `CoverageIndex::Update` reconstructs the exact seeded
+/// state, so an engine can cache the seeds per (d, s, k, engine) and skip
+/// the k·s dCC evaluations on repeat queries (DESIGN.md §5).
+struct InitSeeds {
+  std::vector<ResultCore> seeds;
+  int64_t solver_calls = 0;
+};
+
+/// Runs the InitTopK greedy seeding (Appendix D) and returns its captured
+/// form. Deterministic: depends only on (graph, preprocess, params.d,
+/// params.s, params.k, params.dcc_engine). Returns empty seeds when
+/// `params.init_result` is false (No-IR) or s > l.
+InitSeeds ComputeInitSeeds(const MultiLayerGraph& graph,
+                           const DccsParams& params,
+                           const PreprocessResult& preprocess,
+                           DccSolver& solver);
+
+/// Replays captured seeds into a (fresh) top-k result set, reproducing the
+/// state ComputeInitSeeds left its internal result set in.
+void ReplayInitSeeds(const InitSeeds& seeds, CoverageIndex& result);
+
 /// The InitTopK procedure (Appendix D): greedily seeds the top-k result set
 /// with k candidate d-CCs so that the Eq. (1) pruning rules engage from the
 /// start of the search. No-op when `params.init_result` is false (No-IR).
+/// `result` must be freshly constructed (empty).
 void InitTopK(const MultiLayerGraph& graph, const DccsParams& params,
               const PreprocessResult& preprocess, DccSolver& solver,
               CoverageIndex& result);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <optional>
 
 #include "core/dcc.h"
 #include "dccs/cover.h"
@@ -434,6 +435,16 @@ void TopDownSearch::RefineCIndexed(const VertexSet& scope,
 }  // namespace
 
 DccsResult TopDownDccs(const MultiLayerGraph& graph, const DccsParams& params) {
+  // Per-layer d-cores of preprocessing fan out over a pool scoped to this
+  // call; the search itself is sequential through the shared top-k state.
+  ThreadPool pool(params.num_threads);
+  DccsExecution exec;
+  exec.pool = &pool;
+  return TopDownDccs(graph, params, exec);
+}
+
+DccsResult TopDownDccs(const MultiLayerGraph& graph, const DccsParams& params,
+                       const DccsExecution& exec) {
   MLCORE_CHECK(params.s >= 1);
   MLCORE_CHECK(params.k >= 1);
   MLCORE_CHECK(graph.NumLayers() <= 64);
@@ -445,32 +456,51 @@ DccsResult TopDownDccs(const MultiLayerGraph& graph, const DccsParams& params) {
     return result;
   }
 
-  // Fig 11 line 1 = BU-DCCS lines 1–8: vertex deletion + InitTopK. The
-  // per-layer d-cores fan out over a pool scoped to this call; the search
-  // is sequential, so the workers are released before it starts.
-  PreprocessResult preprocess = [&] {
-    ThreadPool pool(params.num_threads);
-    return Preprocess(graph, params.d, params.s, params.vertex_deletion,
-                      &pool);
-  }();
-  result.stats.preprocess_seconds = preprocess.seconds;
+  // Fig 11 line 1 = BU-DCCS lines 1–8: vertex deletion + InitTopK, both
+  // replayable from an injected execution (see BottomUpDccs).
+  std::optional<PreprocessResult> local_preprocess;
+  if (exec.preprocess == nullptr) {
+    local_preprocess = Preprocess(graph, params.d, params.s,
+                                  params.vertex_deletion, exec.pool);
+    result.stats.preprocess_seconds = local_preprocess->seconds;
+  }
+  const PreprocessResult& preprocess =
+      exec.preprocess != nullptr ? *exec.preprocess : *local_preprocess;
 
   WallTimer search_timer;
-  DccSolver solver(graph);
+  std::optional<DccSolver> local_solver;
+  if (exec.solver == nullptr) local_solver.emplace(graph);
+  DccSolver& solver = exec.solver != nullptr ? *exec.solver : *local_solver;
+  const int64_t calls_before = solver.num_calls();
+
   CoverageIndex top_k(params.k);
-  InitTopK(graph, params, preprocess, solver, top_k);
+  int64_t seed_calls = 0;
+  if (exec.seeds != nullptr) {
+    ReplayInitSeeds(*exec.seeds, top_k);
+    seed_calls = exec.seeds->solver_calls;
+  } else {
+    InitTopK(graph, params, preprocess, solver, top_k);
+  }
   // Fig 11 line 2: ascending order of |C^d(G_i)|.
   std::vector<LayerId> order =
       SortedLayerOrder(preprocess, /*descending=*/false, params.sort_layers);
-  // Fig 11 line 3: build the vertex index.
-  VertexLevelIndex index(graph, params.d, preprocess.active);
+  // Fig 11 line 3: the vertex index (always consulted — RefineC's Lemma 8
+  // stage filter needs it even on the reference path), cached by the
+  // engine per (d, s) because it is built over `preprocess.active`.
+  std::optional<VertexLevelIndex> local_index;
+  if (exec.index == nullptr) {
+    local_index.emplace(graph, params.d, preprocess.active);
+  }
+  const VertexLevelIndex& index =
+      exec.index != nullptr ? *exec.index : *local_index;
 
   TopDownSearch search(graph, params, preprocess, order, index, solver, top_k,
                        result.stats);
   search.Run();
 
   result.cores = top_k.entries();
-  result.stats.candidates_generated = solver.num_calls();
+  result.stats.candidates_generated =
+      solver.num_calls() - calls_before + seed_calls;
   result.stats.search_seconds = search_timer.Seconds();
   result.stats.total_seconds = total_timer.Seconds();
   return result;

@@ -1,6 +1,7 @@
 #ifndef MLCORE_DCCS_TOP_DOWN_H_
 #define MLCORE_DCCS_TOP_DOWN_H_
 
+#include "dccs/execution.h"
 #include "dccs/params.h"
 #include "graph/multilayer_graph.h"
 
@@ -16,7 +17,16 @@ namespace mlcore {
 ///
 /// Designed for s ≥ l/2 (the paper restricts §V to that regime); the
 /// implementation accepts any s but the search degenerates for small s.
+///
+/// One-shot form: self-contained, preprocesses and builds the §V-C vertex
+/// index from scratch (prefer `mlcore::Engine` for repeated queries).
 DccsResult TopDownDccs(const MultiLayerGraph& graph, const DccsParams& params);
+
+/// Execution-injecting form: reuses whatever cached state `exec` provides
+/// (see dccs/execution.h); `exec.index`, when set, must have been built
+/// over `exec.preprocess->active` with this `d`.
+DccsResult TopDownDccs(const MultiLayerGraph& graph, const DccsParams& params,
+                       const DccsExecution& exec);
 
 }  // namespace mlcore
 

@@ -23,7 +23,7 @@ struct Dataset {
 
 /// Names of the six paper datasets (Fig 12): ppi, author, german, wiki,
 /// english, stack. The large four are scaled synthetic stand-ins (see
-/// DESIGN.md §5): layer counts match the paper exactly; vertex counts are
+/// DESIGN.md §6): layer counts match the paper exactly; vertex counts are
 /// scaled to laptop size.
 std::vector<std::string> DatasetNames();
 

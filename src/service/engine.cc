@@ -1,0 +1,478 @@
+#include "service/engine.h"
+
+#include <algorithm>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "core/dcore.h"
+#include "core/fds.h"
+#include "dccs/bottom_up.h"
+#include "dccs/execution.h"
+#include "dccs/greedy.h"
+#include "dccs/top_down.h"
+#include "util/timing.h"
+
+namespace mlcore {
+
+namespace {
+
+Engine::Options Sanitize(Engine::Options options) {
+  options.num_threads = std::max(1, options.num_threads);
+  options.max_cached_queries = std::max(1, options.max_cached_queries);
+  return options;
+}
+
+/// Evicts the least-recently-used keys of `entries` down to `capacity`.
+/// Entries are shared_ptr payloads, so queries still holding one keep it
+/// alive past eviction.
+template <typename Map, typename UseMap>
+void EvictLru(Map& entries, UseMap& last_use, size_t capacity) {
+  while (entries.size() > capacity) {
+    auto victim = last_use.begin();
+    for (auto it = last_use.begin(); it != last_use.end(); ++it) {
+      if (it->second < victim->second) victim = it;
+    }
+    entries.erase(victim->first);
+    last_use.erase(victim);
+  }
+}
+
+}  // namespace
+
+/// Full-graph per-layer d-cores for one `d` (DCore(graph, i, d) in slot i).
+struct Engine::BaseCoresEntry {
+  std::once_flag once;
+  std::vector<VertexSet> cores;
+};
+
+/// Everything reusable for one (d, s, vertex_deletion) key: the §IV-C
+/// vertex-deletion fixpoint, the lazily built §V-C vertex index, and the
+/// InitTopK seed captures keyed by (k, dcc_engine).
+struct Engine::QueryEntry {
+  std::once_flag preprocess_once;
+  PreprocessResult preprocess;
+
+  std::once_flag index_once;
+  std::unique_ptr<VertexLevelIndex> index;
+
+  std::mutex seeds_mu;
+  std::map<std::pair<int, int>, std::shared_ptr<const InitSeeds>> seeds;
+};
+
+/// RAII hold on one free-list solver.
+class Engine::SolverLease {
+ public:
+  explicit SolverLease(Engine* engine)
+      : engine_(engine), solver_(engine->AcquireSolver()) {}
+  ~SolverLease() { engine_->ReleaseSolver(std::move(solver_)); }
+  SolverLease(const SolverLease&) = delete;
+  SolverLease& operator=(const SolverLease&) = delete;
+
+  DccSolver* get() const { return solver_.get(); }
+
+ private:
+  Engine* engine_;
+  std::unique_ptr<DccSolver> solver_;
+};
+
+/// Lane-indexed solver arenas for GD-DCCS candidate generation, drawn from
+/// (and returned to) the engine free-list. Thread-safe: pool workers call
+/// Get concurrently.
+class Engine::WorkerSolvers {
+ public:
+  WorkerSolvers(Engine* engine, int lanes)
+      : engine_(engine), held_(static_cast<size_t>(lanes)) {}
+  ~WorkerSolvers() {
+    for (auto& solver : held_) {
+      if (solver != nullptr) engine_->ReleaseSolver(std::move(solver));
+    }
+  }
+  WorkerSolvers(const WorkerSolvers&) = delete;
+  WorkerSolvers& operator=(const WorkerSolvers&) = delete;
+
+  DccSolver* Get(int worker) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& slot = held_[static_cast<size_t>(worker)];
+    if (slot == nullptr) slot = engine_->AcquireSolver();
+    return slot.get();
+  }
+
+ private:
+  Engine* engine_;
+  std::mutex mu_;
+  std::vector<std::unique_ptr<DccSolver>> held_;
+};
+
+Engine::Engine(MultiLayerGraph graph, Options options)
+    : graph_(std::make_shared<const MultiLayerGraph>(std::move(graph))),
+      options_(Sanitize(options)),
+      pool_(options_.num_threads) {}
+
+Engine::Engine(std::shared_ptr<const MultiLayerGraph> graph, Options options)
+    : graph_(std::move(graph)),
+      options_(Sanitize(options)),
+      pool_(options_.num_threads) {
+  MLCORE_CHECK(graph_ != nullptr);
+}
+
+Engine::Engine(const MultiLayerGraph* graph, Options options)
+    : graph_(graph, [](const MultiLayerGraph*) {}),
+      options_(Sanitize(options)),
+      pool_(options_.num_threads) {
+  MLCORE_CHECK(graph != nullptr);
+}
+
+Engine::~Engine() = default;
+
+DccsAlgorithm Engine::ResolvedAlgorithm(const DccsRequest& request) const {
+  if (request.algorithm != DccsAlgorithm::kAuto) return request.algorithm;
+  return RecommendedAlgorithm(*graph_, request.params.s);
+}
+
+Status Engine::Validate(const DccsRequest& request) const {
+  switch (request.algorithm) {
+    case DccsAlgorithm::kGreedy:
+    case DccsAlgorithm::kBottomUp:
+    case DccsAlgorithm::kTopDown:
+    case DccsAlgorithm::kAuto:
+      break;
+    default:
+      return Status::InvalidArgument(
+          "unknown DccsAlgorithm value " +
+          std::to_string(static_cast<int>(request.algorithm)));
+  }
+  const DccsParams& p = request.params;
+  switch (p.dcc_engine) {
+    case DccEngine::kQueue:
+    case DccEngine::kBins:
+      break;
+    default:
+      return Status::InvalidArgument(
+          "unknown DccEngine value " +
+          std::to_string(static_cast<int>(p.dcc_engine)));
+  }
+  if (p.d < 0) {
+    return Status::InvalidArgument("degree threshold d must be >= 0, got " +
+                                   std::to_string(p.d));
+  }
+  if (p.s < 1) {
+    return Status::InvalidArgument("support threshold s must be >= 1, got " +
+                                   std::to_string(p.s));
+  }
+  if (p.k < 1) {
+    return Status::InvalidArgument("result count k must be >= 1, got " +
+                                   std::to_string(p.k));
+  }
+  const int32_t l = graph_->NumLayers();
+  const DccsAlgorithm resolved = ResolvedAlgorithm(request);
+  if ((resolved == DccsAlgorithm::kBottomUp ||
+       resolved == DccsAlgorithm::kTopDown) &&
+      l > 64) {
+    return Status::Unsupported(
+        "the BU/TD lattice searches support at most 64 layers; graph has " +
+        std::to_string(l));
+  }
+  if (resolved == DccsAlgorithm::kGreedy &&
+      BinomialCoefficient(l, p.s) > kMaxGreedySubsets) {
+    return Status::Unsupported(
+        "C(" + std::to_string(l) + ", " + std::to_string(p.s) +
+        ") candidate subsets are too many to materialise for GD-DCCS; "
+        "this instance is intractable for the greedy algorithm regardless");
+  }
+  return Status::Ok();
+}
+
+Status Engine::Validate(const CommunityRequest& request) const {
+  if (request.query < 0 || request.query >= graph_->NumVertices()) {
+    return Status::InvalidArgument(
+        "query vertex " + std::to_string(request.query) +
+        " outside [0, " + std::to_string(graph_->NumVertices()) + ")");
+  }
+  if (request.d < 0) {
+    return Status::InvalidArgument("degree threshold d must be >= 0, got " +
+                                   std::to_string(request.d));
+  }
+  if (request.s < 1) {
+    return Status::InvalidArgument("support threshold s must be >= 1, got " +
+                                   std::to_string(request.s));
+  }
+  return Status::Ok();
+}
+
+Expected<DccsResult> Engine::Run(const DccsRequest& request) {
+  Status status = Validate(request);
+  if (!status.ok()) return status;
+  // Use the shared pool if it is free; a busy pool (another query's stage
+  // or a batch) degrades this query's parallel stages to sequential, which
+  // by the DESIGN.md §4 contract cannot change its result.
+  return RunValidated(request,
+                      std::unique_lock<std::mutex>(pool_mu_, std::try_to_lock));
+}
+
+std::vector<Expected<DccsResult>> Engine::RunBatch(
+    std::span<const DccsRequest> requests) {
+  const size_t n = requests.size();
+  std::vector<Status> statuses(n);
+  for (size_t i = 0; i < n; ++i) statuses[i] = Validate(requests[i]);
+
+  // Fan the valid requests out over the pool. Each slot is written by
+  // exactly one worker and queries never read each other's output, so the
+  // batch obeys the §4 determinism rules; cache misses shared between
+  // queries are computed once (per-entry once-flags) with every waiter
+  // receiving the same bits. Workers get pool = nullptr: ParallelFor is not
+  // reentrant, and sequential inner stages cannot change results.
+  std::vector<std::optional<DccsResult>> slots(n);
+  {
+    std::lock_guard<std::mutex> pool_lock(pool_mu_);
+    pool_.ParallelFor(static_cast<int64_t>(n), [&](int /*worker*/,
+                                                   int64_t i) {
+      const auto slot = static_cast<size_t>(i);
+      if (!statuses[slot].ok()) return;
+      slots[slot] =
+          RunValidated(requests[slot], std::unique_lock<std::mutex>());
+    });
+  }
+
+  // Sequential merge in request order.
+  std::vector<Expected<DccsResult>> responses;
+  responses.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (statuses[i].ok()) {
+      responses.emplace_back(std::move(*slots[i]));
+    } else {
+      responses.emplace_back(std::move(statuses[i]));
+    }
+  }
+  return responses;
+}
+
+Expected<CommunitySearchResult> Engine::FindCommunity(
+    const CommunityRequest& request) {
+  Status status = Validate(request);
+  if (!status.ok()) return status;
+  if (request.s > graph_->NumLayers()) return CommunitySearchResult{};
+
+  std::unique_lock<std::mutex> pool_lock(pool_mu_, std::try_to_lock);
+  std::shared_ptr<const BaseCoresEntry> base = GetBaseCores(
+      request.d, pool_lock.owns_lock() ? &pool_ : nullptr);
+  // The greedy layer extension below is sequential; free the pool first.
+  if (pool_lock.owns_lock()) pool_lock.unlock();
+  SolverLease solver(this);
+  return SearchCommunityWithCores(*graph_, base->cores, *solver.get(),
+                                  request.query, request.d, request.s);
+}
+
+DccsResult Engine::RunValidated(const DccsRequest& request,
+                                std::unique_lock<std::mutex> pool_lock) {
+  WallTimer total_timer;
+  const DccsParams& params = request.params;
+  const DccsAlgorithm algorithm = ResolvedAlgorithm(request);
+  ThreadPool* pool = pool_lock.owns_lock() ? &pool_ : nullptr;
+
+  DccsResult result;
+  if (params.s > graph_->NumLayers()) {
+    // Valid but vacuous (no size-s layer subset exists); keep the cache
+    // untouched, matching the algorithms' own early return.
+    result.stats.total_seconds = total_timer.Seconds();
+    return result;
+  }
+
+  // Acquire (or build) every cacheable stage. The acquisition wall time is
+  // reported as this query's preprocess_seconds: on a cold cache it is the
+  // §IV-C (+ index/seed) build time, on a hit it is microseconds.
+  WallTimer acquire_timer;
+  std::shared_ptr<QueryEntry> entry =
+      GetQueryEntry(params.d, params.s, params.vertex_deletion, pool);
+  // Pooled greedy draws all its lane solvers from WorkerSolvers and has no
+  // InitTopK stage, so only the other paths lease a free-list solver.
+  const bool pooled_greedy =
+      algorithm == DccsAlgorithm::kGreedy && pool != nullptr;
+  std::optional<SolverLease> solver;
+  if (!pooled_greedy) solver.emplace(this);
+  std::shared_ptr<const InitSeeds> seeds;
+  if (algorithm != DccsAlgorithm::kGreedy && params.init_result) {
+    seeds = GetSeeds(*entry, params, *solver->get());
+  }
+  const VertexLevelIndex* index = nullptr;
+  if (algorithm == DccsAlgorithm::kTopDown) {
+    index = GetIndex(*entry, params.d);
+  }
+  const double acquire_seconds = acquire_timer.Seconds();
+
+  // Preprocessing is behind us; only GD-DCCS's candidate fan-out still
+  // wants workers. Release the pool for everyone else so a long
+  // sequential BU/TD search never blocks other queries' parallel stages.
+  if (algorithm != DccsAlgorithm::kGreedy && pool_lock.owns_lock()) {
+    pool_lock.unlock();
+    pool = nullptr;
+  }
+
+  DccsExecution exec;
+  exec.preprocess = &entry->preprocess;
+  exec.seeds = seeds.get();
+  exec.index = index;
+  exec.solver = solver.has_value() ? solver->get() : nullptr;
+  exec.pool = pool;
+  std::optional<WorkerSolvers> worker_solvers;
+  if (pooled_greedy) {
+    worker_solvers.emplace(this, pool->num_threads());
+    exec.worker_solver = [&ws = *worker_solvers](int worker) {
+      return ws.Get(worker);
+    };
+  }
+
+  switch (algorithm) {
+    case DccsAlgorithm::kGreedy:
+      result = GreedyDccs(*graph_, params, exec);
+      break;
+    case DccsAlgorithm::kBottomUp:
+      result = BottomUpDccs(*graph_, params, exec);
+      break;
+    case DccsAlgorithm::kTopDown:
+      result = TopDownDccs(*graph_, params, exec);
+      break;
+    case DccsAlgorithm::kAuto:
+      MLCORE_CHECK_MSG(false, "kAuto must be resolved before dispatch");
+      break;
+  }
+  result.stats.preprocess_seconds = acquire_seconds;
+  result.stats.total_seconds = total_timer.Seconds();
+  return result;
+}
+
+std::shared_ptr<const Engine::BaseCoresEntry> Engine::GetBaseCores(
+    int d, ThreadPool* pool) {
+  std::shared_ptr<BaseCoresEntry> entry;
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    auto it = base_cores_.find(d);
+    if (it != base_cores_.end()) {
+      entry = it->second;
+      ++stats_.base_core_hits;
+    } else {
+      entry = std::make_shared<BaseCoresEntry>();
+      base_cores_[d] = entry;
+      ++stats_.base_core_misses;
+    }
+    base_cores_last_use_[d] = ++use_clock_;
+    EvictLru(base_cores_, base_cores_last_use_,
+             static_cast<size_t>(options_.max_cached_queries));
+  }
+  std::call_once(entry->once, [&] {
+    const auto l = static_cast<int64_t>(graph_->NumLayers());
+    entry->cores.assign(static_cast<size_t>(l), VertexSet());
+    auto compute_layer = [&](int /*worker*/, int64_t layer) {
+      entry->cores[static_cast<size_t>(layer)] =
+          DCore(*graph_, static_cast<LayerId>(layer), d);
+    };
+    if (pool != nullptr) {
+      pool->ParallelFor(l, compute_layer);
+    } else {
+      for (int64_t layer = 0; layer < l; ++layer) compute_layer(0, layer);
+    }
+  });
+  return entry;
+}
+
+std::shared_ptr<Engine::QueryEntry> Engine::GetQueryEntry(
+    int d, int s, bool vertex_deletion, ThreadPool* pool) {
+  const std::tuple<int, int, bool> key{d, s, vertex_deletion};
+  std::shared_ptr<QueryEntry> entry;
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    auto it = queries_.find(key);
+    if (it != queries_.end()) {
+      entry = it->second;
+      ++stats_.preprocess_hits;
+    } else {
+      entry = std::make_shared<QueryEntry>();
+      queries_[key] = entry;
+      ++stats_.preprocess_misses;
+    }
+    queries_last_use_[key] = ++use_clock_;
+    EvictLru(queries_, queries_last_use_,
+             static_cast<size_t>(options_.max_cached_queries));
+  }
+  std::call_once(entry->preprocess_once, [&] {
+    std::shared_ptr<const BaseCoresEntry> base = GetBaseCores(d, pool);
+    entry->preprocess =
+        Preprocess(*graph_, d, s, vertex_deletion, pool, &base->cores);
+  });
+  return entry;
+}
+
+std::shared_ptr<const InitSeeds> Engine::GetSeeds(QueryEntry& entry,
+                                                  const DccsParams& params,
+                                                  DccSolver& solver) {
+  const std::pair<int, int> key{params.k,
+                                static_cast<int>(params.dcc_engine)};
+  std::lock_guard<std::mutex> lock(entry.seeds_mu);
+  auto it = entry.seeds.find(key);
+  if (it != entry.seeds.end()) {
+    std::lock_guard<std::mutex> stats_lock(cache_mu_);
+    ++stats_.seed_hits;
+    return it->second;
+  }
+  auto seeds = std::make_shared<InitSeeds>(
+      ComputeInitSeeds(*graph_, params, entry.preprocess, solver));
+  entry.seeds[key] = seeds;
+  std::lock_guard<std::mutex> stats_lock(cache_mu_);
+  ++stats_.seed_misses;
+  return seeds;
+}
+
+const VertexLevelIndex* Engine::GetIndex(QueryEntry& entry, int d) {
+  bool built = false;
+  std::call_once(entry.index_once, [&] {
+    entry.index = std::make_unique<VertexLevelIndex>(*graph_, d,
+                                                     entry.preprocess.active);
+    built = true;
+  });
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    if (built) {
+      ++stats_.index_misses;
+    } else {
+      ++stats_.index_hits;
+    }
+  }
+  return entry.index.get();
+}
+
+std::unique_ptr<DccSolver> Engine::AcquireSolver() {
+  {
+    std::lock_guard<std::mutex> lock(solver_mu_);
+    if (!free_solvers_.empty()) {
+      std::unique_ptr<DccSolver> solver = std::move(free_solvers_.back());
+      free_solvers_.pop_back();
+      return solver;
+    }
+  }
+  return std::make_unique<DccSolver>(*graph_);
+}
+
+void Engine::ReleaseSolver(std::unique_ptr<DccSolver> solver) {
+  std::lock_guard<std::mutex> lock(solver_mu_);
+  free_solvers_.push_back(std::move(solver));
+}
+
+EngineCacheStats Engine::cache_stats() const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  return stats_;
+}
+
+void Engine::ClearCache() {
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    base_cores_.clear();
+    base_cores_last_use_.clear();
+    queries_.clear();
+    queries_last_use_.clear();
+  }
+  std::lock_guard<std::mutex> lock(solver_mu_);
+  free_solvers_.clear();
+}
+
+}  // namespace mlcore

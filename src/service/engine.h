@@ -1,0 +1,202 @@
+#ifndef MLCORE_SERVICE_ENGINE_H_
+#define MLCORE_SERVICE_ENGINE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <tuple>
+#include <vector>
+
+#include "core/dcc.h"
+#include "dccs/community_search.h"
+#include "dccs/params.h"
+#include "dccs/preprocess.h"
+#include "dccs/vertex_index.h"
+#include "graph/multilayer_graph.h"
+#include "service/status.h"
+#include "util/thread_pool.h"
+
+namespace mlcore {
+
+/// One DCCS query against an Engine's graph: the paper's (d, s, k)
+/// parameters (plus algorithm knobs) and the algorithm to answer it with.
+/// `kAuto` (the default) applies the paper's §I/§V selection rule via
+/// `RecommendedAlgorithm`.
+struct DccsRequest {
+  DccsParams params;
+  DccsAlgorithm algorithm = DccsAlgorithm::kAuto;
+};
+
+/// One query-anchored community search (dccs/community_search.h): find a
+/// size-s layer subset whose d-CC contains `query`.
+struct CommunityRequest {
+  VertexId query = 0;
+  int d = 4;
+  int s = 3;
+};
+
+/// Cumulative cache counters, for observability and tests. A "query" entry
+/// is one (d, s, vertex_deletion) preprocessing bundle; "base" entries are
+/// the full-graph per-layer d-cores keyed by d alone.
+struct EngineCacheStats {
+  int64_t preprocess_hits = 0;
+  int64_t preprocess_misses = 0;
+  int64_t seed_hits = 0;
+  int64_t seed_misses = 0;
+  int64_t index_hits = 0;
+  int64_t index_misses = 0;
+  int64_t base_core_hits = 0;
+  int64_t base_core_misses = 0;
+};
+
+/// Long-lived, thread-safe DCCS query service over one immutable
+/// multi-layer graph (DESIGN.md §5).
+///
+/// The paper frames DCCS as an online problem — many (d, s, k) questions
+/// against one graph — and everything a query can share is owned here and
+/// reused across calls:
+///
+///  * a preprocessing cache keyed on what each stage actually depends on:
+///    full-graph per-layer d-cores by `d`; the §IV-C vertex-deletion
+///    fixpoint, the §V-C vertex index and the InitTopK seeds by
+///    (d, s, vertex_deletion) — the latter two because they are built over
+///    the surviving vertex set (the seeds additionally by (k, dcc_engine)).
+///    A repeat query with the same (d, s) skips vertex deletion entirely;
+///    a query with a cached `d` but new `s` skips the first (full-graph)
+///    deletion round.
+///  * a shared `util::ThreadPool` for the parallel stages and for
+///    `RunBatch` fan-out;
+///  * a free-list of `DccSolver` arenas, so steady-state queries allocate
+///    no solver scratch.
+///
+/// Thread safety: all public methods may be called concurrently from any
+/// number of threads. Results honour the DESIGN.md §4 determinism
+/// contract — a query's cores are bit-identical whether it runs alone,
+/// concurrently with others, inside a batch, or through the one-shot free
+/// functions. Statistics (`SearchStats`) are also identical, except the
+/// timing fields, which report wall time of whatever work actually ran
+/// (`preprocess_seconds` is the cache-acquisition time, near zero on a
+/// hit).
+///
+/// Invalid requests never abort: `Run`/`RunBatch`/`FindCommunity` validate
+/// first and return a structured `Status` (service/status.h) for malformed
+/// parameters, unknown enum values, > 64 layers on the lattice searches,
+/// or an intractable C(l, s) for GD-DCCS.
+class Engine {
+ public:
+  struct Options {
+    /// Total parallelism of the shared pool (ThreadPool semantics: 1 means
+    /// "calling thread only"). Batch queries and the parallel stages of
+    /// single queries fan out over this pool. Note: unlike the one-shot
+    /// free functions, the Engine ignores `DccsParams::num_threads` — the
+    /// engine owns threading policy.
+    int num_threads = 1;
+    /// Maximum retained (d, s, vertex_deletion) preprocessing entries and
+    /// maximum retained base-core entries; least recently used entries are
+    /// evicted beyond this. In-flight queries keep evicted entries alive.
+    int max_cached_queries = 16;
+  };
+
+  /// Owning constructors: the engine holds the (immutable) graph.
+  explicit Engine(MultiLayerGraph graph) : Engine(std::move(graph), Options{}) {}
+  Engine(MultiLayerGraph graph, Options options);
+  explicit Engine(std::shared_ptr<const MultiLayerGraph> graph)
+      : Engine(std::move(graph), Options{}) {}
+  Engine(std::shared_ptr<const MultiLayerGraph> graph, Options options);
+  /// Borrowing constructors: `*graph` must outlive the engine. This is the
+  /// form the one-shot `SolveDccs` wrapper uses.
+  explicit Engine(const MultiLayerGraph* graph) : Engine(graph, Options{}) {}
+  Engine(const MultiLayerGraph* graph, Options options);
+
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  const MultiLayerGraph& graph() const { return *graph_; }
+  const Options& options() const { return options_; }
+
+  /// The algorithm `request` will actually run: resolves kAuto through
+  /// `RecommendedAlgorithm`. Meaningless for invalid requests.
+  DccsAlgorithm ResolvedAlgorithm(const DccsRequest& request) const;
+
+  /// Structured request validation; `Run`/`RunBatch`/`FindCommunity` call
+  /// these themselves, but servers can pre-validate cheaply.
+  Status Validate(const DccsRequest& request) const;
+  Status Validate(const CommunityRequest& request) const;
+
+  /// Answers one DCCS query. Never aborts on bad input; see class comment.
+  Expected<DccsResult> Run(const DccsRequest& request);
+
+  /// Answers independent queries, fanning them out over the pool. Slot i of
+  /// the returned vector corresponds to requests[i] (per-slot outputs,
+  /// sequential merge — DESIGN.md §4), and each slot equals what `Run`
+  /// would return for that request alone. Invalid requests yield their
+  /// validation error in-slot without disturbing the others.
+  std::vector<Expected<DccsResult>> RunBatch(
+      std::span<const DccsRequest> requests);
+
+  /// Query-anchored community search, sharing the base d-core cache with
+  /// DCCS preprocessing.
+  Expected<CommunitySearchResult> FindCommunity(
+      const CommunityRequest& request);
+
+  EngineCacheStats cache_stats() const;
+  /// Drops every cached entry (in-flight queries keep theirs alive) and the
+  /// solver free-list. Counters are not reset.
+  void ClearCache();
+
+ private:
+  struct BaseCoresEntry;
+  struct QueryEntry;
+  class SolverLease;
+  class WorkerSolvers;
+
+  /// `pool_lock` either owns pool_mu_ (the query may use the shared pool
+  /// for its parallel stages) or is empty (batch workers; fully
+  /// sequential). The lock is released as soon as the query is done with
+  /// the pool — before the sequential search phase — so a long search
+  /// never blocks other queries' parallel stages.
+  DccsResult RunValidated(const DccsRequest& request,
+                          std::unique_lock<std::mutex> pool_lock);
+
+  std::shared_ptr<const BaseCoresEntry> GetBaseCores(int d, ThreadPool* pool);
+  std::shared_ptr<QueryEntry> GetQueryEntry(int d, int s, bool vertex_deletion,
+                                            ThreadPool* pool);
+  std::shared_ptr<const InitSeeds> GetSeeds(QueryEntry& entry,
+                                            const DccsParams& params,
+                                            DccSolver& solver);
+  const VertexLevelIndex* GetIndex(QueryEntry& entry, int d);
+
+  std::unique_ptr<DccSolver> AcquireSolver();
+  void ReleaseSolver(std::unique_ptr<DccSolver> solver);
+
+  std::shared_ptr<const MultiLayerGraph> graph_;
+  const Options options_;
+
+  // The shared pool. pool_mu_ serialises batches/parallel stages; a query
+  // that finds it busy simply runs its parallel stages sequentially, which
+  // by the §4 contract cannot change its result.
+  ThreadPool pool_;
+  std::mutex pool_mu_;
+
+  // Caches. cache_mu_ guards the maps and the LRU clock; per-entry
+  // once-flags/mutexes guard the (expensive) payload computations so a
+  // miss never blocks unrelated queries.
+  mutable std::mutex cache_mu_;
+  uint64_t use_clock_ = 0;
+  std::map<int, std::shared_ptr<BaseCoresEntry>> base_cores_;
+  std::map<int, uint64_t> base_cores_last_use_;
+  std::map<std::tuple<int, int, bool>, std::shared_ptr<QueryEntry>> queries_;
+  std::map<std::tuple<int, int, bool>, uint64_t> queries_last_use_;
+  mutable EngineCacheStats stats_;
+
+  // Solver free-list (the per-worker arenas of DESIGN.md §5).
+  std::mutex solver_mu_;
+  std::vector<std::unique_ptr<DccSolver>> free_solvers_;
+};
+
+}  // namespace mlcore
+
+#endif  // MLCORE_SERVICE_ENGINE_H_

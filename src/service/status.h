@@ -1,0 +1,88 @@
+#ifndef MLCORE_SERVICE_STATUS_H_
+#define MLCORE_SERVICE_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "util/check.h"
+
+namespace mlcore {
+
+/// Error channel of the service layer (DESIGN.md §5). The library's
+/// algorithm entry points abort on violated invariants (MLCORE_CHECK); the
+/// `Engine` instead *validates* every request up front and reports
+/// malformed ones through these types, so a long-lived server never
+/// crashes on bad user input.
+enum class StatusCode {
+  kOk = 0,
+  /// The request itself is malformed (d/s/k out of range, unknown
+  /// algorithm/engine enum value, query vertex outside the graph, ...).
+  kInvalidArgument = 1,
+  /// The request is well-formed but this build/graph cannot serve it
+  /// (> 64 layers for the lattice searches, C(l, s) too large to
+  /// materialise for GD-DCCS).
+  kUnsupported = 2,
+};
+
+struct Status {
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+
+  bool ok() const { return code == StatusCode::kOk; }
+
+  static Status Ok() { return {}; }
+  static Status InvalidArgument(std::string msg) {
+    return {StatusCode::kInvalidArgument, std::move(msg)};
+  }
+  static Status Unsupported(std::string msg) {
+    return {StatusCode::kUnsupported, std::move(msg)};
+  }
+};
+
+/// Minimal expected<T, Status>: either a value or a non-OK Status. Used as
+/// the Engine's response type so callers branch on `ok()` instead of
+/// risking a CHECK-abort. Accessing `value()` of an errored response is a
+/// programming error and aborts.
+template <typename T>
+class Expected {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor): by-design implicit, so
+  // `return result;` and `return status;` both read naturally.
+  Expected(T value) : value_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Expected(Status status) : status_(std::move(status)) {
+    MLCORE_CHECK_MSG(!status_.ok(),
+                     "Expected constructed from an OK status without a value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    MLCORE_CHECK_MSG(ok(), status_.message.c_str());
+    return *value_;
+  }
+  const T& value() const& {
+    MLCORE_CHECK_MSG(ok(), status_.message.c_str());
+    return *value_;
+  }
+  T&& value() && {
+    MLCORE_CHECK_MSG(ok(), status_.message.c_str());
+    return *std::move(value_);
+  }
+
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace mlcore
+
+#endif  // MLCORE_SERVICE_STATUS_H_

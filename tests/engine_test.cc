@@ -1,0 +1,380 @@
+// Tests for the mlcore::Engine query service (DESIGN.md §5): request
+// validation, preprocessing-cache correctness (hits must be
+// indistinguishable from cold runs), batch execution, and the concurrency
+// contract — concurrent Run calls produce bit-identical results to
+// sequential ones. Extends the tests/parallel_test.cc discipline to the
+// service layer; the CI ThreadSanitizer job runs this file.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "dccs/dccs.h"
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+
+namespace mlcore {
+namespace {
+
+MultiLayerGraph EngineGraph(uint64_t seed) {
+  PlantedGraphConfig config;
+  config.num_vertices = 300;
+  config.num_layers = 6;
+  config.num_communities = 8;
+  config.community_size_min = 10;
+  config.community_size_max = 24;
+  config.seed = seed;
+  return GeneratePlanted(config).graph;
+}
+
+// A parameter mix exercising all three algorithms, kAuto, a repeated
+// (d, s) pair (preprocess-cache hit with a different k), and a vacuous
+// s > l query.
+std::vector<DccsRequest> RequestMix() {
+  std::vector<DccsRequest> requests;
+  auto add = [&](int d, int s, int k, DccsAlgorithm algorithm) {
+    DccsRequest request;
+    request.params.d = d;
+    request.params.s = s;
+    request.params.k = k;
+    request.algorithm = algorithm;
+    requests.push_back(request);
+  };
+  add(3, 2, 4, DccsAlgorithm::kGreedy);
+  add(3, 2, 4, DccsAlgorithm::kBottomUp);
+  add(3, 4, 4, DccsAlgorithm::kTopDown);
+  add(2, 3, 6, DccsAlgorithm::kAuto);
+  add(3, 2, 6, DccsAlgorithm::kBottomUp);
+  add(2, 5, 3, DccsAlgorithm::kTopDown);
+  add(3, 7, 4, DccsAlgorithm::kAuto);  // s > l: valid but empty
+  return requests;
+}
+
+void ExpectSameCores(const DccsResult& actual, const DccsResult& expected,
+                     const std::string& label) {
+  ASSERT_EQ(actual.cores.size(), expected.cores.size()) << label;
+  for (size_t i = 0; i < actual.cores.size(); ++i) {
+    EXPECT_EQ(actual.cores[i].layers, expected.cores[i].layers)
+        << label << " core " << i;
+    EXPECT_EQ(actual.cores[i].vertices, expected.cores[i].vertices)
+        << label << " core " << i;
+  }
+  EXPECT_EQ(actual.stats.candidates_generated,
+            expected.stats.candidates_generated)
+      << label;
+}
+
+TEST(EngineTest, MatchesFreeFunctions) {
+  MultiLayerGraph graph = EngineGraph(11);
+  Engine engine(&graph);
+  DccsParams params;
+  params.d = 3;
+  params.s = 2;
+  params.k = 5;
+
+  for (DccsAlgorithm algorithm :
+       {DccsAlgorithm::kGreedy, DccsAlgorithm::kBottomUp,
+        DccsAlgorithm::kTopDown}) {
+    Expected<DccsResult> response =
+        engine.Run(DccsRequest{params, algorithm});
+    ASSERT_TRUE(response.ok());
+    ExpectSameCores(*response, SolveDccs(graph, params, algorithm),
+                    AlgorithmName(algorithm));
+  }
+}
+
+TEST(EngineTest, AutoResolvesToRecommendedAlgorithm) {
+  MultiLayerGraph graph = EngineGraph(12);  // 6 layers
+  Engine engine(&graph);
+  DccsRequest request;
+  request.params.d = 3;
+  request.params.s = 2;  // 2·2 < 6 → bottom-up
+  EXPECT_EQ(engine.ResolvedAlgorithm(request), DccsAlgorithm::kBottomUp);
+  request.params.s = 4;  // 2·4 ≥ 6 → top-down
+  EXPECT_EQ(engine.ResolvedAlgorithm(request), DccsAlgorithm::kTopDown);
+  EXPECT_EQ(engine.ResolvedAlgorithm(request),
+            RecommendedAlgorithm(graph, request.params.s));
+
+  Expected<DccsResult> automatic = engine.Run(request);
+  request.algorithm = DccsAlgorithm::kTopDown;
+  Expected<DccsResult> explicit_td = engine.Run(request);
+  ASSERT_TRUE(automatic.ok());
+  ASSERT_TRUE(explicit_td.ok());
+  ExpectSameCores(*automatic, *explicit_td, "auto vs explicit");
+}
+
+TEST(EngineTest, CacheHitsMatchColdRuns) {
+  MultiLayerGraph graph = EngineGraph(13);
+  Engine engine(&graph);
+
+  for (const DccsRequest& request : RequestMix()) {
+    Expected<DccsResult> cold = engine.Run(request);
+    Expected<DccsResult> warm = engine.Run(request);
+    ASSERT_TRUE(cold.ok());
+    ASSERT_TRUE(warm.ok());
+    // Identical cores AND identical search-effort statistics: the replayed
+    // InitTopK seeds account their recorded dCC evaluations.
+    ExpectSameCores(*warm, *cold, "warm vs cold");
+    EXPECT_EQ(warm->stats.nodes_visited, cold->stats.nodes_visited);
+  }
+
+  EngineCacheStats stats = engine.cache_stats();
+  EXPECT_GT(stats.preprocess_hits, 0);
+  EXPECT_GT(stats.seed_hits, 0);
+  EXPECT_GT(stats.base_core_hits, 0);
+  // The mix holds 4 distinct non-vacuous (d, s) pairs and 2 distinct d.
+  EXPECT_EQ(stats.preprocess_misses, 4);
+  EXPECT_EQ(stats.base_core_misses, 2);
+}
+
+TEST(EngineTest, SameDegreeSharesBaseCoresAcrossSupports) {
+  MultiLayerGraph graph = EngineGraph(14);
+  Engine engine(&graph);
+  DccsRequest request;
+  request.algorithm = DccsAlgorithm::kBottomUp;
+  request.params.d = 3;
+  request.params.s = 2;
+  ASSERT_TRUE(engine.Run(request).ok());
+  request.params.s = 3;  // new (d, s) entry, same base d-cores
+  ASSERT_TRUE(engine.Run(request).ok());
+
+  EngineCacheStats stats = engine.cache_stats();
+  EXPECT_EQ(stats.base_core_misses, 1);
+  EXPECT_EQ(stats.base_core_hits, 1);
+  EXPECT_EQ(stats.preprocess_misses, 2);
+
+  // The seeded-first-round fixpoint must equal a from-scratch run.
+  ExpectSameCores(*engine.Run(request),
+                  SolveDccs(graph, request.params, DccsAlgorithm::kBottomUp),
+                  "seeded preprocessing");
+}
+
+TEST(EngineTest, RunBatchMatchesIndividualRuns) {
+  MultiLayerGraph graph = EngineGraph(15);
+  Engine engine(&graph, Engine::Options{.num_threads = 4});
+  std::vector<DccsRequest> requests = RequestMix();
+  DccsRequest invalid;
+  invalid.params.s = 0;
+  requests.insert(requests.begin() + 2, invalid);
+
+  std::vector<Expected<DccsResult>> responses = engine.RunBatch(requests);
+  ASSERT_EQ(responses.size(), requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    if (requests[i].params.s == 0) {
+      EXPECT_FALSE(responses[i].ok()) << "slot " << i;
+      EXPECT_EQ(responses[i].status().code, StatusCode::kInvalidArgument);
+      continue;
+    }
+    Expected<DccsResult> alone = engine.Run(requests[i]);
+    ASSERT_TRUE(responses[i].ok()) << "slot " << i;
+    ASSERT_TRUE(alone.ok());
+    ExpectSameCores(*responses[i], *alone,
+                    "batch slot " + std::to_string(i));
+  }
+
+  // A repeated batch is deterministic.
+  std::vector<Expected<DccsResult>> again = engine.RunBatch(requests);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    ASSERT_EQ(again[i].ok(), responses[i].ok()) << "slot " << i;
+    if (again[i].ok()) {
+      ExpectSameCores(*again[i], *responses[i],
+                      "rebatch slot " + std::to_string(i));
+    }
+  }
+}
+
+TEST(EngineTest, ValidationRejectsMalformedRequests) {
+  MultiLayerGraph graph = EngineGraph(16);
+  Engine engine(&graph);
+
+  auto expect_invalid = [&](DccsRequest request, const char* label) {
+    Expected<DccsResult> response = engine.Run(request);
+    EXPECT_FALSE(response.ok()) << label;
+    EXPECT_EQ(response.status().code, StatusCode::kInvalidArgument) << label;
+    EXPECT_FALSE(response.status().message.empty()) << label;
+  };
+
+  DccsRequest request;
+  request.params.s = 0;
+  expect_invalid(request, "s = 0");
+  request = DccsRequest{};
+  request.params.k = 0;
+  expect_invalid(request, "k = 0");
+  request = DccsRequest{};
+  request.params.d = -1;
+  expect_invalid(request, "d = -1");
+  request = DccsRequest{};
+  request.algorithm = static_cast<DccsAlgorithm>(42);
+  expect_invalid(request, "out-of-enum algorithm");
+  request = DccsRequest{};
+  request.params.dcc_engine = static_cast<DccEngine>(7);
+  expect_invalid(request, "out-of-enum dcc engine");
+
+  // The engine keeps serving after rejecting garbage.
+  EXPECT_TRUE(engine.Run(DccsRequest{}).ok());
+}
+
+TEST(EngineTest, LatticeSearchesRejectMoreThan64Layers) {
+  GraphBuilder builder(/*num_vertices=*/4, /*num_layers=*/65);
+  for (LayerId layer = 0; layer < 65; ++layer) {
+    builder.AddEdge(layer, 0, 1);
+    builder.AddEdge(layer, 1, 2);
+    builder.AddEdge(layer, 0, 2);
+  }
+  MultiLayerGraph graph = builder.Build();
+  Engine engine(&graph);
+
+  DccsRequest request;
+  request.params.d = 2;
+  request.params.s = 2;
+  request.params.k = 2;
+  request.algorithm = DccsAlgorithm::kBottomUp;
+  Expected<DccsResult> bu = engine.Run(request);
+  EXPECT_FALSE(bu.ok());
+  EXPECT_EQ(bu.status().code, StatusCode::kUnsupported);
+
+  // GD-DCCS has no 64-layer restriction: C(65, 2) is tiny.
+  request.algorithm = DccsAlgorithm::kGreedy;
+  Expected<DccsResult> greedy = engine.Run(request);
+  ASSERT_TRUE(greedy.ok());
+  EXPECT_FALSE(greedy->cores.empty());
+}
+
+TEST(EngineTest, GreedyRejectsIntractableSubsetCounts) {
+  GraphBuilder builder(/*num_vertices=*/3, /*num_layers=*/40);
+  builder.AddEdge(0, 0, 1);
+  MultiLayerGraph graph = builder.Build();
+  Engine engine(&graph);
+
+  DccsRequest request;
+  request.params.s = 20;  // C(40, 20) ≈ 1.4e11 candidates
+  request.algorithm = DccsAlgorithm::kGreedy;
+  Expected<DccsResult> response = engine.Run(request);
+  EXPECT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code, StatusCode::kUnsupported);
+}
+
+TEST(EngineTest, FindCommunityMatchesFreeFunction) {
+  MultiLayerGraph graph = EngineGraph(17);
+  Engine engine(&graph);
+
+  CommunityRequest request;
+  request.d = 3;
+  request.s = 2;
+  bool compared = false;
+  for (VertexId query = 0; query < 40; ++query) {
+    request.query = query;
+    Expected<CommunitySearchResult> response = engine.FindCommunity(request);
+    ASSERT_TRUE(response.ok());
+    CommunitySearchResult reference =
+        SearchCommunity(graph, query, request.d, request.s);
+    EXPECT_EQ(response->layers, reference.layers) << "query " << query;
+    EXPECT_EQ(response->community, reference.community) << "query " << query;
+    compared |= reference.Found();
+  }
+  EXPECT_TRUE(compared) << "mix produced no non-trivial community";
+  // Repeat queries share the base d-core cache with DCCS preprocessing.
+  EXPECT_GT(engine.cache_stats().base_core_hits, 0);
+
+  request.query = graph.NumVertices();
+  Expected<CommunitySearchResult> out_of_range =
+      engine.FindCommunity(request);
+  EXPECT_FALSE(out_of_range.ok());
+  EXPECT_EQ(out_of_range.status().code, StatusCode::kInvalidArgument);
+}
+
+// The §4 contract, extended to the service: any interleaving of concurrent
+// Run calls yields the same bits as running each query alone.
+TEST(EngineConcurrencyTest, ConcurrentRunsBitIdenticalToSequential) {
+  MultiLayerGraph graph = EngineGraph(18);
+  const std::vector<DccsRequest> requests = RequestMix();
+
+  // Reference: every query answered alone on a fresh engine.
+  std::vector<DccsResult> reference;
+  {
+    Engine engine(&graph);
+    for (const DccsRequest& request : requests) {
+      Expected<DccsResult> response = engine.Run(request);
+      ASSERT_TRUE(response.ok());
+      reference.push_back(std::move(*response));
+    }
+  }
+
+  constexpr int kThreads = 8;
+  Engine engine(&graph, Engine::Options{.num_threads = 2});
+  std::vector<std::vector<DccsResult>> per_thread(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // Stagger the starting offset so threads hit different cache entries
+      // (and each other's in-flight computations) in different orders.
+      for (size_t i = 0; i < requests.size(); ++i) {
+        const size_t slot =
+            (i + static_cast<size_t>(t)) % requests.size();
+        Expected<DccsResult> response = engine.Run(requests[slot]);
+        ASSERT_TRUE(response.ok());
+        per_thread[static_cast<size_t>(t)].push_back(std::move(*response));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  for (int t = 0; t < kThreads; ++t) {
+    for (size_t i = 0; i < requests.size(); ++i) {
+      const size_t slot = (i + static_cast<size_t>(t)) % requests.size();
+      ExpectSameCores(per_thread[static_cast<size_t>(t)][i], reference[slot],
+                      "thread " + std::to_string(t) + " slot " +
+                          std::to_string(slot));
+    }
+  }
+}
+
+// Batches racing single queries: slots must still match solo answers.
+TEST(EngineConcurrencyTest, BatchesAndRunsInterleave) {
+  MultiLayerGraph graph = EngineGraph(19);
+  const std::vector<DccsRequest> requests = RequestMix();
+
+  std::vector<DccsResult> reference;
+  {
+    Engine engine(&graph);
+    for (const DccsRequest& request : requests) {
+      reference.push_back(std::move(*engine.Run(request)));
+    }
+  }
+
+  Engine engine(&graph, Engine::Options{.num_threads = 3});
+  std::vector<std::vector<Expected<DccsResult>>> batches(2);
+  std::vector<DccsResult> singles;
+  std::thread batch_a([&] { batches[0] = engine.RunBatch(requests); });
+  std::thread batch_b([&] { batches[1] = engine.RunBatch(requests); });
+  for (const DccsRequest& request : requests) {
+    singles.push_back(std::move(*engine.Run(request)));
+  }
+  batch_a.join();
+  batch_b.join();
+
+  for (size_t i = 0; i < requests.size(); ++i) {
+    ExpectSameCores(singles[i], reference[i],
+                    "single " + std::to_string(i));
+    for (auto& batch : batches) {
+      ASSERT_TRUE(batch[i].ok());
+      ExpectSameCores(*batch[i], reference[i],
+                      "batched " + std::to_string(i));
+    }
+  }
+}
+
+// Satellite regression: an out-of-enum algorithm used to fall through
+// SolveDccs's switch and silently return an empty result; it now dies with
+// the engine's validation message.
+TEST(DccsWrapperDeathTest, SolveDccsAbortsOnUnknownAlgorithm) {
+  MultiLayerGraph graph = EngineGraph(20);
+  DccsParams params;
+  EXPECT_DEATH(SolveDccs(graph, params, static_cast<DccsAlgorithm>(42)),
+               "unknown DccsAlgorithm");
+}
+
+}  // namespace
+}  // namespace mlcore
