@@ -3,7 +3,15 @@
 //
 //   ./examples/dccs_cli --graph=network.txt --d=4 --s=3 --k=10
 //       [--algorithm=auto|greedy|bu|td] [--engine=queue|bins] [--csv]
-//       [--threads=N]
+//       [--threads=N] [--priority=P] [--deadline_ms=T] [--cancel_after_ms=T]
+//       [--budget_ms=T]
+//
+// The query goes through the engine's asynchronous path (Engine::Submit,
+// DESIGN.md §7): --deadline_ms attaches a wall-clock deadline, --priority
+// sets the admission priority, and --cancel_after_ms cancels the submitted
+// query from a second thread after the given delay — demonstrating the
+// kDeadlineExceeded / kCancelled terminal states and the anytime prefix a
+// mid-search deadline returns.
 //
 // Input format (see graph/io.h):
 //   n <num_vertices> <num_layers>
@@ -14,6 +22,7 @@
 
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <utility>
 
 #include "dccs/dccs.h"
@@ -21,6 +30,7 @@
 #include "graph/io.h"
 #include "util/flags.h"
 #include "util/table.h"
+#include "util/timing.h"
 
 namespace {
 
@@ -70,27 +80,67 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  request.params.time_budget_seconds =
+      flags.GetDouble("budget_ms", 0.0) / 1e3;
+
   // The service path: a long-lived engine validates the request (bad flags
   // produce an error message, not a CHECK-abort) and would amortise
-  // preprocessing across further queries of this graph.
+  // preprocessing across further queries of this graph. The query is
+  // submitted asynchronously; deadline/priority ride on SubmitOptions.
   mlcore::Engine engine(
       &graph, mlcore::Engine::Options{
                   .num_threads = static_cast<int>(flags.GetInt("threads", 1))});
+  mlcore::SubmitOptions submit;
+  submit.priority = static_cast<int>(flags.GetInt("priority", 0));
+  submit.deadline_seconds = flags.GetDouble("deadline_ms", 0.0) / 1e3;
   std::fprintf(stderr,
                "%s on %d vertices / %d layers / %lld edges "
-               "(d=%d, s=%d, k=%d)\n",
+               "(d=%d, s=%d, k=%d, priority=%d, deadline=%.0fms)\n",
                mlcore::AlgorithmName(engine.ResolvedAlgorithm(request)).c_str(),
                graph.NumVertices(), graph.NumLayers(),
                static_cast<long long>(graph.TotalEdges()), request.params.d,
-               request.params.s, request.params.k);
+               request.params.s, request.params.k, submit.priority,
+               submit.deadline_seconds * 1e3);
 
-  mlcore::Expected<mlcore::DccsResult> response = engine.Run(request);
-  if (!response.ok()) {
-    std::fprintf(stderr, "invalid query: %s\n",
-                 response.status().message.c_str());
-    return 1;
+  mlcore::QueryHandle handle = engine.Submit(request, submit);
+  std::thread canceller;
+  const double cancel_after_ms = flags.GetDouble("cancel_after_ms", -1.0);
+  if (cancel_after_ms >= 0) {
+    // Sleep in slices and bail once the query is terminal, so a cancel
+    // delay longer than the query never stalls the tool on join().
+    canceller = std::thread([&handle, cancel_after_ms] {
+      mlcore::WallTimer timer;
+      while (timer.Millis() < cancel_after_ms) {
+        if (handle.TryGet() != nullptr) return;
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      handle.Cancel();
+    });
   }
-  mlcore::DccsResult result = std::move(response).value();
+  const mlcore::Expected<mlcore::DccsResult>& response = handle.Wait();
+  if (canceller.joinable()) canceller.join();
+  if (!response.ok()) {
+    const char* kind =
+        response.status().code == mlcore::StatusCode::kCancelled
+            ? "cancelled"
+        : response.status().code == mlcore::StatusCode::kDeadlineExceeded
+            ? "deadline exceeded"
+        : response.status().code == mlcore::StatusCode::kResourceExhausted
+            ? "shed by admission control"
+            : "invalid query";
+    std::fprintf(stderr, "%s: %s\n", kind,
+                 response.status().message.c_str());
+    return response.status().code == mlcore::StatusCode::kInvalidArgument ||
+                   response.status().code == mlcore::StatusCode::kUnsupported
+               ? 1
+               : 2;
+  }
+  const mlcore::DccsResult& result = *response;
+  if (result.stats.budget_exhausted) {
+    std::fprintf(stderr,
+                 "time limit hit mid-search: returning the anytime "
+                 "best-so-far result set\n");
+  }
 
   mlcore::Table table({"core", "layers", "size", "vertices"});
   for (size_t i = 0; i < result.cores.size(); ++i) {

@@ -21,12 +21,14 @@ class BottomUpSearch {
  public:
   BottomUpSearch(const MultiLayerGraph& graph, const DccsParams& params,
                  const PreprocessResult& preprocess,
-                 const std::vector<LayerId>& order, DccSolver& solver,
+                 const std::vector<LayerId>& order,
+                 const QueryControl* control, DccSolver& solver,
                  CoverageIndex& result, SearchStats& stats)
       : graph_(graph),
         params_(params),
         preprocess_(preprocess),
         order_(order),
+        control_(control),
         solver_(solver),
         result_(result),
         stats_(stats) {}
@@ -37,15 +39,17 @@ class BottomUpSearch {
   }
 
  private:
-  // Anytime budget: polled once per generated child; when expired, the
-  // search unwinds and the temporary top-k set becomes the result.
-  bool BudgetExpired() {
-    if (params_.time_budget_seconds <= 0) return false;
-    if (stats_.budget_exhausted) return true;
-    if (timer_.Seconds() > params_.time_budget_seconds) {
-      stats_.budget_exhausted = true;
-    }
-    return stats_.budget_exhausted;
+  // Cooperative checkpoint, polled once per generated child (a
+  // subset-lattice node boundary): the anytime time_budget_seconds, plus
+  // the injected QueryControl's cancellation/deadline. When any fires the
+  // search unwinds; for budget/deadline the temporary top-k set becomes the
+  // (anytime) result, for cancellation the caller discards it. Inactive
+  // control and zero budget reduce this to two predictable branches.
+  bool StopRequested() {
+    if (stats_.stopped != QueryStop::kNone) return true;
+    return LatchQueryStop(
+        CheckQueryStop(control_, params_.time_budget_seconds, timer_),
+        &stats_);
   }
 
   const VertexSet& CoreAtPosition(int pos) const {
@@ -84,7 +88,7 @@ class BottomUpSearch {
     if (!result_.full()) {
       // Lines 2–9: no pruning is applicable while |R| < k.
       for (int j : expandable) {
-        if (BudgetExpired()) return;
+        if (StopRequested()) return;
         ++stats_.nodes_visited;
         positions_buf_ = positions;
         positions_buf_.push_back(static_cast<LayerId>(j));
@@ -120,7 +124,7 @@ class BottomUpSearch {
                          return scope_arena_[a].size() > scope_arena_[b].size();
                        });
       for (size_t rank = 0; rank < num_scoped; ++rank) {
-        if (BudgetExpired()) return;
+        if (StopRequested()) return;
         const int j = expandable[scoped_order_[rank]];
         const VertexSet& scope = scope_arena_[scoped_order_[rank]];
         if (result_.BelowOrderThreshold(
@@ -160,7 +164,7 @@ class BottomUpSearch {
       }
     }
     for (const Child& child : recurse) {
-      if (BudgetExpired()) return;
+      if (StopRequested()) return;
       LayerSet child_positions = positions;
       child_positions.push_back(static_cast<LayerId>(child.position));
       Gen(child_positions, child.core, child_excluded);
@@ -171,6 +175,7 @@ class BottomUpSearch {
   const DccsParams& params_;
   const PreprocessResult& preprocess_;
   const std::vector<LayerId>& order_;
+  const QueryControl* control_;
   DccSolver& solver_;
   CoverageIndex& result_;
   SearchStats& stats_;
@@ -214,9 +219,17 @@ DccsResult BottomUpDccs(const MultiLayerGraph& graph, const DccsParams& params,
   // true acquisition cost).
   std::optional<PreprocessResult> local_preprocess;
   if (exec.preprocess == nullptr) {
-    local_preprocess = Preprocess(graph, params.d, params.s,
-                                  params.vertex_deletion, exec.pool);
+    local_preprocess =
+        Preprocess(graph, params.d, params.s, params.vertex_deletion,
+                   exec.pool, /*base_cores=*/nullptr, exec.control);
     result.stats.preprocess_seconds = local_preprocess->seconds;
+    if (local_preprocess->stopped != QueryStop::kNone) {
+      // Cancelled/deadline-expired before the fixpoint completed: no search
+      // phase, no usable (partial) preprocessing.
+      result.stats.stopped = local_preprocess->stopped;
+      result.stats.total_seconds = total_timer.Seconds();
+      return result;
+    }
   }
   const PreprocessResult& preprocess =
       exec.preprocess != nullptr ? *exec.preprocess : *local_preprocess;
@@ -244,8 +257,8 @@ DccsResult BottomUpDccs(const MultiLayerGraph& graph, const DccsParams& params,
       SortedLayerOrder(preprocess, /*descending=*/true, params.sort_layers);
 
   // Fig 7 line 10: recursive candidate generation.
-  BottomUpSearch search(graph, params, preprocess, order, solver, top_k,
-                        result.stats);
+  BottomUpSearch search(graph, params, preprocess, order, exec.control,
+                        solver, top_k, result.stats);
   search.Run();
 
   result.cores = top_k.entries();

@@ -22,6 +22,14 @@
 ///   std::vector<mlcore::DccsRequest> sweep = ...;
 ///   auto responses = engine.RunBatch(sweep);
 ///
+///   // Async submission with deadline/priority and cooperative
+///   // cancellation (DESIGN.md §7):
+///   mlcore::QueryHandle handle = engine.Submit(
+///       request, {.priority = 1, .deadline_seconds = 0.5});
+///   // ... later, from any thread:
+///   handle.Cancel();                        // or let the deadline fire
+///   const auto& outcome = handle.Wait();    // kCancelled / result
+///
 /// One-shot form — a thin wrapper constructing a temporary Engine per call;
 /// fine for scripts and tests, wasteful for repeated queries:
 ///
@@ -47,7 +55,11 @@ namespace mlcore {
 inline DccsResult SolveDccs(const MultiLayerGraph& graph,
                             const DccsParams& params,
                             DccsAlgorithm algorithm) {
-  Engine engine(&graph, Engine::Options{.num_threads = params.num_threads});
+  // query_workers = 0: the single Run executes on this thread via the
+  // waiter-donation path, so the one-shot wrapper spawns no scheduler
+  // thread.
+  Engine engine(&graph, Engine::Options{.num_threads = params.num_threads,
+                                        .query_workers = 0});
   Expected<DccsResult> response = engine.Run(DccsRequest{params, algorithm});
   MLCORE_CHECK_MSG(response.ok(), response.status().message.c_str());
   return std::move(response).value();

@@ -6,7 +6,9 @@
 #include "core/dcc.h"
 #include "dccs/preprocess.h"
 #include "dccs/vertex_index.h"
+#include "util/cancellation.h"
 #include "util/thread_pool.h"
+#include "util/timing.h"
 
 namespace mlcore {
 
@@ -54,7 +56,48 @@ struct DccsExecution {
   /// solvers must stay valid for the duration of the call. When empty, the
   /// candidate loop constructs (and discards) its own per-lane solvers.
   std::function<DccSolver*(int worker)> worker_solver;
+
+  /// Cooperative stop control (util/cancellation.h): polled at the
+  /// subset-lattice nodes of BU/TD, at GD-DCCS candidate-evaluation
+  /// boundaries, and once per vertex-deletion round of a locally run
+  /// preprocess. Null (or inactive) adds a single branch per checkpoint and
+  /// changes nothing — an uncancelled, deadline-free query is bit-identical
+  /// to one run without a control. When a stop fires, the algorithm returns
+  /// early with `stats.stopped` set: kDeadline behaves exactly like the
+  /// kBudget anytime path (best-so-far cores, budget_exhausted set), while
+  /// kCancelled abandons the search and the partial result must be
+  /// discarded by the caller (the Engine maps it to StatusCode::kCancelled).
+  /// A stop during a locally run preprocess returns an empty result with
+  /// `stats.stopped` set and no search phase.
+  const QueryControl* control = nullptr;
 };
+
+/// The one tie-break order every cooperative checkpoint applies
+/// (DESIGN.md §7): cancellation, then wall-clock deadline, then the
+/// anytime search budget measured on `search_timer`. All three searches
+/// poll through this so their stop semantics cannot drift apart.
+inline QueryStop CheckQueryStop(const QueryControl* control,
+                                double budget_seconds,
+                                const WallTimer& search_timer) {
+  if (control != nullptr) {
+    const QueryStop stop = control->Check();
+    if (stop != QueryStop::kNone) return stop;
+  }
+  if (budget_seconds > 0 && search_timer.Seconds() > budget_seconds) {
+    return QueryStop::kBudget;
+  }
+  return QueryStop::kNone;
+}
+
+/// Records a fired stop in `stats`: kDeadline and kBudget are the anytime
+/// outcomes (budget_exhausted), kCancelled is not (the partial result gets
+/// discarded, not served). Returns whether a stop fired.
+inline bool LatchQueryStop(QueryStop stop, SearchStats* stats) {
+  if (stop == QueryStop::kNone) return false;
+  stats->stopped = stop;
+  if (stop != QueryStop::kCancelled) stats->budget_exhausted = true;
+  return true;
+}
 
 }  // namespace mlcore
 

@@ -1,6 +1,7 @@
 #include "dccs/greedy.h"
 
 #include <algorithm>
+#include <atomic>
 #include <memory>
 #include <optional>
 
@@ -36,9 +37,15 @@ DccsResult GreedyDccs(const MultiLayerGraph& graph, const DccsParams& params,
   ThreadPool* pool = exec.pool;
   std::optional<PreprocessResult> local_preprocess;
   if (exec.preprocess == nullptr) {
-    local_preprocess = Preprocess(graph, params.d, params.s,
-                                  params.vertex_deletion, pool);
+    local_preprocess =
+        Preprocess(graph, params.d, params.s, params.vertex_deletion, pool,
+                   /*base_cores=*/nullptr, exec.control);
     result.stats.preprocess_seconds = local_preprocess->seconds;
+    if (local_preprocess->stopped != QueryStop::kNone) {
+      result.stats.stopped = local_preprocess->stopped;
+      result.stats.total_seconds = total_timer.Seconds();
+      return result;
+    }
   }
   const PreprocessResult& preprocess =
       exec.preprocess != nullptr ? *exec.preprocess : *local_preprocess;
@@ -83,7 +90,41 @@ DccsResult GreedyDccs(const MultiLayerGraph& graph, const DccsParams& params,
   };
   const int num_lanes = pool != nullptr ? pool->num_threads() : 1;
   std::vector<WorkerArena> arenas(static_cast<size_t>(num_lanes));
+
+  // Cooperative stop for the candidate phase: checked once per candidate
+  // (the "candidate-evaluation boundary"), shared across lanes. A fired
+  // stop makes the remaining candidates no-ops; evaluated candidates keep
+  // their slots, so the greedy selection below runs over the anytime prefix
+  // of F. `controlled` is false for the historical uncontrolled,
+  // unbudgeted call, which then skips every per-candidate check and atomic.
+  const bool controlled =
+      (exec.control != nullptr && exec.control->active()) ||
+      params.time_budget_seconds > 0;
+  std::atomic<int> stop_reason{static_cast<int>(QueryStop::kNone)};
+  std::atomic<int64_t> evaluated{0};
+  auto check_stop = [&]() -> QueryStop {
+    const int seen = stop_reason.load(std::memory_order_relaxed);
+    if (seen != static_cast<int>(QueryStop::kNone)) {
+      return static_cast<QueryStop>(seen);
+    }
+    const QueryStop stop = CheckQueryStop(
+        exec.control, params.time_budget_seconds, search_timer);
+    if (stop != QueryStop::kNone) {
+      // First writer wins; later candidates observe the fast path above.
+      int expected = static_cast<int>(QueryStop::kNone);
+      stop_reason.compare_exchange_strong(expected, static_cast<int>(stop),
+                                          std::memory_order_relaxed);
+      return static_cast<QueryStop>(
+          stop_reason.load(std::memory_order_relaxed));
+    }
+    return QueryStop::kNone;
+  };
+
   auto evaluate_candidate = [&](int worker, int64_t i) {
+    if (controlled) {
+      if (check_stop() != QueryStop::kNone) return;
+      evaluated.fetch_add(1, std::memory_order_relaxed);
+    }
     WorkerArena& arena = arenas[static_cast<size_t>(worker)];
     if (arena.solver == nullptr) {
       if (exec.worker_solver) {
@@ -121,12 +162,28 @@ DccsResult GreedyDccs(const MultiLayerGraph& graph, const DccsParams& params,
     }
   }
 
+  // Budget/deadline are anytime: select over the candidates evaluated so
+  // far (the (1 - 1/e) guarantee only holds for the full F). Cancellation
+  // abandons the query; the caller discards the result.
+  const auto stopped =
+      static_cast<QueryStop>(stop_reason.load(std::memory_order_relaxed));
+  LatchQueryStop(stopped, &result.stats);
+  if (stopped == QueryStop::kCancelled) {
+    result.stats.candidates_generated =
+        evaluated.load(std::memory_order_relaxed);
+    result.stats.search_seconds = search_timer.Seconds();
+    result.stats.total_seconds = total_timer.Seconds();
+    return result;
+  }
+
   std::vector<Candidate> candidates;
   candidates.reserve(slots.size());
   for (auto& slot : slots) {
     if (!slot.vertices.empty()) candidates.push_back(std::move(slot));
   }
-  result.stats.candidates_generated = static_cast<int64_t>(subsets.size());
+  result.stats.candidates_generated =
+      stopped != QueryStop::kNone ? evaluated.load(std::memory_order_relaxed)
+                                  : static_cast<int64_t>(subsets.size());
 
   // Lines 8–10: greedy max-cover selection of k candidates.
   Bitset covered(n);

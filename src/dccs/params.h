@@ -7,6 +7,7 @@
 
 #include "core/dcc.h"
 #include "graph/multilayer_graph.h"
+#include "util/cancellation.h"
 
 namespace mlcore {
 
@@ -32,11 +33,17 @@ struct DccsParams {
   int num_threads = 1;
 
   /// Wall-clock budget for the search phase, in seconds (0 = unlimited).
-  /// BU-DCCS and TD-DCCS return their best-so-far result set when the
-  /// budget expires ("anytime" behaviour; the paper's experiments run
-  /// BU-DCCS for up to 10^4 s in its unfavourable large-s regime — the
-  /// budget lets a harness bound such rows). GD-DCCS ignores the budget
-  /// (its two phases are not interruptible without losing the guarantee).
+  /// All three algorithms honour it: BU-DCCS and TD-DCCS return their
+  /// best-so-far result set when the budget expires ("anytime" behaviour;
+  /// the paper's experiments run BU-DCCS for up to 10^4 s in its
+  /// unfavourable large-s regime — the budget lets a harness bound such
+  /// rows), and GD-DCCS stops generating candidates at the next
+  /// candidate-evaluation boundary and runs its greedy max-cover selection
+  /// over the candidates evaluated so far (losing the approximation
+  /// guarantee, which only holds for the full candidate set). A budgeted
+  /// stop sets `SearchStats::budget_exhausted`. The budget composes with
+  /// the service layer's wall-clock deadlines under one policy — see
+  /// DccsExecution::control and DESIGN.md §7.
   double time_budget_seconds = 0.0;
 
   // --- Preprocessing toggles (§IV-C; disabled variants are the Fig 28
@@ -74,9 +81,15 @@ struct SearchStats {
   int64_t pruned_potential = 0;
   /// Accepted Update calls (result-set improvements).
   int64_t updates_accepted = 0;
-  /// True when the search stopped at DccsParams::time_budget_seconds and
-  /// returned its best-so-far result.
+  /// True when the search stopped early on a time limit — either
+  /// DccsParams::time_budget_seconds or a QueryControl deadline — and
+  /// returned its best-so-far result. (Not set for cancellation: a
+  /// cancelled search's partial result is discarded, not served.)
   bool budget_exhausted = false;
+  /// Exactly why the run stopped early (util/cancellation.h); kNone for a
+  /// run that completed its full search. kBudget/kDeadline accompany
+  /// budget_exhausted; kCancelled marks a result the caller must discard.
+  QueryStop stopped = QueryStop::kNone;
 
   double preprocess_seconds = 0.0;
   double search_seconds = 0.0;

@@ -10,7 +10,8 @@ namespace mlcore {
 
 PreprocessResult Preprocess(const MultiLayerGraph& graph, int d, int s,
                             bool vertex_deletion, ThreadPool* pool,
-                            const std::vector<VertexSet>* base_cores) {
+                            const std::vector<VertexSet>* base_cores,
+                            const QueryControl* control) {
   WallTimer timer;
   PreprocessResult result;
   const auto n = static_cast<size_t>(graph.NumVertices());
@@ -27,6 +28,16 @@ PreprocessResult Preprocess(const MultiLayerGraph& graph, int d, int s,
   // sequentially afterwards, keeping the result thread-count-invariant.
   bool first_round = true;
   while (true) {
+    // Cooperative checkpoint, once per deletion round. A started round runs
+    // to completion, so callers observing stopped == kNone always hold a
+    // full fixpoint.
+    if (control != nullptr) {
+      result.stopped = control->Check();
+      if (result.stopped != QueryStop::kNone) {
+        result.seconds = timer.Seconds();
+        return result;
+      }
+    }
     if (first_round && base_cores != nullptr) {
       // The first round runs over the full vertex set, so its cores are
       // exactly the caller-provided full-graph d-cores.

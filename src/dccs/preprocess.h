@@ -24,6 +24,12 @@ struct PreprocessResult {
   /// Num(v) for surviving vertices (0 for deleted ones).
   std::vector<int> support;
 
+  /// kNone for a completed fixpoint. When a QueryControl stop fires between
+  /// deletion rounds the run returns immediately with the reason recorded
+  /// here; the other fields are then partial and MUST NOT be used (or
+  /// cached) by the caller.
+  QueryStop stopped = QueryStop::kNone;
+
   double seconds = 0.0;
 };
 
@@ -41,9 +47,16 @@ struct PreprocessResult {
 /// deletion round copies them instead of recomputing, which lets a caller
 /// that caches d-cores by `d` (the Engine, DESIGN.md §5) amortise the most
 /// expensive round across queries with different `s`.
+///
+/// `control` adds a cooperative checkpoint at the top of every deletion
+/// round: when it fires the function returns immediately with
+/// `PreprocessResult::stopped` set and partial contents (see the struct
+/// comment). A round that has started always completes, so an observed
+/// kNone result is always a full, consistent fixpoint.
 PreprocessResult Preprocess(const MultiLayerGraph& graph, int d, int s,
                             bool vertex_deletion, ThreadPool* pool = nullptr,
-                            const std::vector<VertexSet>* base_cores = nullptr);
+                            const std::vector<VertexSet>* base_cores = nullptr,
+                            const QueryControl* control = nullptr);
 
 /// Layer ids sorted by |C^d(G_i)|; descending order for BU-DCCS (Fig 7
 /// line 9), ascending for TD-DCCS (Fig 11 line 2). When `sort_layers` is

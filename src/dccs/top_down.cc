@@ -26,13 +26,14 @@ class TopDownSearch {
   TopDownSearch(const MultiLayerGraph& graph, const DccsParams& params,
                 const PreprocessResult& preprocess,
                 const std::vector<LayerId>& order,
-                const VertexLevelIndex& index, DccSolver& solver,
-                CoverageIndex& result, SearchStats& stats)
+                const VertexLevelIndex& index, const QueryControl* control,
+                DccSolver& solver, CoverageIndex& result, SearchStats& stats)
       : graph_(graph),
         params_(params),
         preprocess_(preprocess),
         order_(order),
         index_(index),
+        control_(control),
         solver_(solver),
         result_(result),
         stats_(stats),
@@ -63,14 +64,14 @@ class TopDownSearch {
  private:
   static constexpr uint64_t kSeed = 0x5851f42d4c957f2dULL;
 
-  // Anytime budget (see DccsParams::time_budget_seconds).
-  bool BudgetExpired() {
-    if (params_.time_budget_seconds <= 0) return false;
-    if (stats_.budget_exhausted) return true;
-    if (timer_.Seconds() > params_.time_budget_seconds) {
-      stats_.budget_exhausted = true;
-    }
-    return stats_.budget_exhausted;
+  // Cooperative checkpoint at subset-lattice node boundaries: the anytime
+  // time_budget_seconds plus the injected QueryControl (cancellation /
+  // wall-clock deadline) — see BottomUpSearch::StopRequested.
+  bool StopRequested() {
+    if (stats_.stopped != QueryStop::kNone) return true;
+    return LatchQueryStop(
+        CheckQueryStop(control_, params_.time_budget_seconds, timer_),
+        &stats_);
   }
 
   const VertexSet& CoreAtPosition(int pos) const {
@@ -195,7 +196,7 @@ class TopDownSearch {
     std::vector<Child> children;
     children.reserve(removable.size());
     for (int j : removable) {
-      if (BudgetExpired()) return;
+      if (StopRequested()) return;
       ++stats_.nodes_visited;
       Child child;
       child.removed_position = j;
@@ -211,7 +212,7 @@ class TopDownSearch {
     if (!result_.full()) {
       // Cases 1–2 (lines 6–12).
       for (Child& child : children) {
-        if (BudgetExpired()) return;
+        if (StopRequested()) return;
         if (depth - 1 == params_.s) {
           ToLayerIdsInto(child.positions, &ids_buf_);
           if (result_.Update(child.core, ids_buf_)) {
@@ -230,7 +231,7 @@ class TopDownSearch {
                        return a.potential.size() > b.potential.size();
                      });
     for (size_t idx = 0; idx < children.size(); ++idx) {
-      if (BudgetExpired()) return;
+      if (StopRequested()) return;
       Child& child = children[idx];
       if (result_.BelowOrderThreshold(
               static_cast<int64_t>(child.potential.size()))) {
@@ -305,6 +306,7 @@ class TopDownSearch {
   const PreprocessResult& preprocess_;
   const std::vector<LayerId>& order_;
   const VertexLevelIndex& index_;
+  const QueryControl* control_;
   DccSolver& solver_;
   CoverageIndex& result_;
   SearchStats& stats_;
@@ -460,9 +462,15 @@ DccsResult TopDownDccs(const MultiLayerGraph& graph, const DccsParams& params,
   // replayable from an injected execution (see BottomUpDccs).
   std::optional<PreprocessResult> local_preprocess;
   if (exec.preprocess == nullptr) {
-    local_preprocess = Preprocess(graph, params.d, params.s,
-                                  params.vertex_deletion, exec.pool);
+    local_preprocess =
+        Preprocess(graph, params.d, params.s, params.vertex_deletion,
+                   exec.pool, /*base_cores=*/nullptr, exec.control);
     result.stats.preprocess_seconds = local_preprocess->seconds;
+    if (local_preprocess->stopped != QueryStop::kNone) {
+      result.stats.stopped = local_preprocess->stopped;
+      result.stats.total_seconds = total_timer.Seconds();
+      return result;
+    }
   }
   const PreprocessResult& preprocess =
       exec.preprocess != nullptr ? *exec.preprocess : *local_preprocess;
@@ -494,8 +502,8 @@ DccsResult TopDownDccs(const MultiLayerGraph& graph, const DccsParams& params,
   const VertexLevelIndex& index =
       exec.index != nullptr ? *exec.index : *local_index;
 
-  TopDownSearch search(graph, params, preprocess, order, index, solver, top_k,
-                       result.stats);
+  TopDownSearch search(graph, params, preprocess, order, index, exec.control,
+                       solver, top_k, result.stats);
   search.Run();
 
   result.cores = top_k.entries();

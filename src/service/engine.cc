@@ -1,6 +1,8 @@
 #include "service/engine.h"
 
 #include <algorithm>
+#include <chrono>
+#include <condition_variable>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -21,6 +23,8 @@ namespace {
 Engine::Options Sanitize(Engine::Options options) {
   options.num_threads = std::max(1, options.num_threads);
   options.max_cached_queries = std::max(1, options.max_cached_queries);
+  options.query_workers = std::max(0, options.query_workers);
+  options.max_pending_queries = std::max(1, options.max_pending_queries);
   return options;
 }
 
@@ -50,8 +54,20 @@ struct Engine::BaseCoresEntry {
 /// Everything reusable for one (d, s, vertex_deletion) key: the §IV-C
 /// vertex-deletion fixpoint, the lazily built §V-C vertex index, and the
 /// InitTopK seed captures keyed by (k, dcc_engine).
+///
+/// The fixpoint build is cancellable, so it cannot sit behind a
+/// once_flag (a cancelled builder would latch the flag with a torn
+/// payload). Instead `ready`/`building` under `mu` implement
+/// build-or-wait-with-retry: exactly one query builds at a time, a build
+/// abandoned by cancellation publishes nothing (`ready` stays false) and
+/// the next query rebuilds, and waiters poll their own controls so a
+/// cancelled waiter leaves promptly. `ready` is written once, under `mu`,
+/// before any reader dereferences `preprocess`.
 struct Engine::QueryEntry {
-  std::once_flag preprocess_once;
+  std::mutex mu;
+  std::condition_variable cv;
+  bool ready = false;
+  bool building = false;
   PreprocessResult preprocess;
 
   std::once_flag index_once;
@@ -59,6 +75,25 @@ struct Engine::QueryEntry {
 
   std::mutex seeds_mu;
   std::map<std::pair<int, int>, std::shared_ptr<const InitSeeds>> seeds;
+};
+
+/// One submitted query: request + scheduling state + terminal result. The
+/// handle and the engine share it; `done`/`result` are guarded by `mu` and
+/// written exactly once (FinishTask).
+struct Engine::QueryTask {
+  DccsRequest request;
+  int priority = 0;
+  CancellationToken token;
+  QueryControl control;
+  /// Queue ticket for TryRemove; 0 until admitted (and for never-queued
+  /// terminal tasks). Written by Submit, read by Wait/Cancel on other
+  /// threads, hence atomic.
+  std::atomic<uint64_t> queue_id{0};
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  std::optional<Expected<DccsResult>> result;
 };
 
 /// RAII hold on one free-list solver.
@@ -106,25 +141,42 @@ class Engine::WorkerSolvers {
 };
 
 Engine::Engine(MultiLayerGraph graph, Options options)
-    : graph_(std::make_shared<const MultiLayerGraph>(std::move(graph))),
-      options_(Sanitize(options)),
-      pool_(options_.num_threads) {}
+    : Engine(std::make_shared<const MultiLayerGraph>(std::move(graph)),
+             options) {}
+
+Engine::Engine(const MultiLayerGraph* graph, Options options)
+    : Engine(std::shared_ptr<const MultiLayerGraph>(
+                 graph, [](const MultiLayerGraph*) {}),
+             options) {
+  MLCORE_CHECK(graph != nullptr);
+}
 
 Engine::Engine(std::shared_ptr<const MultiLayerGraph> graph, Options options)
     : graph_(std::move(graph)),
       options_(Sanitize(options)),
-      pool_(options_.num_threads) {
+      pool_(options_.num_threads),
+      pending_(static_cast<size_t>(options_.max_pending_queries)) {
   MLCORE_CHECK(graph_ != nullptr);
+  query_workers_.reserve(static_cast<size_t>(options_.query_workers));
+  for (int w = 0; w < options_.query_workers; ++w) {
+    query_workers_.emplace_back([this] { QueryWorkerLoop(); });
+  }
 }
 
-Engine::Engine(const MultiLayerGraph* graph, Options options)
-    : graph_(graph, [](const MultiLayerGraph*) {}),
-      options_(Sanitize(options)),
-      pool_(options_.num_threads) {
-  MLCORE_CHECK(graph != nullptr);
+Engine::~Engine() {
+  // Stop admissions, resolve everything still queued (racing workers
+  // popping the tail is fine — each entry is obtained exactly once), then
+  // wait out in-flight queries. Handles stay usable afterwards: their
+  // tasks are all terminal.
+  pending_.Shutdown();
+  for (PriorityTaskQueue::Entry& entry : pending_.Drain()) {
+    auto task = std::static_pointer_cast<QueryTask>(entry.payload);
+    sched_cancelled_queued_.fetch_add(1, std::memory_order_relaxed);
+    FinishTask(*task,
+               Status::Cancelled("engine destroyed before the query ran"));
+  }
+  for (std::thread& worker : query_workers_) worker.join();
 }
-
-Engine::~Engine() = default;
 
 DccsAlgorithm Engine::ResolvedAlgorithm(const DccsRequest& request) const {
   if (request.algorithm != DccsAlgorithm::kAuto) return request.algorithm;
@@ -201,14 +253,198 @@ Status Engine::Validate(const CommunityRequest& request) const {
   return Status::Ok();
 }
 
-Expected<DccsResult> Engine::Run(const DccsRequest& request) {
+QueryHandle Engine::Submit(const DccsRequest& request,
+                           const SubmitOptions& options) {
+  return SubmitTask(request, options, /*controllable=*/true);
+}
+
+QueryHandle Engine::SubmitTask(const DccsRequest& request,
+                               const SubmitOptions& options,
+                               bool controllable) {
+  auto task = std::make_shared<QueryTask>();
+  task->request = request;
+  task->priority = options.priority;
+  if (controllable || options.deadline_seconds > 0) {
+    task->control =
+        QueryControl::WithDeadline(task->token, options.deadline_seconds);
+  }
+
   Status status = Validate(request);
-  if (!status.ok()) return status;
+  if (!status.ok()) {
+    FinishTask(*task, std::move(status));
+    return QueryHandle(std::move(task), this);
+  }
+
+  sched_submitted_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t id = 0;
+  PriorityTaskQueue::Entry displaced;
+  switch (pending_.TryPush(options.priority, task, &id, &displaced)) {
+    case PriorityTaskQueue::PushOutcome::kRejected:
+      sched_rejected_.fetch_add(1, std::memory_order_relaxed);
+      FinishTask(*task,
+                 Status::ResourceExhausted(
+                     pending_.shut_down()
+                         ? "engine shutting down; no new queries admitted"
+                         : "pending queue full (" +
+                               std::to_string(pending_.capacity()) +
+                               " queries) with no lower-priority entry to "
+                               "displace"));
+      return QueryHandle(std::move(task), this);
+    case PriorityTaskQueue::PushOutcome::kAcceptedDisplacing: {
+      sched_displaced_.fetch_add(1, std::memory_order_relaxed);
+      auto victim = std::static_pointer_cast<QueryTask>(displaced.payload);
+      FinishTask(*victim,
+                 Status::ResourceExhausted(
+                     "displaced from the pending queue by a "
+                     "higher-priority request"));
+      break;
+    }
+    case PriorityTaskQueue::PushOutcome::kAccepted:
+      break;
+  }
+  sched_admitted_.fetch_add(1, std::memory_order_relaxed);
+  // A worker may already have popped (and even finished) the task; the
+  // stale ticket is harmless — TryRemove on it simply fails.
+  task->queue_id.store(id, std::memory_order_release);
+  return QueryHandle(std::move(task), this);
+}
+
+std::vector<QueryHandle> Engine::SubmitBatch(
+    std::span<const DccsRequest> requests, const SubmitOptions& options) {
+  std::vector<QueryHandle> handles;
+  handles.reserve(requests.size());
+  for (const DccsRequest& request : requests) {
+    handles.push_back(Submit(request, options));
+  }
+  return handles;
+}
+
+Expected<DccsResult> Engine::Run(const DccsRequest& request) {
+  // Submit + Wait: the calling thread immediately claims its own query if
+  // no worker got there first, so synchronous callers keep the historical
+  // run-on-caller concurrency (N concurrent Runs execute N-wide regardless
+  // of Options::query_workers).
+  // controllable = false: the handle never escapes, so the query is
+  // provably uncancellable and deadline-free — it executes with a null
+  // control, at exactly the PR-2 synchronous cost (no checkpoint loads,
+  // blocking cache waits instead of cancellation polling).
+  QueryHandle handle = SubmitTask(request, SubmitOptions{},
+                                  /*controllable=*/false);
+  const Expected<DccsResult>& outcome = handle.Wait();
+  if (!outcome.ok() &&
+      outcome.status().code == StatusCode::kResourceExhausted) {
+    // Admission shed the task (full queue, or displaced by a
+    // higher-priority submission before we claimed it). A *blocking*
+    // caller is its own backpressure — it holds one query per blocked
+    // thread, not an unbounded backlog — so instead of surfacing the shed,
+    // run inline on this thread. Keeps the PR-2 contract: Run fails only
+    // on validation, never on load. (The request already passed Validate,
+    // or Submit would have returned kInvalidArgument/kUnsupported.)
+    sched_executed_.fetch_add(1, std::memory_order_relaxed);
+    return RunValidated(
+        request, std::unique_lock<std::mutex>(pool_mu_, std::try_to_lock),
+        /*control=*/nullptr);
+  }
+  std::lock_guard<std::mutex> lock(handle.task_->mu);
+  return std::move(*handle.task_->result);
+}
+
+void Engine::ExecuteTask(const std::shared_ptr<QueryTask>& task) {
+  // Resolve queued-phase stops before paying for anything: cancellation
+  // wins ties, and a deadline that expired pre-execution yields
+  // kDeadlineExceeded (there is no anytime prefix to serve yet).
+  const QueryStop pre = task->control.Check();
+  if (pre == QueryStop::kCancelled) {
+    sched_cancelled_queued_.fetch_add(1, std::memory_order_relaxed);
+    FinishTask(*task, Status::Cancelled("query cancelled while queued"));
+    return;
+  }
+  if (pre == QueryStop::kDeadline) {
+    sched_expired_queued_.fetch_add(1, std::memory_order_relaxed);
+    FinishTask(*task,
+               Status::DeadlineExceeded("deadline expired while queued"));
+    return;
+  }
+  sched_executed_.fetch_add(1, std::memory_order_relaxed);
   // Use the shared pool if it is free; a busy pool (another query's stage
   // or a batch) degrades this query's parallel stages to sequential, which
-  // by the DESIGN.md §4 contract cannot change its result.
-  return RunValidated(request,
-                      std::unique_lock<std::mutex>(pool_mu_, std::try_to_lock));
+  // by the DESIGN.md §4 contract cannot change its result. An inactive
+  // control (Run's uncancellable tasks) executes as the null control so
+  // the stages skip checkpoint costs entirely.
+  FinishTask(*task,
+             RunValidated(task->request,
+                          std::unique_lock<std::mutex>(pool_mu_,
+                                                       std::try_to_lock),
+                          task->control.active() ? &task->control : nullptr));
+}
+
+void Engine::FinishTask(QueryTask& task, Expected<DccsResult> result) {
+  {
+    std::lock_guard<std::mutex> lock(task.mu);
+    MLCORE_CHECK_MSG(!task.done, "query task resolved twice");
+    task.result.emplace(std::move(result));
+    task.done = true;
+  }
+  // The ticket is dead: later Wait/Cancel calls short-circuit instead of
+  // scanning the queue for an entry that cannot be there.
+  task.queue_id.store(0, std::memory_order_release);
+  task.cv.notify_all();
+}
+
+void Engine::AwaitTask(const std::shared_ptr<QueryTask>& task) {
+  const uint64_t id = task->queue_id.load(std::memory_order_acquire);
+  if (id != 0) {
+    PriorityTaskQueue::Entry entry;
+    if (pending_.TryRemove(id, &entry)) {
+      // Still queued: the waiter donates its own thread instead of
+      // blocking on a busy worker (this is what keeps Run's concurrency
+      // independent of Options::query_workers).
+      ExecuteTask(task);
+      return;
+    }
+  }
+  std::unique_lock<std::mutex> lock(task->mu);
+  task->cv.wait(lock, [&] { return task->done; });
+}
+
+void Engine::CancelTask(const std::shared_ptr<QueryTask>& task) {
+  task->token.RequestCancel();
+  const uint64_t id = task->queue_id.load(std::memory_order_acquire);
+  if (id != 0) {
+    PriorityTaskQueue::Entry entry;
+    if (pending_.TryRemove(id, &entry)) {
+      sched_cancelled_queued_.fetch_add(1, std::memory_order_relaxed);
+      FinishTask(*task, Status::Cancelled("query cancelled while queued"));
+    }
+  }
+  // Running tasks observe the token at their next cooperative checkpoint;
+  // finished tasks are unaffected.
+}
+
+void Engine::ResolveIfExpiredQueued(const std::shared_ptr<QueryTask>& task) {
+  // Only a pure deadline expiry resolves here; a cancelled-while-queued
+  // task without a Cancel() call resolves at claim time, as documented on
+  // QueryHandle::token.
+  if (!task->control.has_deadline() ||
+      task->control.Check() != QueryStop::kDeadline) {
+    return;
+  }
+  const uint64_t id = task->queue_id.load(std::memory_order_acquire);
+  if (id == 0) return;
+  PriorityTaskQueue::Entry entry;
+  if (pending_.TryRemove(id, &entry)) {
+    sched_expired_queued_.fetch_add(1, std::memory_order_relaxed);
+    FinishTask(*task,
+               Status::DeadlineExceeded("deadline expired while queued"));
+  }
+}
+
+void Engine::QueryWorkerLoop() {
+  PriorityTaskQueue::Entry entry;
+  while (pending_.WaitPop(&entry)) {
+    ExecuteTask(std::static_pointer_cast<QueryTask>(entry.payload));
+    entry.payload.reset();
+  }
 }
 
 std::vector<Expected<DccsResult>> Engine::RunBatch(
@@ -220,18 +456,19 @@ std::vector<Expected<DccsResult>> Engine::RunBatch(
   // Fan the valid requests out over the pool. Each slot is written by
   // exactly one worker and queries never read each other's output, so the
   // batch obeys the §4 determinism rules; cache misses shared between
-  // queries are computed once (per-entry once-flags) with every waiter
+  // queries are computed once (per-entry build states) with every waiter
   // receiving the same bits. Workers get pool = nullptr: ParallelFor is not
-  // reentrant, and sequential inner stages cannot change results.
-  std::vector<std::optional<DccsResult>> slots(n);
+  // reentrant, and sequential inner stages cannot change results. Batch
+  // slots run uncontrolled (control = nullptr), so every slot is a value.
+  std::vector<std::optional<Expected<DccsResult>>> slots(n);
   {
     std::lock_guard<std::mutex> pool_lock(pool_mu_);
     pool_.ParallelFor(static_cast<int64_t>(n), [&](int /*worker*/,
                                                    int64_t i) {
       const auto slot = static_cast<size_t>(i);
       if (!statuses[slot].ok()) return;
-      slots[slot] =
-          RunValidated(requests[slot], std::unique_lock<std::mutex>());
+      slots[slot] = RunValidated(requests[slot], std::unique_lock<std::mutex>(),
+                                 /*control=*/nullptr);
     });
   }
 
@@ -264,8 +501,9 @@ Expected<CommunitySearchResult> Engine::FindCommunity(
                                   request.query, request.d, request.s);
 }
 
-DccsResult Engine::RunValidated(const DccsRequest& request,
-                                std::unique_lock<std::mutex> pool_lock) {
+Expected<DccsResult> Engine::RunValidated(
+    const DccsRequest& request, std::unique_lock<std::mutex> pool_lock,
+    const QueryControl* control) {
   WallTimer total_timer;
   const DccsParams& params = request.params;
   const DccsAlgorithm algorithm = ResolvedAlgorithm(request);
@@ -283,14 +521,32 @@ DccsResult Engine::RunValidated(const DccsRequest& request,
   // reported as this query's preprocess_seconds: on a cold cache it is the
   // §IV-C (+ index/seed) build time, on a hit it is microseconds.
   WallTimer acquire_timer;
-  std::shared_ptr<QueryEntry> entry =
-      GetQueryEntry(params.d, params.s, params.vertex_deletion, pool);
+  QueryStop stop = QueryStop::kNone;
+  std::shared_ptr<QueryEntry> entry = GetQueryEntry(
+      params.d, params.s, params.vertex_deletion, pool, control, &stop);
+  if (entry == nullptr) {
+    // Stopped before preprocessing published: nothing was cached, nothing
+    // can be served. (A deadline this early has no anytime prefix.)
+    return stop == QueryStop::kCancelled
+               ? Status::Cancelled("query cancelled during preprocessing")
+               : Status::DeadlineExceeded(
+                     "deadline expired during preprocessing");
+  }
   // Pooled greedy draws all its lane solvers from WorkerSolvers and has no
   // InitTopK stage, so only the other paths lease a free-list solver.
   const bool pooled_greedy =
       algorithm == DccsAlgorithm::kGreedy && pool != nullptr;
   std::optional<SolverLease> solver;
   if (!pooled_greedy) solver.emplace(this);
+  // Checkpoint between preprocessing and the seed/index builds (each of
+  // which always publishes a complete artifact once started).
+  if (control != nullptr &&
+      (stop = control->Check()) != QueryStop::kNone) {
+    return stop == QueryStop::kCancelled
+               ? Status::Cancelled("query cancelled before the search phase")
+               : Status::DeadlineExceeded(
+                     "deadline expired before the search phase");
+  }
   std::shared_ptr<const InitSeeds> seeds;
   if (algorithm != DccsAlgorithm::kGreedy && params.init_result) {
     seeds = GetSeeds(*entry, params, *solver->get());
@@ -315,6 +571,7 @@ DccsResult Engine::RunValidated(const DccsRequest& request,
   exec.index = index;
   exec.solver = solver.has_value() ? solver->get() : nullptr;
   exec.pool = pool;
+  exec.control = control;
   std::optional<WorkerSolvers> worker_solvers;
   if (pooled_greedy) {
     worker_solvers.emplace(this, pool->num_threads());
@@ -337,6 +594,14 @@ DccsResult Engine::RunValidated(const DccsRequest& request,
       MLCORE_CHECK_MSG(false, "kAuto must be resolved before dispatch");
       break;
   }
+  if (result.stats.stopped == QueryStop::kCancelled) {
+    // A cancelled search's partial top-k is discarded, never served; the
+    // caches it read (and any completed artifacts it built) stay valid.
+    return Status::Cancelled("query cancelled mid-search");
+  }
+  // kDeadline / kBudget mid-search fall through as OK: the anytime
+  // best-so-far prefix with stats.budget_exhausted set — the unified
+  // deadline policy of DESIGN.md §7.
   result.stats.preprocess_seconds = acquire_seconds;
   result.stats.total_seconds = total_timer.Seconds();
   return result;
@@ -377,7 +642,8 @@ std::shared_ptr<const Engine::BaseCoresEntry> Engine::GetBaseCores(
 }
 
 std::shared_ptr<Engine::QueryEntry> Engine::GetQueryEntry(
-    int d, int s, bool vertex_deletion, ThreadPool* pool) {
+    int d, int s, bool vertex_deletion, ThreadPool* pool,
+    const QueryControl* control, QueryStop* stop) {
   const std::tuple<int, int, bool> key{d, s, vertex_deletion};
   std::shared_ptr<QueryEntry> entry;
   {
@@ -385,21 +651,71 @@ std::shared_ptr<Engine::QueryEntry> Engine::GetQueryEntry(
     auto it = queries_.find(key);
     if (it != queries_.end()) {
       entry = it->second;
-      ++stats_.preprocess_hits;
     } else {
       entry = std::make_shared<QueryEntry>();
       queries_[key] = entry;
-      ++stats_.preprocess_misses;
     }
     queries_last_use_[key] = ++use_clock_;
     EvictLru(queries_, queries_last_use_,
              static_cast<size_t>(options_.max_cached_queries));
   }
-  std::call_once(entry->preprocess_once, [&] {
+
+  // Build-or-wait-with-retry (see QueryEntry). Hits and misses are counted
+  // at *resolution* — found published vs. built-and-published — so a query
+  // stopped before publication moves no counter, matching the
+  // publish-or-nothing contract for contents.
+  std::unique_lock<std::mutex> lock(entry->mu);
+  while (true) {
+    if (entry->ready) {
+      std::lock_guard<std::mutex> stats_lock(cache_mu_);
+      ++stats_.preprocess_hits;
+      return entry;
+    }
+    if (!entry->building) break;
+    if (control != nullptr) {
+      // Poll our own control while someone else builds, so cancelling a
+      // *waiter* never blocks on the builder's (possibly long) rounds.
+      entry->cv.wait_for(lock, std::chrono::milliseconds(5));
+      *stop = control->Check();
+      if (*stop != QueryStop::kNone) return nullptr;
+    } else {
+      entry->cv.wait(lock);
+    }
+  }
+
+  entry->building = true;
+  lock.unlock();
+
+  PreprocessResult built;
+  QueryStop build_stop =
+      control != nullptr ? control->Check() : QueryStop::kNone;
+  if (build_stop == QueryStop::kNone) {
+    // Base cores always publish a complete artifact once started; the
+    // fixpoint checkpoints per deletion round.
     std::shared_ptr<const BaseCoresEntry> base = GetBaseCores(d, pool);
-    entry->preprocess =
-        Preprocess(*graph_, d, s, vertex_deletion, pool, &base->cores);
-  });
+    built =
+        Preprocess(*graph_, d, s, vertex_deletion, pool, &base->cores, control);
+    build_stop = built.stopped;
+  }
+
+  lock.lock();
+  entry->building = false;
+  if (build_stop != QueryStop::kNone) {
+    // Abandoned build: publish nothing. A waiter (or the next query on
+    // this key) rebuilds from scratch; `built`'s partial contents die here.
+    lock.unlock();
+    entry->cv.notify_all();
+    *stop = build_stop;
+    return nullptr;
+  }
+  entry->preprocess = std::move(built);
+  entry->ready = true;
+  lock.unlock();
+  entry->cv.notify_all();
+  {
+    std::lock_guard<std::mutex> stats_lock(cache_mu_);
+    ++stats_.preprocess_misses;
+  }
   return entry;
 }
 
@@ -463,6 +779,19 @@ EngineCacheStats Engine::cache_stats() const {
   return stats_;
 }
 
+SchedulerStats Engine::scheduler_stats() const {
+  SchedulerStats stats;
+  stats.submitted = sched_submitted_.load(std::memory_order_relaxed);
+  stats.admitted = sched_admitted_.load(std::memory_order_relaxed);
+  stats.rejected = sched_rejected_.load(std::memory_order_relaxed);
+  stats.displaced = sched_displaced_.load(std::memory_order_relaxed);
+  stats.cancelled_queued =
+      sched_cancelled_queued_.load(std::memory_order_relaxed);
+  stats.expired_queued = sched_expired_queued_.load(std::memory_order_relaxed);
+  stats.executed = sched_executed_.load(std::memory_order_relaxed);
+  return stats;
+}
+
 void Engine::ClearCache() {
   {
     std::lock_guard<std::mutex> lock(cache_mu_);
@@ -473,6 +802,73 @@ void Engine::ClearCache() {
   }
   std::lock_guard<std::mutex> lock(solver_mu_);
   free_solvers_.clear();
+}
+
+// --------------------------------------------------------------------------
+// QueryHandle — defined here because Engine::QueryTask is private to this
+// translation unit.
+// --------------------------------------------------------------------------
+
+QueryHandle::QueryHandle() = default;
+QueryHandle::QueryHandle(const QueryHandle&) = default;
+QueryHandle& QueryHandle::operator=(const QueryHandle&) = default;
+QueryHandle::QueryHandle(QueryHandle&&) noexcept = default;
+QueryHandle& QueryHandle::operator=(QueryHandle&&) noexcept = default;
+QueryHandle::~QueryHandle() = default;
+
+QueryHandle::QueryHandle(std::shared_ptr<Engine::QueryTask> task,
+                         Engine* engine)
+    : task_(std::move(task)), engine_(engine) {}
+
+int QueryHandle::priority() const {
+  return task_ != nullptr ? task_->priority : 0;
+}
+
+const Expected<DccsResult>& QueryHandle::Wait() {
+  MLCORE_CHECK_MSG(task_ != nullptr, "Wait on an invalid QueryHandle");
+  // Terminal fast path before touching the engine: this is what keeps a
+  // handle usable after ~Engine (which resolves every outstanding task)
+  // and makes repeat Waits lock only the task.
+  {
+    std::lock_guard<std::mutex> lock(task_->mu);
+    if (task_->done) return *task_->result;
+  }
+  engine_->AwaitTask(task_);
+  // `result` is written exactly once, before `done`; AwaitTask returning
+  // established the happens-before, so the reference is stable from here
+  // on.
+  return *task_->result;
+}
+
+const Expected<DccsResult>* QueryHandle::TryGet() const {
+  if (task_ == nullptr) return nullptr;
+  {
+    std::lock_guard<std::mutex> lock(task_->mu);
+    if (task_->done) return &*task_->result;
+  }
+  // Not terminal: give a queued-but-already-expired deadline its
+  // resolution now, so pollers aren't stuck behind a busy worker. (The
+  // task being non-terminal implies the engine is still alive — teardown
+  // resolves everything first.)
+  engine_->ResolveIfExpiredQueued(task_);
+  std::lock_guard<std::mutex> lock(task_->mu);
+  return task_->done ? &*task_->result : nullptr;
+}
+
+void QueryHandle::Cancel() {
+  MLCORE_CHECK_MSG(task_ != nullptr, "Cancel on an invalid QueryHandle");
+  // Terminal fast path mirrors Wait: a finished (or engine-drained) task
+  // needs no engine interaction.
+  {
+    std::lock_guard<std::mutex> lock(task_->mu);
+    if (task_->done) return;
+  }
+  engine_->CancelTask(task_);
+}
+
+CancellationToken QueryHandle::token() const {
+  MLCORE_CHECK_MSG(task_ != nullptr, "token() on an invalid QueryHandle");
+  return task_->token;
 }
 
 }  // namespace mlcore

@@ -1,11 +1,13 @@
 #ifndef MLCORE_SERVICE_ENGINE_H_
 #define MLCORE_SERVICE_ENGINE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <span>
+#include <thread>
 #include <tuple>
 #include <vector>
 
@@ -16,9 +18,12 @@
 #include "dccs/vertex_index.h"
 #include "graph/multilayer_graph.h"
 #include "service/status.h"
+#include "util/cancellation.h"
 #include "util/thread_pool.h"
 
 namespace mlcore {
+
+class QueryHandle;
 
 /// One DCCS query against an Engine's graph: the paper's (d, s, k)
 /// parameters (plus algorithm knobs) and the algorithm to answer it with.
@@ -39,7 +44,11 @@ struct CommunityRequest {
 
 /// Cumulative cache counters, for observability and tests. A "query" entry
 /// is one (d, s, vertex_deletion) preprocessing bundle; "base" entries are
-/// the full-graph per-layer d-cores keyed by d alone.
+/// the full-graph per-layer d-cores keyed by d alone. A hit is a query that
+/// found a *published* entry; a miss is a query that built and published
+/// one. A query cancelled (or deadline-expired) before its build published
+/// counts as neither — an abandoned build leaves both the cache contents
+/// and these counters exactly as if that query had never run.
 struct EngineCacheStats {
   int64_t preprocess_hits = 0;
   int64_t preprocess_misses = 0;
@@ -49,6 +58,45 @@ struct EngineCacheStats {
   int64_t index_misses = 0;
   int64_t base_core_hits = 0;
   int64_t base_core_misses = 0;
+};
+
+/// Cumulative admission/scheduler counters (Engine::scheduler_stats).
+struct SchedulerStats {
+  /// Valid requests offered to admission (invalid ones fail validation
+  /// first and are never counted).
+  int64_t submitted = 0;
+  /// Requests that entered the pending queue.
+  int64_t admitted = 0;
+  /// Requests refused at submission with kResourceExhausted (queue full of
+  /// equal-or-higher-priority work).
+  int64_t rejected = 0;
+  /// Previously admitted requests shed from the queue by a later
+  /// higher-priority submission (their handles resolve kResourceExhausted).
+  int64_t displaced = 0;
+  /// Requests cancelled while still queued (never executed).
+  int64_t cancelled_queued = 0;
+  /// Requests whose deadline had already passed when a worker claimed them
+  /// (resolved kDeadlineExceeded without executing).
+  int64_t expired_queued = 0;
+  /// Requests that actually entered execution.
+  int64_t executed = 0;
+};
+
+/// Per-submission scheduling knobs for Engine::Submit.
+struct SubmitOptions {
+  /// Admission and execution priority: higher runs first; on a full queue a
+  /// higher-priority submission displaces the lowest strictly-lower one.
+  /// Ties are FIFO.
+  int priority = 0;
+  /// Wall-clock deadline, in seconds from submission (0 = none). Expiry
+  /// while queued or during preprocessing resolves kDeadlineExceeded
+  /// (there is no timer thread: a queued expiry is observed at worker
+  /// claim, Wait, or any TryGet poll of the handle); expiry
+  /// mid-search returns the anytime best-so-far result with
+  /// `stats.budget_exhausted` set, exactly like time_budget_seconds
+  /// (DESIGN.md §7's unified deadline policy — the effective stop time is
+  /// whichever of the two limits fires first).
+  double deadline_seconds = 0.0;
 };
 
 /// Long-lived, thread-safe DCCS query service over one immutable
@@ -80,10 +128,21 @@ struct EngineCacheStats {
 /// (`preprocess_seconds` is the cache-acquisition time, near zero on a
 /// hit).
 ///
-/// Invalid requests never abort: `Run`/`RunBatch`/`FindCommunity` validate
-/// first and return a structured `Status` (service/status.h) for malformed
-/// parameters, unknown enum values, > 64 layers on the lattice searches,
-/// or an intractable C(l, s) for GD-DCCS.
+/// Invalid requests never abort: `Submit`/`Run`/`RunBatch`/`FindCommunity`
+/// validate first and return a structured `Status` (service/status.h) for
+/// malformed parameters, unknown enum values, > 64 layers on the lattice
+/// searches, or an intractable C(l, s) for GD-DCCS.
+///
+/// Asynchronous queries (DESIGN.md §7): `Submit` returns a `QueryHandle`
+/// immediately; dedicated query workers (Options::query_workers) drain a
+/// bounded priority queue (Options::max_pending_queries), overload is shed
+/// with `kResourceExhausted` instead of queueing forever, `Cancel` stops a
+/// query cooperatively at its checkpoints (kCancelled), and per-submission
+/// wall-clock deadlines compose with `DccsParams::time_budget_seconds`
+/// under one anytime policy. A cancelled query never publishes a partial
+/// cache entry: caches and their counters end up exactly as if it had
+/// never run (or, when it won the build race late, as if it had
+/// completed).
 class Engine {
  public:
   struct Options {
@@ -97,6 +156,17 @@ class Engine {
     /// maximum retained base-core entries; least recently used entries are
     /// evicted beyond this. In-flight queries keep evicted entries alive.
     int max_cached_queries = 16;
+    /// Dedicated threads draining the async pending queue (DESIGN.md §7).
+    /// 0 is valid: submitted queries then run only when some thread Waits
+    /// on their handle (each waiter donates its thread to its own query) —
+    /// useful for tests and strictly-synchronous embeddings.
+    int query_workers = 1;
+    /// Admission bound: maximum queries pending (admitted, not yet
+    /// started). A submission beyond it is shed with kResourceExhausted
+    /// unless its priority strictly exceeds a queued request's, which is
+    /// then displaced instead. Bounds memory and queueing delay under
+    /// overload — nothing ever queues forever.
+    int max_pending_queries = 64;
   };
 
   /// Owning constructors: the engine holds the (immutable) graph.
@@ -126,7 +196,32 @@ class Engine {
   Status Validate(const DccsRequest& request) const;
   Status Validate(const CommunityRequest& request) const;
 
-  /// Answers one DCCS query. Never aborts on bad input; see class comment.
+  /// Asynchronous submission (DESIGN.md §7): validates, applies admission
+  /// control, and enqueues the query for the engine's query workers (or a
+  /// future waiter). Never blocks on query execution. The handle's terminal
+  /// status distinguishes kCancelled, kDeadlineExceeded and
+  /// kResourceExhausted from ordinary results; invalid or shed requests
+  /// yield an immediately terminal handle. Destroying the engine resolves
+  /// every outstanding query, after which surviving handles remain safe to
+  /// Wait/TryGet/Cancel (they answer from the terminal result); only
+  /// *racing* engine destruction against a live query's Wait/Cancel is
+  /// undefined.
+  QueryHandle Submit(const DccsRequest& request,
+                     const SubmitOptions& options = {});
+
+  /// Batch Submit: one handle per request (slot i ↔ requests[i]), each
+  /// admitted independently under `options` — on an overfull queue the
+  /// tail of the batch sheds with kResourceExhausted.
+  std::vector<QueryHandle> SubmitBatch(std::span<const DccsRequest> requests,
+                                       const SubmitOptions& options = {});
+
+  /// Answers one DCCS query: a thin Submit + Wait (the submitting thread
+  /// immediately donates itself to the query, so concurrency matches the
+  /// historical synchronous path). Never aborts on bad input, and never
+  /// fails on load: if admission sheds the submission (full queue /
+  /// displaced), the query runs inline on the calling thread — a blocked
+  /// caller is its own backpressure, so the PR-2 contract (Run fails only
+  /// validation) holds under overload.
   Expected<DccsResult> Run(const DccsRequest& request);
 
   /// Answers independent queries, fanning them out over the pool. Slot i of
@@ -143,13 +238,17 @@ class Engine {
       const CommunityRequest& request);
 
   EngineCacheStats cache_stats() const;
+  SchedulerStats scheduler_stats() const;
   /// Drops every cached entry (in-flight queries keep theirs alive) and the
   /// solver free-list. Counters are not reset.
   void ClearCache();
 
  private:
+  friend class QueryHandle;
+
   struct BaseCoresEntry;
   struct QueryEntry;
+  struct QueryTask;
   class SolverLease;
   class WorkerSolvers;
 
@@ -157,13 +256,49 @@ class Engine {
   /// for its parallel stages) or is empty (batch workers; fully
   /// sequential). The lock is released as soon as the query is done with
   /// the pool — before the sequential search phase — so a long search
-  /// never blocks other queries' parallel stages.
-  DccsResult RunValidated(const DccsRequest& request,
-                          std::unique_lock<std::mutex> pool_lock);
+  /// never blocks other queries' parallel stages. `control` (nullable)
+  /// carries the submission's cancellation token and deadline; a stop
+  /// before the search phase returns kCancelled / kDeadlineExceeded, a
+  /// cancellation mid-search returns kCancelled (partial result
+  /// discarded), and a deadline mid-search returns the anytime prefix.
+  Expected<DccsResult> RunValidated(const DccsRequest& request,
+                                    std::unique_lock<std::mutex> pool_lock,
+                                    const QueryControl* control);
+
+  /// Submit with an explicit choice of arming the cancellation control.
+  /// `controllable = false` (Run's private path) leaves the task's control
+  /// inactive — the handle never escapes Run, so no one can cancel it, and
+  /// the executed query keeps the uncontrolled path's zero checkpoint
+  /// cost.
+  QueryHandle SubmitTask(const DccsRequest& request,
+                         const SubmitOptions& options, bool controllable);
+  /// Runs `task` to its terminal state on the calling thread (a query
+  /// worker, or a waiter that claimed its own task).
+  void ExecuteTask(const std::shared_ptr<QueryTask>& task);
+  /// Publishes the terminal result and wakes waiters.
+  static void FinishTask(QueryTask& task, Expected<DccsResult> result);
+  /// Blocks until `task` is terminal, first claiming and executing it
+  /// inline if it is still queued.
+  void AwaitTask(const std::shared_ptr<QueryTask>& task);
+  /// Requests cooperative cancellation; resolves still-queued tasks
+  /// immediately without execution.
+  void CancelTask(const std::shared_ptr<QueryTask>& task);
+  /// Resolves a still-queued task whose deadline has already passed
+  /// (kDeadlineExceeded), so TryGet-polling observers aren't left waiting
+  /// for a busy worker to claim a task that can only expire.
+  void ResolveIfExpiredQueued(const std::shared_ptr<QueryTask>& task);
+  void QueryWorkerLoop();
 
   std::shared_ptr<const BaseCoresEntry> GetBaseCores(int d, ThreadPool* pool);
+  /// Returns the published (d, s, vertex_deletion) entry, building it if
+  /// needed. Returns nullptr with `*stop` set when `control` fired before
+  /// this query observed a published entry; an abandoned build publishes
+  /// nothing (the next query rebuilds from scratch) — cache consistency
+  /// under cancellation, DESIGN.md §7.
   std::shared_ptr<QueryEntry> GetQueryEntry(int d, int s, bool vertex_deletion,
-                                            ThreadPool* pool);
+                                            ThreadPool* pool,
+                                            const QueryControl* control,
+                                            QueryStop* stop);
   std::shared_ptr<const InitSeeds> GetSeeds(QueryEntry& entry,
                                             const DccsParams& params,
                                             DccSolver& solver);
@@ -195,6 +330,65 @@ class Engine {
   // Solver free-list (the per-worker arenas of DESIGN.md §5).
   std::mutex solver_mu_;
   std::vector<std::unique_ptr<DccSolver>> free_solvers_;
+
+  // Async scheduler (DESIGN.md §7): bounded priority queue of pending
+  // QueryTasks drained by the dedicated query workers and by waiters
+  // claiming their own tasks. Counters are atomics so Submit/Cancel/worker
+  // paths never contend on a stats lock.
+  PriorityTaskQueue pending_;
+  std::vector<std::thread> query_workers_;
+  std::atomic<int64_t> sched_submitted_{0};
+  std::atomic<int64_t> sched_admitted_{0};
+  std::atomic<int64_t> sched_rejected_{0};
+  std::atomic<int64_t> sched_displaced_{0};
+  std::atomic<int64_t> sched_cancelled_queued_{0};
+  std::atomic<int64_t> sched_expired_queued_{0};
+  std::atomic<int64_t> sched_executed_{0};
+};
+
+/// Handle to one submitted query (Engine::Submit). Copyable — copies share
+/// the same underlying task — and safe to Wait/Cancel from any thread and
+/// any number of times, including after the engine's destruction (which
+/// resolves every outstanding query first; see Submit).
+///
+/// Lifecycle: queued → running → terminal. `Wait` blocks until terminal
+/// (claiming and executing a still-queued task on the waiting thread);
+/// `TryGet` never blocks; `Cancel` requests cooperative cancellation — a
+/// queued task resolves kCancelled immediately, a running one stops at its
+/// next checkpoint, and a finished one is unaffected (Cancel after
+/// completion still returns the completed result).
+class QueryHandle {
+ public:
+  QueryHandle();  // invalid; assign from Engine::Submit
+  QueryHandle(const QueryHandle&);
+  QueryHandle& operator=(const QueryHandle&);
+  QueryHandle(QueryHandle&&) noexcept;
+  QueryHandle& operator=(QueryHandle&&) noexcept;
+  ~QueryHandle();
+
+  bool valid() const { return task_ != nullptr; }
+  int priority() const;
+
+  /// Blocks until the query is terminal and returns its result. The
+  /// reference stays valid for the lifetime of the handle (and its
+  /// copies).
+  const Expected<DccsResult>& Wait();
+  /// Non-blocking: the terminal result, or nullptr while queued/running.
+  const Expected<DccsResult>* TryGet() const;
+  /// Requests cancellation (idempotent, never blocks). The cancellation
+  /// token this triggers is also observable via `token()`.
+  void Cancel();
+  /// The query's cancellation token; RequestCancel() on any copy is
+  /// equivalent to Cancel() for the cooperative stages (a queued task is
+  /// then resolved at claim time rather than immediately).
+  CancellationToken token() const;
+
+ private:
+  friend class Engine;
+  QueryHandle(std::shared_ptr<Engine::QueryTask> task, Engine* engine);
+
+  std::shared_ptr<Engine::QueryTask> task_;
+  Engine* engine_ = nullptr;
 };
 
 }  // namespace mlcore

@@ -23,6 +23,20 @@ enum class StatusCode {
   /// (> 64 layers for the lattice searches, C(l, s) too large to
   /// materialise for GD-DCCS).
   kUnsupported = 2,
+  /// The query was cancelled (QueryHandle::Cancel / CancellationToken)
+  /// before it produced a result — while queued, during preprocessing, or
+  /// mid-search (any partial result is discarded, never served).
+  kCancelled = 3,
+  /// The query's wall-clock deadline passed before any anytime result
+  /// existed: while it was still queued, or during preprocessing. A
+  /// deadline that expires *mid-search* instead returns OK with the
+  /// best-so-far cores and `stats.budget_exhausted` set — the same anytime
+  /// behaviour as DccsParams::time_budget_seconds (DESIGN.md §7).
+  kDeadlineExceeded = 4,
+  /// Load shed by admission control: the engine's pending queue was full of
+  /// equal-or-higher-priority work at submission, or this request was
+  /// displaced by a later higher-priority one.
+  kResourceExhausted = 5,
 };
 
 struct Status {
@@ -37,6 +51,15 @@ struct Status {
   }
   static Status Unsupported(std::string msg) {
     return {StatusCode::kUnsupported, std::move(msg)};
+  }
+  static Status Cancelled(std::string msg) {
+    return {StatusCode::kCancelled, std::move(msg)};
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return {StatusCode::kDeadlineExceeded, std::move(msg)};
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return {StatusCode::kResourceExhausted, std::move(msg)};
   }
 };
 

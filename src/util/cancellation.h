@@ -1,0 +1,96 @@
+#ifndef MLCORE_UTIL_CANCELLATION_H_
+#define MLCORE_UTIL_CANCELLATION_H_
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <optional>
+#include <utility>
+
+namespace mlcore {
+
+/// Why a cooperative stage stopped before finishing its work (DESIGN.md §7).
+/// Ordered by how the checks resolve ties: an expired deadline is only
+/// reported when no cancellation was requested.
+enum class QueryStop {
+  kNone = 0,
+  /// DccsParams::time_budget_seconds expired (the pre-existing anytime
+  /// budget, measured from the start of the search phase).
+  kBudget = 1,
+  /// The wall-clock deadline of the submitting QueryControl passed.
+  kDeadline = 2,
+  /// CancellationToken::RequestCancel was called.
+  kCancelled = 3,
+};
+
+/// Shared cancellation flag: copy the token anywhere (each copy aliases the
+/// same state) and call RequestCancel from any thread; workers observe it
+/// through QueryControl::Check at their cooperative checkpoints. Requesting
+/// cancellation is idempotent and never blocks.
+class CancellationToken {
+ public:
+  CancellationToken() : state_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  void RequestCancel() const {
+    state_->store(true, std::memory_order_release);
+  }
+  bool cancel_requested() const {
+    return state_->load(std::memory_order_acquire);
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> state_;
+};
+
+/// Cooperative stop policy for one query: a cancellation token plus an
+/// optional absolute wall-clock deadline, polled together at the search
+/// checkpoints (subset-lattice nodes, greedy candidate boundaries,
+/// preprocessing rounds). An inactive control — default-constructed, no
+/// deadline — costs one branch per checkpoint; an active one costs an
+/// atomic load, plus a steady_clock read when a deadline is set.
+///
+/// Cancellation wins ties: Check reports kCancelled even when the deadline
+/// has also passed, so a caller that cancels an already-late query sees a
+/// deterministic status.
+class QueryControl {
+ public:
+  using TimePoint = std::chrono::steady_clock::time_point;
+
+  QueryControl() = default;
+  QueryControl(CancellationToken token, std::optional<TimePoint> deadline)
+      : token_(std::move(token)), deadline_(deadline), active_(true) {}
+
+  /// Control with a deadline `seconds` from now (<= 0 means no deadline).
+  static QueryControl WithDeadline(CancellationToken token, double seconds) {
+    std::optional<TimePoint> deadline;
+    if (seconds > 0) {
+      deadline = std::chrono::steady_clock::now() +
+                 std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                     std::chrono::duration<double>(seconds));
+    }
+    return QueryControl(std::move(token), deadline);
+  }
+
+  QueryStop Check() const {
+    if (!active_) return QueryStop::kNone;
+    if (token_.cancel_requested()) return QueryStop::kCancelled;
+    if (deadline_.has_value() &&
+        std::chrono::steady_clock::now() > *deadline_) {
+      return QueryStop::kDeadline;
+    }
+    return QueryStop::kNone;
+  }
+
+  bool active() const { return active_; }
+  bool has_deadline() const { return deadline_.has_value(); }
+  const CancellationToken& token() const { return token_; }
+
+ private:
+  CancellationToken token_;
+  std::optional<TimePoint> deadline_;
+  bool active_ = false;
+};
+
+}  // namespace mlcore
+
+#endif  // MLCORE_UTIL_CANCELLATION_H_

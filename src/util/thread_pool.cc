@@ -1,6 +1,8 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <cstddef>
+#include <utility>
 
 namespace mlcore {
 
@@ -52,6 +54,121 @@ void ThreadPool::WorkerLoop(int worker) {
     }
     RunBatch(worker);
   }
+}
+
+PriorityTaskQueue::PriorityTaskQueue(size_t capacity)
+    : capacity_(std::max<size_t>(1, capacity)) {}
+
+// The one ordering rule, both polarities: `top` selects the entry WaitPop
+// serves next (highest priority, oldest within it), `!top` the
+// displacement victim (lowest priority, youngest within it).
+size_t PriorityTaskQueue::BestIndex(bool top) const {
+  size_t best = entries_.size();
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (best == entries_.size()) {
+      best = i;
+      continue;
+    }
+    const Entry& a = entries_[i];
+    const Entry& b = entries_[best];
+    const bool wins = a.priority != b.priority
+                          ? (a.priority > b.priority) == top
+                          : (a.id < b.id) == top;
+    if (wins) best = i;
+  }
+  return best;
+}
+
+size_t PriorityTaskQueue::TopIndex() const { return BestIndex(true); }
+
+size_t PriorityTaskQueue::BottomIndex() const { return BestIndex(false); }
+
+PriorityTaskQueue::PushOutcome PriorityTaskQueue::TryPush(
+    int priority, std::shared_ptr<void> payload, uint64_t* id,
+    Entry* displaced) {
+  PushOutcome outcome = PushOutcome::kAccepted;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return PushOutcome::kRejected;
+    if (entries_.size() >= capacity_) {
+      const size_t victim = BottomIndex();
+      if (entries_[victim].priority >= priority) {
+        return PushOutcome::kRejected;
+      }
+      *displaced = std::move(entries_[victim]);
+      entries_.erase(entries_.begin() + static_cast<ptrdiff_t>(victim));
+      outcome = PushOutcome::kAcceptedDisplacing;
+    }
+    Entry entry;
+    entry.priority = priority;
+    entry.id = next_id_++;
+    entry.payload = std::move(payload);
+    *id = entry.id;
+    entries_.push_back(std::move(entry));
+  }
+  ready_.notify_one();
+  return outcome;
+}
+
+bool PriorityTaskQueue::WaitPop(Entry* out) {
+  std::unique_lock<std::mutex> lock(mu_);
+  ready_.wait(lock, [&] { return shutdown_ || !entries_.empty(); });
+  if (entries_.empty()) return false;
+  const size_t top = TopIndex();
+  *out = std::move(entries_[top]);
+  entries_.erase(entries_.begin() + static_cast<ptrdiff_t>(top));
+  return true;
+}
+
+bool PriorityTaskQueue::TryPop(Entry* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (entries_.empty()) return false;
+  const size_t top = TopIndex();
+  *out = std::move(entries_[top]);
+  entries_.erase(entries_.begin() + static_cast<ptrdiff_t>(top));
+  return true;
+}
+
+bool PriorityTaskQueue::TryRemove(uint64_t id, Entry* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].id == id) {
+      *out = std::move(entries_[i]);
+      entries_.erase(entries_.begin() + static_cast<ptrdiff_t>(i));
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<PriorityTaskQueue::Entry> PriorityTaskQueue::Drain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::sort(entries_.begin(), entries_.end(),
+            [](const Entry& a, const Entry& b) {
+              if (a.priority != b.priority) return a.priority > b.priority;
+              return a.id < b.id;
+            });
+  std::vector<Entry> drained = std::move(entries_);
+  entries_.clear();
+  return drained;
+}
+
+void PriorityTaskQueue::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  ready_.notify_all();
+}
+
+bool PriorityTaskQueue::shut_down() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shutdown_;
+}
+
+size_t PriorityTaskQueue::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
 }
 
 void ThreadPool::ParallelFor(int64_t count,

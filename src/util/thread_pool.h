@@ -4,6 +4,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -59,6 +60,93 @@ class ThreadPool {
   int64_t next_ = 0;        // next unclaimed item
   int64_t done_ = 0;        // items finished in the current batch
   uint64_t generation_ = 0; // bumped once per ParallelFor to wake workers
+  bool shutdown_ = false;
+};
+
+/// Bounded, priority-ordered queue of opaque work items — the admission
+/// layer in front of a pool of executor threads (the `mlcore::Engine`'s
+/// async scheduler, DESIGN.md §7). Unlike ThreadPool::ParallelFor's
+/// fork-join batches, entries here are independent long-lived tasks with
+/// per-entry priorities, and the queue enforces a capacity instead of
+/// growing without bound.
+///
+/// Semantics:
+///  * Pop order: highest priority first; FIFO (admission order) within a
+///    priority.
+///  * TryPush on a full queue sheds load rather than blocking: if the
+///    lowest-priority queued entry has *strictly lower* priority than the
+///    new one it is displaced (returned through `displaced` for the caller
+///    to resolve), otherwise the push is rejected.
+///  * TryRemove lets a producer claim back a still-queued entry (cooperative
+///    cancellation, or a waiter electing to run its own task). Exactly one
+///    of {WaitPop, TryRemove} obtains any given entry.
+///  * Shutdown wakes all poppers; WaitPop then drains remaining entries and
+///    finally returns false. Drain removes everything at once (engine
+///    teardown).
+///
+/// Thread-safe; all operations are O(queue length) worst case, which the
+/// capacity bound keeps small.
+class PriorityTaskQueue {
+ public:
+  struct Entry {
+    int priority = 0;
+    uint64_t id = 0;
+    std::shared_ptr<void> payload;
+  };
+
+  enum class PushOutcome {
+    kAccepted,
+    /// Accepted by displacing the lowest-priority queued entry (written to
+    /// `displaced`).
+    kAcceptedDisplacing,
+    /// Queue full and no queued entry has lower priority: caller must shed
+    /// this request.
+    kRejected,
+  };
+
+  explicit PriorityTaskQueue(size_t capacity);
+
+  PriorityTaskQueue(const PriorityTaskQueue&) = delete;
+  PriorityTaskQueue& operator=(const PriorityTaskQueue&) = delete;
+
+  /// Attempts to enqueue `payload`. On success `*id` receives a handle for
+  /// TryRemove; on kAcceptedDisplacing `*displaced` receives the evicted
+  /// entry.
+  PushOutcome TryPush(int priority, std::shared_ptr<void> payload,
+                      uint64_t* id, Entry* displaced);
+
+  /// Blocks until an entry is available (returns true) or the queue is shut
+  /// down and empty (returns false).
+  bool WaitPop(Entry* out);
+
+  /// Non-blocking pop; false when empty.
+  bool TryPop(Entry* out);
+
+  /// Claims a specific queued entry. Returns false when it was already
+  /// popped, removed, or displaced.
+  bool TryRemove(uint64_t id, Entry* out);
+
+  /// Removes and returns every queued entry (highest priority first).
+  std::vector<Entry> Drain();
+
+  void Shutdown();
+  bool shut_down() const;
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+
+ private:
+  // Both selection rules in one scan; see the definition.
+  size_t BestIndex(bool top) const;
+  // Index of the entry WaitPop would return next, or entries_.size().
+  size_t TopIndex() const;
+  // Index of the displacement victim (lowest priority, youngest within it).
+  size_t BottomIndex() const;
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable ready_;
+  std::vector<Entry> entries_;  // unordered; selection scans (small, bounded)
+  uint64_t next_id_ = 1;
   bool shutdown_ = false;
 };
 

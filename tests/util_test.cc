@@ -1,9 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <vector>
+
 #include "util/bitset.h"
+#include "util/cancellation.h"
 #include "util/flags.h"
 #include "util/rng.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 #include "util/timing.h"
 
 namespace mlcore {
@@ -134,6 +139,139 @@ TEST(TimingTest, TimerAdvances) {
   volatile double sink = 0;
   for (int i = 0; i < 100000; ++i) sink = sink + i;
   EXPECT_GT(timer.Seconds(), 0.0);
+}
+
+TEST(CancellationTest, TokenSharesStateAcrossCopies) {
+  CancellationToken token;
+  CancellationToken copy = token;
+  EXPECT_FALSE(copy.cancel_requested());
+  token.RequestCancel();
+  EXPECT_TRUE(copy.cancel_requested());
+  copy.RequestCancel();  // idempotent
+  EXPECT_TRUE(token.cancel_requested());
+}
+
+TEST(CancellationTest, InactiveControlNeverStops) {
+  QueryControl control;
+  EXPECT_FALSE(control.active());
+  EXPECT_EQ(control.Check(), QueryStop::kNone);
+}
+
+TEST(CancellationTest, ControlReportsCancelAndDeadline) {
+  CancellationToken token;
+  QueryControl no_deadline = QueryControl::WithDeadline(token, 0.0);
+  EXPECT_TRUE(no_deadline.active());
+  EXPECT_FALSE(no_deadline.has_deadline());
+  EXPECT_EQ(no_deadline.Check(), QueryStop::kNone);
+
+  CancellationToken expired_token;
+  QueryControl expired = QueryControl::WithDeadline(expired_token, 1e-9);
+  while (expired.Check() == QueryStop::kNone) {
+  }
+  EXPECT_EQ(expired.Check(), QueryStop::kDeadline);
+
+  // Cancellation wins the tie against an expired deadline.
+  expired_token.RequestCancel();
+  EXPECT_EQ(expired.Check(), QueryStop::kCancelled);
+
+  token.RequestCancel();
+  EXPECT_EQ(no_deadline.Check(), QueryStop::kCancelled);
+}
+
+namespace {
+std::shared_ptr<int> Payload(int value) {
+  return std::make_shared<int>(value);
+}
+int PayloadValue(const PriorityTaskQueue::Entry& entry) {
+  return *std::static_pointer_cast<int>(entry.payload);
+}
+}  // namespace
+
+TEST(PriorityTaskQueueTest, PopsByPriorityThenFifo) {
+  PriorityTaskQueue queue(8);
+  uint64_t id = 0;
+  PriorityTaskQueue::Entry displaced;
+  ASSERT_EQ(queue.TryPush(1, Payload(10), &id, &displaced),
+            PriorityTaskQueue::PushOutcome::kAccepted);
+  ASSERT_EQ(queue.TryPush(3, Payload(30), &id, &displaced),
+            PriorityTaskQueue::PushOutcome::kAccepted);
+  ASSERT_EQ(queue.TryPush(3, Payload(31), &id, &displaced),
+            PriorityTaskQueue::PushOutcome::kAccepted);
+  ASSERT_EQ(queue.TryPush(2, Payload(20), &id, &displaced),
+            PriorityTaskQueue::PushOutcome::kAccepted);
+
+  PriorityTaskQueue::Entry entry;
+  std::vector<int> order;
+  while (queue.TryPop(&entry)) order.push_back(PayloadValue(entry));
+  EXPECT_EQ(order, (std::vector<int>{30, 31, 20, 10}));
+}
+
+TEST(PriorityTaskQueueTest, FullQueueRejectsEqualAndDisplacesLower) {
+  PriorityTaskQueue queue(2);
+  uint64_t id = 0;
+  PriorityTaskQueue::Entry displaced;
+  ASSERT_EQ(queue.TryPush(1, Payload(11), &id, &displaced),
+            PriorityTaskQueue::PushOutcome::kAccepted);
+  ASSERT_EQ(queue.TryPush(2, Payload(22), &id, &displaced),
+            PriorityTaskQueue::PushOutcome::kAccepted);
+
+  // Equal priority to the lowest queued: shed the newcomer.
+  EXPECT_EQ(queue.TryPush(1, Payload(12), &id, &displaced),
+            PriorityTaskQueue::PushOutcome::kRejected);
+  EXPECT_EQ(queue.size(), 2u);
+
+  // Strictly higher: displace the (youngest) lowest-priority entry.
+  EXPECT_EQ(queue.TryPush(3, Payload(33), &id, &displaced),
+            PriorityTaskQueue::PushOutcome::kAcceptedDisplacing);
+  EXPECT_EQ(PayloadValue(displaced), 11);
+  EXPECT_EQ(queue.size(), 2u);
+
+  PriorityTaskQueue::Entry entry;
+  std::vector<int> order;
+  while (queue.TryPop(&entry)) order.push_back(PayloadValue(entry));
+  EXPECT_EQ(order, (std::vector<int>{33, 22}));
+}
+
+TEST(PriorityTaskQueueTest, TryRemoveClaimsExactlyOnce) {
+  PriorityTaskQueue queue(4);
+  uint64_t id_a = 0, id_b = 0;
+  PriorityTaskQueue::Entry displaced;
+  ASSERT_EQ(queue.TryPush(0, Payload(1), &id_a, &displaced),
+            PriorityTaskQueue::PushOutcome::kAccepted);
+  ASSERT_EQ(queue.TryPush(0, Payload(2), &id_b, &displaced),
+            PriorityTaskQueue::PushOutcome::kAccepted);
+
+  PriorityTaskQueue::Entry entry;
+  EXPECT_TRUE(queue.TryRemove(id_a, &entry));
+  EXPECT_EQ(PayloadValue(entry), 1);
+  EXPECT_FALSE(queue.TryRemove(id_a, &entry));  // already claimed
+
+  EXPECT_TRUE(queue.TryPop(&entry));
+  EXPECT_EQ(PayloadValue(entry), 2);
+  EXPECT_FALSE(queue.TryRemove(id_b, &entry));  // popped first
+}
+
+TEST(PriorityTaskQueueTest, ShutdownWakesAndDrains) {
+  PriorityTaskQueue queue(4);
+  uint64_t id = 0;
+  PriorityTaskQueue::Entry displaced;
+  ASSERT_EQ(queue.TryPush(5, Payload(50), &id, &displaced),
+            PriorityTaskQueue::PushOutcome::kAccepted);
+  ASSERT_EQ(queue.TryPush(7, Payload(70), &id, &displaced),
+            PriorityTaskQueue::PushOutcome::kAccepted);
+  queue.Shutdown();
+  EXPECT_TRUE(queue.shut_down());
+  // Post-shutdown pushes are refused.
+  EXPECT_EQ(queue.TryPush(9, Payload(90), &id, &displaced),
+            PriorityTaskQueue::PushOutcome::kRejected);
+
+  std::vector<PriorityTaskQueue::Entry> drained = queue.Drain();
+  ASSERT_EQ(drained.size(), 2u);
+  EXPECT_EQ(PayloadValue(drained[0]), 70);  // highest priority first
+  EXPECT_EQ(PayloadValue(drained[1]), 50);
+
+  PriorityTaskQueue::Entry entry;
+  EXPECT_FALSE(queue.WaitPop(&entry));  // shut down and empty: no block
 }
 
 }  // namespace
