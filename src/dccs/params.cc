@@ -27,8 +27,12 @@ std::string AlgorithmName(DccsAlgorithm algorithm) {
 }
 
 DccsAlgorithm RecommendedAlgorithm(const MultiLayerGraph& graph, int s) {
-  return 2 * s < graph.NumLayers() ? DccsAlgorithm::kBottomUp
-                                   : DccsAlgorithm::kTopDown;
+  return RecommendedAlgorithm(graph.NumLayers(), s);
+}
+
+DccsAlgorithm RecommendedAlgorithm(int32_t num_layers, int s) {
+  return 2 * s < num_layers ? DccsAlgorithm::kBottomUp
+                            : DccsAlgorithm::kTopDown;
 }
 
 }  // namespace mlcore

@@ -100,6 +100,11 @@ struct SearchStats {
 struct DccsResult {
   std::vector<ResultCore> cores;
   SearchStats stats;
+  /// Epoch of the graph snapshot this result was computed against
+  /// (DESIGN.md §8). 0 for one-shot runs and engines whose graph never
+  /// received an update; a query pinned to an older snapshot reports that
+  /// snapshot's epoch even when later updates have already published.
+  uint64_t epoch = 0;
 
   /// Union of all returned cores (the paper's Cov(R)), sorted.
   VertexSet Cover() const;
@@ -119,6 +124,9 @@ std::string AlgorithmName(DccsAlgorithm algorithm);
 /// threshold: bottom-up when s < l/2, top-down otherwise (§I, §V). This is
 /// what `DccsAlgorithm::kAuto` resolves to.
 DccsAlgorithm RecommendedAlgorithm(const MultiLayerGraph& graph, int s);
+/// Layer-count form: lets callers that only know the (epoch-invariant)
+/// layer count apply the rule without touching a graph snapshot.
+DccsAlgorithm RecommendedAlgorithm(int32_t num_layers, int s);
 
 }  // namespace mlcore
 

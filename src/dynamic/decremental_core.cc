@@ -1,5 +1,8 @@
 #include "dynamic/decremental_core.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "core/dcore.h"
 #include "util/check.h"
 
@@ -7,7 +10,7 @@ namespace mlcore {
 
 DecrementalCoreMaintainer::DecrementalCoreMaintainer(
     const MultiLayerGraph& graph, int d, const VertexSet& active)
-    : graph_(graph),
+    : graph_(&graph),
       d_(d),
       cores_(static_cast<size_t>(graph.NumLayers()),
              Bitset(static_cast<size_t>(graph.NumVertices()))),
@@ -15,7 +18,9 @@ DecrementalCoreMaintainer::DecrementalCoreMaintainer(
                   static_cast<size_t>(graph.NumLayers()),
               0),
       support_(static_cast<size_t>(graph.NumVertices()), 0),
-      alive_(static_cast<size_t>(graph.NumVertices()), 0) {
+      alive_(static_cast<size_t>(graph.NumVertices()), 0),
+      region_stamp_(static_cast<size_t>(graph.NumVertices()), 0),
+      region_degree_(static_cast<size_t>(graph.NumVertices()), 0) {
   const auto l = static_cast<size_t>(graph.NumLayers());
   for (VertexId v : active) alive_[static_cast<size_t>(v)] = 1;
   for (LayerId layer = 0; layer < graph.NumLayers(); ++layer) {
@@ -45,35 +50,270 @@ void DecrementalCoreMaintainer::ExitCore(
   if (exits != nullptr) exits->emplace_back(v, layer);
 }
 
+int64_t DecrementalCoreMaintainer::CascadeExits(
+    const EdgeList& skip,
+    std::vector<std::pair<VertexId, LayerId>>* exits) {
+  const auto l = static_cast<size_t>(graph_->NumLayers());
+  for (size_t head = 0; head < queue_.size(); ++head) {
+    auto [w, lay] = queue_[head];
+    const Bitset& bits = cores_[static_cast<size_t>(lay)];
+    for (VertexId u : graph_->Neighbors(lay, w)) {
+      if (!bits.Test(static_cast<size_t>(u))) continue;
+      if (!skip.empty() &&
+          std::binary_search(
+              skip.begin(), skip.end(),
+              std::pair<VertexId, VertexId>(std::min(w, u),
+                                            std::max(w, u)))) {
+        // The edge no longer exists in the post-removal graph; its two
+        // explicit decrements already happened in RemoveEdges phase 1.
+        continue;
+      }
+      auto& du =
+          degree_[static_cast<size_t>(u) * l + static_cast<size_t>(lay)];
+      if (--du < d_) ExitCore(u, lay, exits);
+    }
+  }
+  // Every exit passes through queue_ exactly once, so its final length is
+  // the cascade size.
+  const auto total = static_cast<int64_t>(queue_.size());
+  queue_.clear();
+  return total;
+}
+
 void DecrementalCoreMaintainer::RemoveVertex(
     VertexId v, std::vector<std::pair<VertexId, LayerId>>* exits) {
   if (alive_[static_cast<size_t>(v)] == 0) return;
   alive_[static_cast<size_t>(v)] = 0;
-  const auto l = static_cast<size_t>(graph_.NumLayers());
 
   MLCORE_DCHECK(queue_.empty());
-  for (LayerId layer = 0; layer < graph_.NumLayers(); ++layer) {
+  for (LayerId layer = 0; layer < graph_->NumLayers(); ++layer) {
     ExitCore(v, layer, exits);
   }
-  for (size_t head = 0; head < queue_.size(); ++head) {
-    auto [w, layer] = queue_[head];
-    const Bitset& bits = cores_[static_cast<size_t>(layer)];
-    for (VertexId u : graph_.Neighbors(layer, w)) {
-      if (!bits.Test(static_cast<size_t>(u))) continue;
-      auto& du =
-          degree_[static_cast<size_t>(u) * l + static_cast<size_t>(layer)];
-      if (--du < d_) ExitCore(u, layer, exits);
+  static const EdgeList kNoSkip;
+  CascadeExits(kNoSkip, exits);
+}
+
+DecrementalCoreMaintainer::RemoveOutcome DecrementalCoreMaintainer::RemoveEdges(
+    LayerId layer, const EdgeList& removed,
+    std::vector<std::pair<VertexId, LayerId>>* exits) {
+  MLCORE_DCHECK(std::is_sorted(removed.begin(), removed.end()));
+  RemoveOutcome out;
+  Bitset& bits = cores_[static_cast<size_t>(layer)];
+  const auto l = static_cast<size_t>(graph_->NumLayers());
+
+  // Phase 1: retract the in-core removed edges' degree contributions.
+  // No exit happens before phase 2, so the decrement order is irrelevant.
+  for (const auto& [u, v] : removed) {
+    if (bits.Test(static_cast<size_t>(u)) &&
+        bits.Test(static_cast<size_t>(v))) {
+      out.core_subgraph_changed = true;
+      --degree_[static_cast<size_t>(u) * l + static_cast<size_t>(layer)];
+      --degree_[static_cast<size_t>(v) * l + static_cast<size_t>(layer)];
     }
   }
-  queue_.clear();
+
+  // Phase 2: exit everything now under-degree, then cascade through the
+  // post-removal adjacency (the bound graph minus `removed`).
+  MLCORE_DCHECK(queue_.empty());
+  for (const auto& [u, v] : removed) {
+    for (VertexId w : {u, v}) {
+      if (bits.Test(static_cast<size_t>(w)) &&
+          degree_[static_cast<size_t>(w) * l + static_cast<size_t>(layer)] <
+              d_) {
+        ExitCore(w, layer, exits);
+      }
+    }
+  }
+  out.exited = CascadeExits(removed, exits);
+  out.core_subgraph_changed |= out.exited > 0;
+  return out;
+}
+
+void DecrementalCoreMaintainer::GrowVertices(int32_t new_num_vertices) {
+  const auto old_n = alive_.size();
+  const auto new_n = static_cast<size_t>(new_num_vertices);
+  MLCORE_CHECK(new_n >= old_n);
+  if (new_n == old_n) return;
+  const auto l = cores_.size();
+  for (Bitset& bits : cores_) bits.GrowTo(new_n);
+  degree_.resize(new_n * l, 0);
+  support_.resize(new_n, 0);
+  alive_.resize(new_n, 1);
+  region_stamp_.resize(new_n, 0);
+  region_degree_.resize(new_n, 0);
+}
+
+void DecrementalCoreMaintainer::Rebind(const MultiLayerGraph* graph) {
+  MLCORE_CHECK(graph != nullptr);
+  MLCORE_CHECK(graph->NumLayers() == static_cast<int32_t>(cores_.size()));
+  MLCORE_CHECK(static_cast<size_t>(graph->NumVertices()) == alive_.size());
+  graph_ = graph;
+}
+
+DecrementalCoreMaintainer::InsertOutcome DecrementalCoreMaintainer::InsertEdges(
+    LayerId layer, const EdgeList& inserted, int64_t damage_threshold,
+    std::vector<std::pair<VertexId, LayerId>>* entries) {
+  MLCORE_DCHECK(std::is_sorted(inserted.begin(), inserted.end()));
+  InsertOutcome out;
+  Bitset& bits = cores_[static_cast<size_t>(layer)];
+  const auto l = static_cast<size_t>(graph_->NumLayers());
+
+  // Phase 0: edges landing inside the current core only raise degrees
+  // (insertions never evict anyone).
+  for (const auto& [u, v] : inserted) {
+    if (bits.Test(static_cast<size_t>(u)) &&
+        bits.Test(static_cast<size_t>(v))) {
+      out.core_subgraph_changed = true;
+      ++degree_[static_cast<size_t>(u) * l + static_cast<size_t>(layer)];
+      ++degree_[static_cast<size_t>(v) * l + static_cast<size_t>(layer)];
+    }
+  }
+
+  // Affected region: any vertex that newly enters the core is reachable
+  // from a non-core endpoint of an inserted edge through out-of-core
+  // vertices of full degree >= d (induction over the old graph's peeling
+  // order — the first entering vertex must touch an inserted edge, each
+  // later one an earlier enterer; DESIGN.md §8). BFS that region.
+  if (++region_epoch_ == 0) {
+    std::fill(region_stamp_.begin(), region_stamp_.end(), 0u);
+    region_epoch_ = 1;
+  }
+  region_.clear();
+  auto try_add = [&](VertexId x) {
+    const auto xi = static_cast<size_t>(x);
+    if (region_stamp_[xi] == region_epoch_ || bits.Test(xi) ||
+        alive_[xi] == 0 || graph_->Degree(layer, x) < d_) {
+      return;
+    }
+    region_stamp_[xi] = region_epoch_;
+    region_.push_back(x);
+  };
+  for (const auto& [u, v] : inserted) {
+    try_add(u);
+    try_add(v);
+  }
+  bool over_budget = damage_threshold < 0;
+  for (size_t head = 0; head < region_.size() && !over_budget; ++head) {
+    if (damage_threshold >= 0 &&
+        static_cast<int64_t>(region_.size()) > damage_threshold) {
+      over_budget = true;
+      break;
+    }
+    for (VertexId x : graph_->Neighbors(layer, region_[head])) try_add(x);
+  }
+  out.region = static_cast<int64_t>(region_.size());
+
+  if (over_budget ||
+      (damage_threshold >= 0 &&
+       static_cast<int64_t>(region_.size()) > damage_threshold)) {
+    out.recomputed = true;
+    out.entered = RecomputeLayer(layer, entries);
+    out.core_subgraph_changed |= out.entered > 0;
+    return out;
+  }
+
+  // Bounded peel: candidate degrees count neighbours in core ∪ region,
+  // then iteratively discard under-degree candidates. Survivors are
+  // exactly the new core members (the old core never peels: its within-
+  // core degrees are >= d without any candidate).
+  for (VertexId w : region_) {
+    int32_t cd = 0;
+    for (VertexId x : graph_->Neighbors(layer, w)) {
+      const auto xi = static_cast<size_t>(x);
+      if (bits.Test(xi) || region_stamp_[xi] == region_epoch_) ++cd;
+    }
+    region_degree_[static_cast<size_t>(w)] = cd;
+  }
+  peel_queue_.clear();
+  for (VertexId w : region_) {
+    if (region_degree_[static_cast<size_t>(w)] < d_) {
+      region_stamp_[static_cast<size_t>(w)] = region_epoch_ - 1;  // peeled
+      peel_queue_.push_back(w);
+    }
+  }
+  for (size_t head = 0; head < peel_queue_.size(); ++head) {
+    for (VertexId x : graph_->Neighbors(layer, peel_queue_[head])) {
+      const auto xi = static_cast<size_t>(x);
+      if (region_stamp_[xi] != region_epoch_) continue;
+      if (--region_degree_[xi] < d_) {
+        region_stamp_[xi] = region_epoch_ - 1;
+        peel_queue_.push_back(x);
+      }
+    }
+  }
+
+  // Admit survivors (sorted for deterministic entry reporting).
+  std::vector<VertexId>& admitted = peel_queue_;
+  admitted.clear();
+  for (VertexId w : region_) {
+    if (region_stamp_[static_cast<size_t>(w)] == region_epoch_) {
+      admitted.push_back(w);
+    }
+  }
+  std::sort(admitted.begin(), admitted.end());
+  for (VertexId a : admitted) {
+    bits.Set(static_cast<size_t>(a));
+    ++support_[static_cast<size_t>(a)];
+    if (entries != nullptr) entries->emplace_back(a, layer);
+  }
+  // Fix within-core degrees: full recount for the admitted vertices, +1 on
+  // each pre-existing core neighbour per adjacent admission.
+  for (VertexId a : admitted) {
+    int32_t within = 0;
+    for (VertexId x : graph_->Neighbors(layer, a)) {
+      const auto xi = static_cast<size_t>(x);
+      if (!bits.Test(xi)) continue;
+      ++within;
+      if (region_stamp_[xi] != region_epoch_) {
+        // Old-core neighbour (admitted ones carry the region stamp).
+        ++degree_[xi * l + static_cast<size_t>(layer)];
+      }
+    }
+    degree_[static_cast<size_t>(a) * l + static_cast<size_t>(layer)] = within;
+  }
+  out.entered = static_cast<int64_t>(admitted.size());
+  out.core_subgraph_changed |= out.entered > 0;
+  return out;
+}
+
+int64_t DecrementalCoreMaintainer::RecomputeLayer(
+    LayerId layer, std::vector<std::pair<VertexId, LayerId>>* entries) {
+  VertexSet scope;
+  scope.reserve(alive_.size());
+  for (size_t v = 0; v < alive_.size(); ++v) {
+    if (alive_[v] != 0) scope.push_back(static_cast<VertexId>(v));
+  }
+  VertexSet fresh = DCoreScoped(*graph_, layer, d_, scope);
+
+  Bitset& bits = cores_[static_cast<size_t>(layer)];
+  const auto l = static_cast<size_t>(graph_->NumLayers());
+  int64_t entered = 0;
+  for (VertexId v : fresh) {
+    if (!bits.Test(static_cast<size_t>(v))) {
+      ++entered;
+      ++support_[static_cast<size_t>(v)];
+      if (entries != nullptr) entries->emplace_back(v, layer);
+    }
+  }
+  // Insertions only grow a layer's core; the recomputation must agree.
+  MLCORE_DCHECK(fresh.size() == bits.Count() + static_cast<size_t>(entered));
+  bits.Reset();
+  for (VertexId v : fresh) bits.Set(static_cast<size_t>(v));
+  for (VertexId v : fresh) {
+    int32_t within = 0;
+    for (VertexId u : graph_->Neighbors(layer, v)) {
+      if (bits.Test(static_cast<size_t>(u))) ++within;
+    }
+    degree_[static_cast<size_t>(v) * l + static_cast<size_t>(layer)] = within;
+  }
+  return entered;
 }
 
 VertexSet DecrementalCoreMaintainer::VerticesWithSupportAtLeast(int s) const {
   VertexSet result;
-  for (VertexId v = 0; v < graph_.NumVertices(); ++v) {
-    if (alive_[static_cast<size_t>(v)] != 0 &&
-        support_[static_cast<size_t>(v)] >= s) {
-      result.push_back(v);
+  for (size_t v = 0; v < support_.size(); ++v) {
+    if (alive_[v] != 0 && support_[v] >= s) {
+      result.push_back(static_cast<VertexId>(v));
     }
   }
   return result;

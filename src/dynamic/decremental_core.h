@@ -9,24 +9,36 @@
 
 namespace mlcore {
 
-/// Decremental maintenance of all per-layer d-cores of a multi-layer graph
-/// under vertex deletions.
+/// Maintenance of all per-layer d-cores of a multi-layer graph under
+/// vertex deletions, batched edge deletions and batched edge insertions.
 ///
-/// This is the engine behind the §V-C vertex index construction, exposed
-/// as a library feature: deleting a vertex cascades core exits through
-/// under-degree neighbours in O(affected edges), instead of recomputing
-/// every core from scratch (O(n + m) per layer). Typical uses: sliding
-/// windows over snapshot layers (stories leaving the window) and
-/// interactive what-if analysis ("does the module survive without this
-/// protein?").
+/// This is the engine behind the §V-C vertex index construction and the
+/// dynamic `GraphStore` (DESIGN.md §8), exposed as a library feature:
+///
+///  * deleting a vertex or a batch of edges cascades core exits through
+///    under-degree neighbours in O(affected edges), instead of recomputing
+///    every core from scratch (O(n + m) per layer);
+///  * inserting a batch of edges re-cores only the *affected region* —
+///    the vertices that could possibly enter the core, reachable from the
+///    inserted endpoints through out-of-core vertices of degree ≥ d — and
+///    falls back to a full Batagelj–Zaversnik-style recomputation when the
+///    region outgrows a damage threshold.
+///
+/// Typical uses: sliding windows over snapshot layers (stories leaving the
+/// window), interactive what-if analysis ("does the module survive without
+/// this protein?"), and the epoch-to-epoch core maintenance of the
+/// GraphStore.
 ///
 /// Also maintains the support Num(v) — the number of layers whose current
 /// d-core contains v — which drives the paper's vertex-deletion
 /// preprocessing and index stages.
 class DecrementalCoreMaintainer {
  public:
+  using EdgeList = MultiLayerGraph::EdgeList;
+
   /// Initialises the maintainer with the d-cores of `graph` restricted to
   /// `active` (sorted). Vertices outside `active` are treated as deleted.
+  /// The graph reference must stay valid until `Rebind` replaces it.
   DecrementalCoreMaintainer(const MultiLayerGraph& graph, int d,
                             const VertexSet& active);
 
@@ -64,17 +76,92 @@ class DecrementalCoreMaintainer {
   /// paper's vertex-deletion rule at support threshold s.
   VertexSet VerticesWithSupportAtLeast(int s) const;
 
+  // ---- Dynamic-graph surface (GraphStore, DESIGN.md §8) ----------------
+
+  /// Outcome of one batched edge-deletion call.
+  struct RemoveOutcome {
+    /// (vertex, layer) core exits triggered by the batch.
+    int64_t exited = 0;
+    /// True when the batch touched the core-induced subgraph of the layer:
+    /// a removed edge had both endpoints in the core, or any vertex
+    /// exited. Drives the engine's generational cache invalidation.
+    bool core_subgraph_changed = false;
+  };
+
+  /// Outcome of one batched edge-insertion call.
+  struct InsertOutcome {
+    /// (vertex, layer) core entries produced by the batch.
+    int64_t entered = 0;
+    /// See RemoveOutcome: an inserted edge landed inside the (new) core,
+    /// or any vertex entered.
+    bool core_subgraph_changed = false;
+    /// True when the affected region exceeded the damage threshold and the
+    /// layer's core was recomputed from scratch.
+    bool recomputed = false;
+    /// Size of the affected region explored by the bounded path.
+    int64_t region = 0;
+  };
+
+  /// Removes the given edges from `layer` and cascades core exits.
+  /// `removed` must be canonical (u < v), sorted, duplicate-free, and every
+  /// edge must exist in the *currently bound* graph — call this while the
+  /// maintainer is still bound to the pre-update graph; the cascade walks
+  /// the bound adjacency, skipping edges in `removed` (so it sees exactly
+  /// the post-removal graph). Appends exits to `exits` when non-null.
+  RemoveOutcome RemoveEdges(LayerId layer, const EdgeList& removed,
+                            std::vector<std::pair<VertexId, LayerId>>* exits);
+
+  /// Admits core entries caused by inserting `inserted` (canonical, sorted,
+  /// deduped) into `layer`. Call *after* `Rebind`-ing to the post-update
+  /// graph: the bound adjacency must already contain the inserted edges.
+  ///
+  /// The bounded path peels only the affected region (see class comment);
+  /// a region larger than `damage_threshold` falls back to a full scoped
+  /// core recomputation (`damage_threshold` < 0 forces the full path —
+  /// the from-scratch baseline for tests and benchmarks). Appends
+  /// (vertex, layer) core entries to `entries` when non-null, sorted by
+  /// vertex id.
+  InsertOutcome InsertEdges(
+      LayerId layer, const EdgeList& inserted, int64_t damage_threshold,
+      std::vector<std::pair<VertexId, LayerId>>* entries);
+
+  /// Grows the vertex-id space to `new_num_vertices` (>= current),
+  /// preserving all state; new vertices are alive, core-less and
+  /// support-0. Pair with `Rebind` when the graph gains vertices.
+  void GrowVertices(int32_t new_num_vertices);
+
+  /// Points the maintainer at a replacement graph (same layer count,
+  /// vertex count equal to the grown id space). The caller guarantees the
+  /// maintained cores are consistent with it — the GraphStore sequence is:
+  /// RemoveEdges… (old graph) → GrowVertices → Rebind(new) → InsertEdges….
+  void Rebind(const MultiLayerGraph* graph);
+
  private:
   void ExitCore(VertexId v, LayerId layer,
                 std::vector<std::pair<VertexId, LayerId>>* exits);
+  /// Drains `queue_`, decrementing neighbours and exiting anything that
+  /// drops under d; returns the total number of exits (the full cascade,
+  /// including the seeds already queued). `skip` edges (canonical, sorted)
+  /// are treated as absent from the bound adjacency.
+  int64_t CascadeExits(const EdgeList& skip,
+                       std::vector<std::pair<VertexId, LayerId>>* exits);
+  int64_t RecomputeLayer(LayerId layer,
+                         std::vector<std::pair<VertexId, LayerId>>* entries);
 
-  const MultiLayerGraph& graph_;
+  const MultiLayerGraph* graph_;
   const int d_;
   std::vector<Bitset> cores_;       // per-layer membership
   std::vector<int32_t> degree_;     // degree within current core, per layer
   std::vector<int> support_;        // Num(v)
   std::vector<uint8_t> alive_;
   std::vector<std::pair<VertexId, LayerId>> queue_;  // cascade scratch
+  // Insertion scratch: affected-region membership (epoch-stamped) and
+  // candidate degrees, sized to the vertex-id space.
+  uint32_t region_epoch_ = 0;
+  std::vector<uint32_t> region_stamp_;
+  std::vector<int32_t> region_degree_;
+  std::vector<VertexId> region_;      // BFS worklist / region members
+  std::vector<VertexId> peel_queue_;  // bounded-peel worklist
 };
 
 }  // namespace mlcore

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <fstream>
 #include <sstream>
+#include <unordered_set>
 
 #include "graph/graph_builder.h"
 
@@ -17,6 +18,10 @@ IoStatus LoadMultiLayerGraph(const std::string& path, MultiLayerGraph* graph) {
   long long n = -1, l = -1;
   GraphBuilder* builder = nullptr;
   GraphBuilder storage(0, 1);
+  // Per-layer canonical (u << 32 | v) edge keys: a duplicate row is a
+  // malformed file, not something to silently repair — the graph built
+  // would otherwise differ from what the file plainly describes.
+  std::vector<std::unordered_set<uint64_t>> seen;
   size_t line_no = 0;
   while (std::getline(in, line)) {
     ++line_no;
@@ -31,6 +36,7 @@ IoStatus LoadMultiLayerGraph(const std::string& path, MultiLayerGraph* graph) {
       }
       storage = GraphBuilder(static_cast<int32_t>(n), static_cast<int32_t>(l));
       builder = &storage;
+      seen.resize(static_cast<size_t>(l));
       continue;
     }
     long long layer, u, v;
@@ -42,11 +48,101 @@ IoStatus LoadMultiLayerGraph(const std::string& path, MultiLayerGraph* graph) {
       return IoStatus::Error(path + ":" + std::to_string(line_no) +
                              ": id out of range");
     }
+    if (u == v) {
+      return IoStatus::Error(path + ":" + std::to_string(line_no) +
+                             ": self-loop " + std::to_string(u) + "-" +
+                             std::to_string(v));
+    }
+    const uint64_t key = (static_cast<uint64_t>(std::min(u, v)) << 32) |
+                         static_cast<uint64_t>(std::max(u, v));
+    if (!seen[static_cast<size_t>(layer)].insert(key).second) {
+      return IoStatus::Error(path + ":" + std::to_string(line_no) +
+                             ": duplicate edge " + std::to_string(u) + "-" +
+                             std::to_string(v) + " on layer " +
+                             std::to_string(layer));
+    }
     builder->AddEdge(static_cast<LayerId>(layer), static_cast<VertexId>(u),
                      static_cast<VertexId>(v));
   }
   if (n < 0) return IoStatus::Error(path + ": missing header line");
   *graph = builder->Build();
+  return IoStatus::Ok();
+}
+
+IoStatus LoadUpdateStream(const std::string& path,
+                          std::vector<UpdateBatch>* batches) {
+  std::ifstream in(path);
+  if (!in) return IoStatus::Error("cannot open " + path);
+
+  batches->clear();
+  UpdateBatch batch;
+  std::string line;
+  size_t line_no = 0;
+  auto flush = [&] {
+    if (!batch.empty()) batches->push_back(std::move(batch));
+    batch = UpdateBatch{};
+  };
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    std::string tag;
+    ss >> tag;
+    const std::string where = path + ":" + std::to_string(line_no) + ": ";
+    // Ids are range-checked before the int32 casts: a 64-bit value must
+    // never wrap into a (valid-looking) small id and silently describe a
+    // different update than the file does.
+    constexpr long long kMaxId = INT32_MAX;
+    if (tag == "+" || tag == "-") {
+      long long layer, u, v;
+      if (!(ss >> layer >> u >> v) || layer < 0 || u < 0 || v < 0 ||
+          layer > kMaxId || u > kMaxId || v > kMaxId) {
+        return IoStatus::Error(where + "expected '" + tag +
+                               " <layer> <u> <v>'");
+      }
+      EdgeUpdate edge{static_cast<LayerId>(layer), static_cast<VertexId>(u),
+                      static_cast<VertexId>(v)};
+      (tag == "+" ? batch.insert_edges : batch.remove_edges).push_back(edge);
+    } else if (tag == "addv") {
+      long long count;
+      if (!(ss >> count) || count < 0 ||
+          count + batch.add_vertices > kMaxId) {
+        return IoStatus::Error(where + "expected 'addv <count>'");
+      }
+      batch.add_vertices += static_cast<int32_t>(count);
+    } else if (tag == "delv") {
+      long long v;
+      if (!(ss >> v) || v < 0 || v > kMaxId) {
+        return IoStatus::Error(where + "expected 'delv <v>'");
+      }
+      batch.remove_vertices.push_back(static_cast<VertexId>(v));
+    } else if (tag == "commit") {
+      flush();
+    } else {
+      return IoStatus::Error(where + "unknown record '" + tag + "'");
+    }
+  }
+  flush();
+  return IoStatus::Ok();
+}
+
+IoStatus SaveUpdateStream(const std::vector<UpdateBatch>& batches,
+                          const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return IoStatus::Error("cannot open " + path + " for writing");
+  out << "# mlcore edge-update stream\n";
+  for (const UpdateBatch& batch : batches) {
+    if (batch.add_vertices > 0) out << "addv " << batch.add_vertices << "\n";
+    for (VertexId v : batch.remove_vertices) out << "delv " << v << "\n";
+    for (const EdgeUpdate& e : batch.remove_edges) {
+      out << "- " << e.layer << " " << e.u << " " << e.v << "\n";
+    }
+    for (const EdgeUpdate& e : batch.insert_edges) {
+      out << "+ " << e.layer << " " << e.u << " " << e.v << "\n";
+    }
+    out << "commit\n";
+  }
+  if (!out) return IoStatus::Error("write failure on " + path);
   return IoStatus::Ok();
 }
 

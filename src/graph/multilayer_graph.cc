@@ -78,6 +78,101 @@ MultiLayerGraph MultiLayerGraph::InducedSubgraph(
   return sub;
 }
 
+namespace {
+
+/// Expands a canonical (u < v) edge list into directed (src, dst) records
+/// sorted by (src, dst), so per-vertex slices come off a single pointer
+/// sweep instead of an n-sized bucket array.
+void ExpandDirected(const MultiLayerGraph::EdgeList& edges,
+                    std::vector<std::pair<VertexId, VertexId>>* directed) {
+  directed->clear();
+  directed->reserve(edges.size() * 2);
+  for (const auto& [u, v] : edges) {
+    directed->emplace_back(u, v);
+    directed->emplace_back(v, u);
+  }
+  std::sort(directed->begin(), directed->end());
+}
+
+}  // namespace
+
+MultiLayerGraph MultiLayerGraph::EditedCopy(
+    int32_t extra_vertices, const std::vector<EdgeList>& added,
+    const std::vector<EdgeList>& removed) const {
+  MLCORE_CHECK(extra_vertices >= 0);
+  MLCORE_CHECK(added.size() == layers_.size());
+  MLCORE_CHECK(removed.size() == layers_.size());
+  const int32_t new_n = num_vertices_ + extra_vertices;
+
+  MultiLayerGraph out;
+  out.num_vertices_ = new_n;
+  out.layers_.resize(layers_.size());
+  std::vector<std::pair<VertexId, VertexId>> add_dir;
+  std::vector<std::pair<VertexId, VertexId>> rem_dir;
+  for (LayerId layer = 0; layer < NumLayers(); ++layer) {
+    const Csr& src = layers_[static_cast<size_t>(layer)];
+    Csr& dst = out.layers_[static_cast<size_t>(layer)];
+    const EdgeList& add = added[static_cast<size_t>(layer)];
+    const EdgeList& rem = removed[static_cast<size_t>(layer)];
+    if (add.empty() && rem.empty()) {
+      dst = src;
+      // Appended vertices are isolated: pad the offset table.
+      dst.offsets.resize(static_cast<size_t>(new_n) + 1, src.offsets.back());
+      continue;
+    }
+    ExpandDirected(add, &add_dir);
+    ExpandDirected(rem, &rem_dir);
+
+    dst.offsets.assign(static_cast<size_t>(new_n) + 1, 0);
+    size_t ap = 0, rp = 0;
+    for (VertexId v = 0; v < new_n; ++v) {
+      int64_t deg = v < num_vertices_ ? Degree(layer, v) : 0;
+      while (ap < add_dir.size() && add_dir[ap].first == v) {
+        ++deg;
+        ++ap;
+      }
+      while (rp < rem_dir.size() && rem_dir[rp].first == v) {
+        --deg;
+        ++rp;
+      }
+      MLCORE_DCHECK(deg >= 0);
+      dst.offsets[static_cast<size_t>(v) + 1] =
+          dst.offsets[static_cast<size_t>(v)] + deg;
+    }
+    dst.neighbors.resize(static_cast<size_t>(dst.offsets.back()));
+    ap = rp = 0;
+    for (VertexId v = 0; v < new_n; ++v) {
+      // Three-way sorted sweep: old neighbours minus removals, merged with
+      // additions; every sequence is sorted by destination id, so the
+      // output list is emitted sorted.
+      auto old_nbrs = v < num_vertices_ ? Neighbors(layer, v)
+                                        : std::span<const VertexId>();
+      size_t oi = 0;
+      int64_t pos = dst.offsets[static_cast<size_t>(v)];
+      while (oi < old_nbrs.size()) {
+        const VertexId u = old_nbrs[oi];
+        if (rp < rem_dir.size() && rem_dir[rp].first == v &&
+            rem_dir[rp].second == u) {
+          ++rp;
+          ++oi;
+          continue;
+        }
+        while (ap < add_dir.size() && add_dir[ap].first == v &&
+               add_dir[ap].second < u) {
+          dst.neighbors[static_cast<size_t>(pos++)] = add_dir[ap++].second;
+        }
+        dst.neighbors[static_cast<size_t>(pos++)] = u;
+        ++oi;
+      }
+      while (ap < add_dir.size() && add_dir[ap].first == v) {
+        dst.neighbors[static_cast<size_t>(pos++)] = add_dir[ap++].second;
+      }
+      MLCORE_DCHECK(pos == dst.offsets[static_cast<size_t>(v) + 1]);
+    }
+  }
+  return out;
+}
+
 MultiLayerGraph MultiLayerGraph::SelectLayers(const LayerSet& layers) const {
   MultiLayerGraph out;
   out.num_vertices_ = num_vertices_;

@@ -80,6 +80,21 @@ class MultiLayerGraph {
   /// [0, |layers|) in the given order). Used by the Fig 27 q-sweep.
   MultiLayerGraph SelectLayers(const LayerSet& layers) const;
 
+  /// Canonical (u < v), sorted, duplicate-free per-layer edge list — the
+  /// edit currency of `EditedCopy` and the dynamic `GraphStore`.
+  using EdgeList = std::vector<std::pair<VertexId, VertexId>>;
+
+  /// Returns a copy with `extra_vertices` fresh (isolated) vertices
+  /// appended and the given per-layer edge edits applied. `added[i]` /
+  /// `removed[i]` are EdgeLists (canonical, sorted, deduped); every added
+  /// edge must be absent from layer i and every removed edge present —
+  /// the caller (GraphStore::ApplyUpdate) validates. Layers with no edits
+  /// are copied verbatim; edited layers cost O(|E_i| + |edits|). The MVCC
+  /// primitive behind epoch publication (DESIGN.md §8).
+  MultiLayerGraph EditedCopy(int32_t extra_vertices,
+                             const std::vector<EdgeList>& added,
+                             const std::vector<EdgeList>& removed) const;
+
  private:
   friend class GraphBuilder;
 

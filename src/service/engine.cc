@@ -45,9 +45,17 @@ void EvictLru(Map& entries, UseMap& last_use, size_t capacity) {
 
 }  // namespace
 
-/// Full-graph per-layer d-cores for one `d` (DCore(graph, i, d) in slot i).
+/// Full-graph per-layer d-cores for one (d, generation) key
+/// (DCore(graph, i, d) in slot i, for the snapshot the entry was built
+/// against). `layer_gens`/`num_vertices` record what the build saw, so a
+/// later epoch's miss can copy the layers whose content is unchanged
+/// instead of recomputing them (DESIGN.md §8); `ready` gates that reuse
+/// (an entry is only read across builds after its once-block published).
 struct Engine::BaseCoresEntry {
   std::once_flag once;
+  std::atomic<bool> ready{false};
+  int32_t num_vertices = 0;
+  std::vector<uint64_t> layer_gens;
   std::vector<VertexSet> cores;
 };
 
@@ -82,6 +90,12 @@ struct Engine::QueryEntry {
 /// written exactly once (FinishTask).
 struct Engine::QueryTask {
   DccsRequest request;
+  /// The snapshot current at submission: the query computes against this
+  /// graph epoch no matter how many updates publish before it runs
+  /// (DESIGN.md §8). Pinning it here also bounds snapshot lifetime — a
+  /// cancelled or shed task releases its snapshot as soon as the last
+  /// handle drops.
+  std::shared_ptr<const GraphSnapshot> snapshot;
   int priority = 0;
   CancellationToken token;
   QueryControl control;
@@ -96,12 +110,16 @@ struct Engine::QueryTask {
   std::optional<Expected<DccsResult>> result;
 };
 
-/// RAII hold on one free-list solver.
+/// RAII hold on one free-list solver, bound to one snapshot's graph.
 class Engine::SolverLease {
  public:
-  explicit SolverLease(Engine* engine)
-      : engine_(engine), solver_(engine->AcquireSolver()) {}
-  ~SolverLease() { engine_->ReleaseSolver(std::move(solver_)); }
+  SolverLease(Engine* engine, std::shared_ptr<const MultiLayerGraph> graph)
+      : engine_(engine),
+        graph_(std::move(graph)),
+        solver_(engine->AcquireSolver(graph_)) {}
+  ~SolverLease() {
+    engine_->ReleaseSolver(std::move(graph_), std::move(solver_));
+  }
   SolverLease(const SolverLease&) = delete;
   SolverLease& operator=(const SolverLease&) = delete;
 
@@ -109,6 +127,7 @@ class Engine::SolverLease {
 
  private:
   Engine* engine_;
+  std::shared_ptr<const MultiLayerGraph> graph_;
   std::unique_ptr<DccSolver> solver_;
 };
 
@@ -117,11 +136,16 @@ class Engine::SolverLease {
 /// Get concurrently.
 class Engine::WorkerSolvers {
  public:
-  WorkerSolvers(Engine* engine, int lanes)
-      : engine_(engine), held_(static_cast<size_t>(lanes)) {}
+  WorkerSolvers(Engine* engine, std::shared_ptr<const MultiLayerGraph> graph,
+                int lanes)
+      : engine_(engine),
+        graph_(std::move(graph)),
+        held_(static_cast<size_t>(lanes)) {}
   ~WorkerSolvers() {
     for (auto& solver : held_) {
-      if (solver != nullptr) engine_->ReleaseSolver(std::move(solver));
+      if (solver != nullptr) {
+        engine_->ReleaseSolver(graph_, std::move(solver));
+      }
     }
   }
   WorkerSolvers(const WorkerSolvers&) = delete;
@@ -130,12 +154,13 @@ class Engine::WorkerSolvers {
   DccSolver* Get(int worker) {
     std::lock_guard<std::mutex> lock(mu_);
     auto& slot = held_[static_cast<size_t>(worker)];
-    if (slot == nullptr) slot = engine_->AcquireSolver();
+    if (slot == nullptr) slot = engine_->AcquireSolver(graph_);
     return slot.get();
   }
 
  private:
   Engine* engine_;
+  std::shared_ptr<const MultiLayerGraph> graph_;
   std::mutex mu_;
   std::vector<std::unique_ptr<DccSolver>> held_;
 };
@@ -152,11 +177,14 @@ Engine::Engine(const MultiLayerGraph* graph, Options options)
 }
 
 Engine::Engine(std::shared_ptr<const MultiLayerGraph> graph, Options options)
-    : graph_(std::move(graph)),
+    : Engine(std::make_shared<GraphStore>(std::move(graph)), options) {}
+
+Engine::Engine(std::shared_ptr<GraphStore> store, Options options)
+    : store_(std::move(store)),
       options_(Sanitize(options)),
       pool_(options_.num_threads),
       pending_(static_cast<size_t>(options_.max_pending_queries)) {
-  MLCORE_CHECK(graph_ != nullptr);
+  MLCORE_CHECK(store_ != nullptr);
   query_workers_.reserve(static_cast<size_t>(options_.query_workers));
   for (int w = 0; w < options_.query_workers; ++w) {
     query_workers_.emplace_back([this] { QueryWorkerLoop(); });
@@ -180,7 +208,10 @@ Engine::~Engine() {
 
 DccsAlgorithm Engine::ResolvedAlgorithm(const DccsRequest& request) const {
   if (request.algorithm != DccsAlgorithm::kAuto) return request.algorithm;
-  return RecommendedAlgorithm(*graph_, request.params.s);
+  // Depends only on the layer count, which is fixed across epochs, so
+  // resolution is stable no matter which snapshot the query pins — and
+  // needs no snapshot reference at all (safe against racing updates).
+  return RecommendedAlgorithm(store_->num_layers(), request.params.s);
 }
 
 Status Engine::Validate(const DccsRequest& request) const {
@@ -217,7 +248,7 @@ Status Engine::Validate(const DccsRequest& request) const {
     return Status::InvalidArgument("result count k must be >= 1, got " +
                                    std::to_string(p.k));
   }
-  const int32_t l = graph_->NumLayers();
+  const int32_t l = store_->num_layers();
   const DccsAlgorithm resolved = ResolvedAlgorithm(request);
   if ((resolved == DccsAlgorithm::kBottomUp ||
        resolved == DccsAlgorithm::kTopDown) &&
@@ -237,10 +268,16 @@ Status Engine::Validate(const DccsRequest& request) const {
 }
 
 Status Engine::Validate(const CommunityRequest& request) const {
-  if (request.query < 0 || request.query >= graph_->NumVertices()) {
+  // Validated against a locally pinned current snapshot (never a bare
+  // reference — updates may race); FindCommunity re-checks the vertex
+  // range against its own pinned snapshot (vertex ids only grow, so the
+  // check can only get more permissive between the two).
+  std::shared_ptr<const GraphSnapshot> snap = store_->snapshot();
+  const int32_t n = snap->graph().NumVertices();
+  if (request.query < 0 || request.query >= n) {
     return Status::InvalidArgument(
         "query vertex " + std::to_string(request.query) +
-        " outside [0, " + std::to_string(graph_->NumVertices()) + ")");
+        " outside [0, " + std::to_string(n) + ")");
   }
   if (request.d < 0) {
     return Status::InvalidArgument("degree threshold d must be >= 0, got " +
@@ -263,6 +300,7 @@ QueryHandle Engine::SubmitTask(const DccsRequest& request,
                                bool controllable) {
   auto task = std::make_shared<QueryTask>();
   task->request = request;
+  task->snapshot = store_->snapshot();
   task->priority = options.priority;
   if (controllable || options.deadline_seconds > 0) {
     task->control =
@@ -342,7 +380,8 @@ Expected<DccsResult> Engine::Run(const DccsRequest& request) {
     // or Submit would have returned kInvalidArgument/kUnsupported.)
     sched_executed_.fetch_add(1, std::memory_order_relaxed);
     return RunValidated(
-        request, std::unique_lock<std::mutex>(pool_mu_, std::try_to_lock),
+        request, handle.task_->snapshot,
+        std::unique_lock<std::mutex>(pool_mu_, std::try_to_lock),
         /*control=*/nullptr);
   }
   std::lock_guard<std::mutex> lock(handle.task_->mu);
@@ -372,7 +411,7 @@ void Engine::ExecuteTask(const std::shared_ptr<QueryTask>& task) {
   // control (Run's uncancellable tasks) executes as the null control so
   // the stages skip checkpoint costs entirely.
   FinishTask(*task,
-             RunValidated(task->request,
+             RunValidated(task->request, task->snapshot,
                           std::unique_lock<std::mutex>(pool_mu_,
                                                        std::try_to_lock),
                           task->control.active() ? &task->control : nullptr));
@@ -452,6 +491,9 @@ std::vector<Expected<DccsResult>> Engine::RunBatch(
   const size_t n = requests.size();
   std::vector<Status> statuses(n);
   for (size_t i = 0; i < n; ++i) statuses[i] = Validate(requests[i]);
+  // One snapshot for the whole batch: every slot answers from the same
+  // epoch even when updates land mid-batch.
+  std::shared_ptr<const GraphSnapshot> snap = store_->snapshot();
 
   // Fan the valid requests out over the pool. Each slot is written by
   // exactly one worker and queries never read each other's output, so the
@@ -467,7 +509,8 @@ std::vector<Expected<DccsResult>> Engine::RunBatch(
                                                    int64_t i) {
       const auto slot = static_cast<size_t>(i);
       if (!statuses[slot].ok()) return;
-      slots[slot] = RunValidated(requests[slot], std::unique_lock<std::mutex>(),
+      slots[slot] = RunValidated(requests[slot], snap,
+                                 std::unique_lock<std::mutex>(),
                                  /*control=*/nullptr);
     });
   }
@@ -487,30 +530,42 @@ std::vector<Expected<DccsResult>> Engine::RunBatch(
 
 Expected<CommunitySearchResult> Engine::FindCommunity(
     const CommunityRequest& request) {
+  std::shared_ptr<const GraphSnapshot> snap = store_->snapshot();
   Status status = Validate(request);
   if (!status.ok()) return status;
-  if (request.s > graph_->NumLayers()) return CommunitySearchResult{};
+  const MultiLayerGraph& graph = snap->graph();
+  if (request.query >= graph.NumVertices()) {
+    // The current snapshot moved past the one we pinned; re-anchor the
+    // range check to the pinned graph.
+    return Status::InvalidArgument(
+        "query vertex " + std::to_string(request.query) + " outside [0, " +
+        std::to_string(graph.NumVertices()) + ")");
+  }
+  if (request.s > graph.NumLayers()) return CommunitySearchResult{};
 
   std::unique_lock<std::mutex> pool_lock(pool_mu_, std::try_to_lock);
   std::shared_ptr<const BaseCoresEntry> base = GetBaseCores(
-      request.d, pool_lock.owns_lock() ? &pool_ : nullptr);
+      snap, request.d, pool_lock.owns_lock() ? &pool_ : nullptr);
   // The greedy layer extension below is sequential; free the pool first.
   if (pool_lock.owns_lock()) pool_lock.unlock();
-  SolverLease solver(this);
-  return SearchCommunityWithCores(*graph_, base->cores, *solver.get(),
+  SolverLease solver(this, snap->graph_ptr());
+  return SearchCommunityWithCores(graph, base->cores, *solver.get(),
                                   request.query, request.d, request.s);
 }
 
 Expected<DccsResult> Engine::RunValidated(
-    const DccsRequest& request, std::unique_lock<std::mutex> pool_lock,
-    const QueryControl* control) {
+    const DccsRequest& request,
+    const std::shared_ptr<const GraphSnapshot>& snap,
+    std::unique_lock<std::mutex> pool_lock, const QueryControl* control) {
   WallTimer total_timer;
   const DccsParams& params = request.params;
   const DccsAlgorithm algorithm = ResolvedAlgorithm(request);
+  const MultiLayerGraph& graph = snap->graph();
   ThreadPool* pool = pool_lock.owns_lock() ? &pool_ : nullptr;
 
   DccsResult result;
-  if (params.s > graph_->NumLayers()) {
+  result.epoch = snap->epoch();
+  if (params.s > graph.NumLayers()) {
     // Valid but vacuous (no size-s layer subset exists); keep the cache
     // untouched, matching the algorithms' own early return.
     result.stats.total_seconds = total_timer.Seconds();
@@ -523,7 +578,7 @@ Expected<DccsResult> Engine::RunValidated(
   WallTimer acquire_timer;
   QueryStop stop = QueryStop::kNone;
   std::shared_ptr<QueryEntry> entry = GetQueryEntry(
-      params.d, params.s, params.vertex_deletion, pool, control, &stop);
+      snap, params.d, params.s, params.vertex_deletion, pool, control, &stop);
   if (entry == nullptr) {
     // Stopped before preprocessing published: nothing was cached, nothing
     // can be served. (A deadline this early has no anytime prefix.)
@@ -537,7 +592,7 @@ Expected<DccsResult> Engine::RunValidated(
   const bool pooled_greedy =
       algorithm == DccsAlgorithm::kGreedy && pool != nullptr;
   std::optional<SolverLease> solver;
-  if (!pooled_greedy) solver.emplace(this);
+  if (!pooled_greedy) solver.emplace(this, snap->graph_ptr());
   // Checkpoint between preprocessing and the seed/index builds (each of
   // which always publishes a complete artifact once started).
   if (control != nullptr &&
@@ -549,11 +604,11 @@ Expected<DccsResult> Engine::RunValidated(
   }
   std::shared_ptr<const InitSeeds> seeds;
   if (algorithm != DccsAlgorithm::kGreedy && params.init_result) {
-    seeds = GetSeeds(*entry, params, *solver->get());
+    seeds = GetSeeds(graph, *entry, params, *solver->get());
   }
   const VertexLevelIndex* index = nullptr;
   if (algorithm == DccsAlgorithm::kTopDown) {
-    index = GetIndex(*entry, params.d);
+    index = GetIndex(graph, *entry, params.d);
   }
   const double acquire_seconds = acquire_timer.Seconds();
 
@@ -574,7 +629,7 @@ Expected<DccsResult> Engine::RunValidated(
   exec.control = control;
   std::optional<WorkerSolvers> worker_solvers;
   if (pooled_greedy) {
-    worker_solvers.emplace(this, pool->num_threads());
+    worker_solvers.emplace(this, snap->graph_ptr(), pool->num_threads());
     exec.worker_solver = [&ws = *worker_solvers](int worker) {
       return ws.Get(worker);
     };
@@ -582,13 +637,13 @@ Expected<DccsResult> Engine::RunValidated(
 
   switch (algorithm) {
     case DccsAlgorithm::kGreedy:
-      result = GreedyDccs(*graph_, params, exec);
+      result = GreedyDccs(graph, params, exec);
       break;
     case DccsAlgorithm::kBottomUp:
-      result = BottomUpDccs(*graph_, params, exec);
+      result = BottomUpDccs(graph, params, exec);
       break;
     case DccsAlgorithm::kTopDown:
-      result = TopDownDccs(*graph_, params, exec);
+      result = TopDownDccs(graph, params, exec);
       break;
     case DccsAlgorithm::kAuto:
       MLCORE_CHECK_MSG(false, "kAuto must be resolved before dispatch");
@@ -602,49 +657,123 @@ Expected<DccsResult> Engine::RunValidated(
   // kDeadline / kBudget mid-search fall through as OK: the anytime
   // best-so-far prefix with stats.budget_exhausted set — the unified
   // deadline policy of DESIGN.md §7.
+  result.epoch = snap->epoch();  // the dispatch above rebuilt `result`
   result.stats.preprocess_seconds = acquire_seconds;
   result.stats.total_seconds = total_timer.Seconds();
   return result;
 }
 
 std::shared_ptr<const Engine::BaseCoresEntry> Engine::GetBaseCores(
-    int d, ThreadPool* pool) {
+    const std::shared_ptr<const GraphSnapshot>& snap, int d,
+    ThreadPool* pool) {
+  const TrackedCores* tracked = snap->tracked(d);
+  // Tracked degrees key on the core-subgraph generation (identical cores
+  // whenever it matches — the maintained membership cannot have changed);
+  // untracked degrees key on the epoch, with per-layer reuse inside the
+  // build below.
+  const uint64_t generation =
+      tracked != nullptr ? tracked->generation : snap->epoch();
+  const std::pair<int, uint64_t> key{d, generation};
+
   std::shared_ptr<BaseCoresEntry> entry;
+  std::shared_ptr<BaseCoresEntry> prev;
   {
     std::lock_guard<std::mutex> lock(cache_mu_);
-    auto it = base_cores_.find(d);
+    auto it = base_cores_.find(key);
     if (it != base_cores_.end()) {
       entry = it->second;
       ++stats_.base_core_hits;
     } else {
+      // The map orders by (d, generation): the entry directly below `key`
+      // with the same d is the newest older generation — the donor for
+      // unchanged layers.
+      auto below = base_cores_.lower_bound(key);
+      if (below != base_cores_.begin()) {
+        --below;
+        if (below->first.first == d) prev = below->second;
+      }
       entry = std::make_shared<BaseCoresEntry>();
-      base_cores_[d] = entry;
+      base_cores_[key] = entry;
       ++stats_.base_core_misses;
     }
-    base_cores_last_use_[d] = ++use_clock_;
+    base_cores_last_use_[key] = ++use_clock_;
     EvictLru(base_cores_, base_cores_last_use_,
              static_cast<size_t>(options_.max_cached_queries));
   }
   std::call_once(entry->once, [&] {
-    const auto l = static_cast<int64_t>(graph_->NumLayers());
-    entry->cores.assign(static_cast<size_t>(l), VertexSet());
-    auto compute_layer = [&](int /*worker*/, int64_t layer) {
-      entry->cores[static_cast<size_t>(layer)] =
-          DCore(*graph_, static_cast<LayerId>(layer), d);
-    };
-    if (pool != nullptr) {
-      pool->ParallelFor(l, compute_layer);
-    } else {
-      for (int64_t layer = 0; layer < l; ++layer) compute_layer(0, layer);
+    const MultiLayerGraph& graph = snap->graph();
+    const auto l = static_cast<int64_t>(graph.NumLayers());
+    entry->num_vertices = graph.NumVertices();
+    entry->layer_gens.resize(static_cast<size_t>(l));
+    for (int64_t layer = 0; layer < l; ++layer) {
+      entry->layer_gens[static_cast<size_t>(layer)] =
+          snap->layer_generation(static_cast<LayerId>(layer));
     }
+    entry->cores.assign(static_cast<size_t>(l), VertexSet());
+    if (tracked != nullptr) {
+      // Served wholesale from the store's incrementally maintained cores.
+      for (int64_t layer = 0; layer < l; ++layer) {
+        entry->cores[static_cast<size_t>(layer)] =
+            *tracked->cores[static_cast<size_t>(layer)];
+      }
+      std::lock_guard<std::mutex> lock(cache_mu_);
+      ++stats_.base_core_store_served;
+    } else {
+      // Per-layer generational reuse: copy layers whose content is
+      // unchanged since the donor entry; recompute the rest. The plan is
+      // fixed before the (possibly parallel) fill, so results cannot
+      // depend on the thread count (§4 rules).
+      const BaseCoresEntry* donor =
+          prev != nullptr && prev->ready.load(std::memory_order_acquire) &&
+                  prev->num_vertices == graph.NumVertices()
+              ? prev.get()
+              : nullptr;
+      int64_t reused = 0, recomputed = 0;
+      std::vector<uint8_t> reuse_layer(static_cast<size_t>(l), 0);
+      for (int64_t layer = 0; layer < l; ++layer) {
+        if (donor != nullptr &&
+            donor->layer_gens[static_cast<size_t>(layer)] ==
+                entry->layer_gens[static_cast<size_t>(layer)]) {
+          reuse_layer[static_cast<size_t>(layer)] = 1;
+          ++reused;
+        } else {
+          ++recomputed;
+        }
+      }
+      auto compute_layer = [&](int /*worker*/, int64_t layer) {
+        if (reuse_layer[static_cast<size_t>(layer)] != 0) {
+          entry->cores[static_cast<size_t>(layer)] =
+              donor->cores[static_cast<size_t>(layer)];
+        } else {
+          entry->cores[static_cast<size_t>(layer)] =
+              DCore(graph, static_cast<LayerId>(layer), d);
+        }
+      };
+      if (pool != nullptr) {
+        pool->ParallelFor(l, compute_layer);
+      } else {
+        for (int64_t layer = 0; layer < l; ++layer) compute_layer(0, layer);
+      }
+      std::lock_guard<std::mutex> lock(cache_mu_);
+      stats_.base_core_layers_reused += reused;
+      stats_.base_core_layers_recomputed += recomputed;
+    }
+    entry->ready.store(true, std::memory_order_release);
   });
   return entry;
 }
 
 std::shared_ptr<Engine::QueryEntry> Engine::GetQueryEntry(
-    int d, int s, bool vertex_deletion, ThreadPool* pool,
-    const QueryControl* control, QueryStop* stop) {
-  const std::tuple<int, int, bool> key{d, s, vertex_deletion};
+    const std::shared_ptr<const GraphSnapshot>& snap, int d, int s,
+    bool vertex_deletion, ThreadPool* pool, const QueryControl* control,
+    QueryStop* stop) {
+  // The §IV-C fixpoint (and the index/seeds living inside the entry)
+  // depends only on the per-layer d-core-induced subgraphs, so a tracked
+  // d keys on the store's core-subgraph generation — updates that never
+  // touch those subgraphs keep the whole bundle warm across epochs
+  // (DESIGN.md §8). Untracked degrees key on the epoch.
+  const std::tuple<uint64_t, int, int, bool> key{snap->core_generation(d), d,
+                                                 s, vertex_deletion};
   std::shared_ptr<QueryEntry> entry;
   {
     std::lock_guard<std::mutex> lock(cache_mu_);
@@ -692,9 +821,9 @@ std::shared_ptr<Engine::QueryEntry> Engine::GetQueryEntry(
   if (build_stop == QueryStop::kNone) {
     // Base cores always publish a complete artifact once started; the
     // fixpoint checkpoints per deletion round.
-    std::shared_ptr<const BaseCoresEntry> base = GetBaseCores(d, pool);
-    built =
-        Preprocess(*graph_, d, s, vertex_deletion, pool, &base->cores, control);
+    std::shared_ptr<const BaseCoresEntry> base = GetBaseCores(snap, d, pool);
+    built = Preprocess(snap->graph(), d, s, vertex_deletion, pool,
+                       &base->cores, control);
     build_stop = built.stopped;
   }
 
@@ -719,7 +848,8 @@ std::shared_ptr<Engine::QueryEntry> Engine::GetQueryEntry(
   return entry;
 }
 
-std::shared_ptr<const InitSeeds> Engine::GetSeeds(QueryEntry& entry,
+std::shared_ptr<const InitSeeds> Engine::GetSeeds(const MultiLayerGraph& graph,
+                                                  QueryEntry& entry,
                                                   const DccsParams& params,
                                                   DccSolver& solver) {
   const std::pair<int, int> key{params.k,
@@ -732,17 +862,18 @@ std::shared_ptr<const InitSeeds> Engine::GetSeeds(QueryEntry& entry,
     return it->second;
   }
   auto seeds = std::make_shared<InitSeeds>(
-      ComputeInitSeeds(*graph_, params, entry.preprocess, solver));
+      ComputeInitSeeds(graph, params, entry.preprocess, solver));
   entry.seeds[key] = seeds;
   std::lock_guard<std::mutex> stats_lock(cache_mu_);
   ++stats_.seed_misses;
   return seeds;
 }
 
-const VertexLevelIndex* Engine::GetIndex(QueryEntry& entry, int d) {
+const VertexLevelIndex* Engine::GetIndex(const MultiLayerGraph& graph,
+                                         QueryEntry& entry, int d) {
   bool built = false;
   std::call_once(entry.index_once, [&] {
-    entry.index = std::make_unique<VertexLevelIndex>(*graph_, d,
+    entry.index = std::make_unique<VertexLevelIndex>(graph, d,
                                                      entry.preprocess.active);
     built = true;
   });
@@ -757,21 +888,43 @@ const VertexLevelIndex* Engine::GetIndex(QueryEntry& entry, int d) {
   return entry.index.get();
 }
 
-std::unique_ptr<DccSolver> Engine::AcquireSolver() {
+std::unique_ptr<DccSolver> Engine::AcquireSolver(
+    const std::shared_ptr<const MultiLayerGraph>& graph) {
   {
     std::lock_guard<std::mutex> lock(solver_mu_);
-    if (!free_solvers_.empty()) {
+    if (free_graph_ == graph && !free_solvers_.empty()) {
       std::unique_ptr<DccSolver> solver = std::move(free_solvers_.back());
       free_solvers_.pop_back();
       return solver;
     }
   }
-  return std::make_unique<DccSolver>(*graph_);
+  return std::make_unique<DccSolver>(*graph);
 }
 
-void Engine::ReleaseSolver(std::unique_ptr<DccSolver> solver) {
+void Engine::ReleaseSolver(std::shared_ptr<const MultiLayerGraph> graph,
+                           std::unique_ptr<DccSolver> solver) {
   std::lock_guard<std::mutex> lock(solver_mu_);
-  free_solvers_.push_back(std::move(solver));
+  if (free_graph_ == graph) {
+    free_solvers_.push_back(std::move(solver));
+    return;
+  }
+  // The pool is homogeneous and must only ever hold *current*-snapshot
+  // solvers: anything else would let idle arenas pin a retired epoch's
+  // graph indefinitely. A release for the current graph flips the pool to
+  // it; a release for any other (stale) graph is dropped — and if the
+  // pool itself has gone stale meanwhile, it is flushed too.
+  const std::shared_ptr<const MultiLayerGraph> current =
+      store_->snapshot()->graph_ptr();
+  if (graph == current) {
+    free_solvers_.clear();
+    free_graph_ = std::move(graph);
+    free_solvers_.push_back(std::move(solver));
+    return;
+  }
+  if (free_graph_ != nullptr && free_graph_ != current) {
+    free_solvers_.clear();
+    free_graph_.reset();
+  }
 }
 
 EngineCacheStats Engine::cache_stats() const {
@@ -802,6 +955,7 @@ void Engine::ClearCache() {
   }
   std::lock_guard<std::mutex> lock(solver_mu_);
   free_solvers_.clear();
+  free_graph_.reset();
 }
 
 // --------------------------------------------------------------------------

@@ -18,6 +18,7 @@
 #include "dccs/vertex_index.h"
 #include "graph/multilayer_graph.h"
 #include "service/status.h"
+#include "store/graph_store.h"
 #include "util/cancellation.h"
 #include "util/thread_pool.h"
 
@@ -58,6 +59,17 @@ struct EngineCacheStats {
   int64_t index_misses = 0;
   int64_t base_core_hits = 0;
   int64_t base_core_misses = 0;
+  /// Per-layer accounting of base-core *misses* on an updated graph
+  /// (DESIGN.md §8): a miss after an update rebuilds only the layers whose
+  /// content changed since the newest previous entry for that d —
+  /// unchanged layers copy their cores over (`reused`), changed ones pay a
+  /// fresh DCore (`recomputed`). Misses with a tracked store entry or no
+  /// predecessor count every layer as recomputed/served accordingly.
+  int64_t base_core_layers_reused = 0;
+  int64_t base_core_layers_recomputed = 0;
+  /// Base-core misses served wholesale from the store's incrementally
+  /// maintained cores (tracked degrees) — no DCore ran at all.
+  int64_t base_core_store_served = 0;
 };
 
 /// Cumulative admission/scheduler counters (Engine::scheduler_stats).
@@ -99,8 +111,9 @@ struct SubmitOptions {
   double deadline_seconds = 0.0;
 };
 
-/// Long-lived, thread-safe DCCS query service over one immutable
-/// multi-layer graph (DESIGN.md §5).
+/// Long-lived, thread-safe DCCS query service over one multi-layer graph
+/// (DESIGN.md §5) — immutable, or *evolving* behind a `GraphStore`
+/// (DESIGN.md §8).
 ///
 /// The paper frames DCCS as an online problem — many (d, s, k) questions
 /// against one graph — and everything a query can share is owned here and
@@ -143,6 +156,20 @@ struct SubmitOptions {
 /// cache entry: caches and their counters end up exactly as if it had
 /// never run (or, when it won the build race late, as if it had
 /// completed).
+///
+/// Dynamic graphs (DESIGN.md §8): every engine hosts a `GraphStore` —
+/// the graph-owning constructors wrap their graph in a private store, and
+/// the store-sharing constructor serves a caller-managed evolving graph.
+/// `ApplyUpdate` publishes a new epoch; every query pins the snapshot
+/// current at its *submission* and computes against it, so in-flight and
+/// queued queries are never disturbed by later updates
+/// (`DccsResult::epoch` reports the pinned epoch). Caches are keyed
+/// generationally: entries built for content that a batch did not touch
+/// stay warm — base d-cores reuse unchanged layers (and are served
+/// outright from the store's incrementally maintained cores for tracked
+/// degrees), and the (d, s, vertex_deletion) preprocessing bundles of a
+/// tracked `d` survive any update that leaves that d's per-layer
+/// core-induced subgraphs untouched.
 class Engine {
  public:
   struct Options {
@@ -179,13 +206,36 @@ class Engine {
   /// form the one-shot `SolveDccs` wrapper uses.
   explicit Engine(const MultiLayerGraph* graph) : Engine(graph, Options{}) {}
   Engine(const MultiLayerGraph* graph, Options options);
+  /// Updatable-graph constructors: the engine serves whatever epoch
+  /// `store` currently publishes. The store may be shared — with other
+  /// engines, or with a writer calling `GraphStore::ApplyUpdate` directly
+  /// (`Engine::ApplyUpdate` is a forwarding convenience).
+  explicit Engine(std::shared_ptr<GraphStore> store)
+      : Engine(std::move(store), Options{}) {}
+  Engine(std::shared_ptr<GraphStore> store, Options options);
 
   ~Engine();
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
-  const MultiLayerGraph& graph() const { return *graph_; }
+  /// The graph of the *current* snapshot. The reference stays valid until
+  /// the next successful ApplyUpdate retires that snapshot; callers that
+  /// interleave with updates should hold `store()->snapshot()` instead.
+  const MultiLayerGraph& graph() const { return store_->current_graph(); }
+  const std::shared_ptr<GraphStore>& store() const { return store_; }
   const Options& options() const { return options_; }
+
+  /// Applies a batched graph update through the hosted store and publishes
+  /// a new epoch (DESIGN.md §8): queries submitted before this call keep
+  /// computing against their pinned snapshot; queries submitted after see
+  /// the new graph, with every cache whose keyed content is unchanged
+  /// still warm. Validation failures change nothing.
+  Expected<UpdateOutcome> ApplyUpdate(const UpdateBatch& batch) {
+    return store_->ApplyUpdate(batch);
+  }
+
+  /// Epoch of the currently published snapshot (0 until the first update).
+  uint64_t snapshot_epoch() const { return store_->epoch(); }
 
   /// The algorithm `request` will actually run: resolves kAuto through
   /// `RecommendedAlgorithm`. Meaningless for invalid requests.
@@ -261,9 +311,12 @@ class Engine {
   /// before the search phase returns kCancelled / kDeadlineExceeded, a
   /// cancellation mid-search returns kCancelled (partial result
   /// discarded), and a deadline mid-search returns the anytime prefix.
-  Expected<DccsResult> RunValidated(const DccsRequest& request,
-                                    std::unique_lock<std::mutex> pool_lock,
-                                    const QueryControl* control);
+  /// `snap` is the snapshot the query was pinned to at submission; every
+  /// graph read and cache key goes through it.
+  Expected<DccsResult> RunValidated(
+      const DccsRequest& request,
+      const std::shared_ptr<const GraphSnapshot>& snap,
+      std::unique_lock<std::mutex> pool_lock, const QueryControl* control);
 
   /// Submit with an explicit choice of arming the cancellation control.
   /// `controllable = false` (Run's private path) leaves the task's control
@@ -289,25 +342,40 @@ class Engine {
   void ResolveIfExpiredQueued(const std::shared_ptr<QueryTask>& task);
   void QueryWorkerLoop();
 
-  std::shared_ptr<const BaseCoresEntry> GetBaseCores(int d, ThreadPool* pool);
-  /// Returns the published (d, s, vertex_deletion) entry, building it if
-  /// needed. Returns nullptr with `*stop` set when `control` fired before
-  /// this query observed a published entry; an abandoned build publishes
-  /// nothing (the next query rebuilds from scratch) — cache consistency
-  /// under cancellation, DESIGN.md §7.
-  std::shared_ptr<QueryEntry> GetQueryEntry(int d, int s, bool vertex_deletion,
-                                            ThreadPool* pool,
-                                            const QueryControl* control,
-                                            QueryStop* stop);
-  std::shared_ptr<const InitSeeds> GetSeeds(QueryEntry& entry,
+  /// Base cores for `d` at `snap`'s content. On a miss, unchanged layers
+  /// are copied from the newest older entry for the same d, and tracked
+  /// degrees are served from the store's maintained cores outright.
+  std::shared_ptr<const BaseCoresEntry> GetBaseCores(
+      const std::shared_ptr<const GraphSnapshot>& snap, int d,
+      ThreadPool* pool);
+  /// Returns the published (generation, d, s, vertex_deletion) entry,
+  /// building it if needed — the generation (GraphSnapshot::
+  /// core_generation) keys out stale epochs. Returns nullptr with `*stop`
+  /// set when `control` fired before this query observed a published
+  /// entry; an abandoned build publishes nothing (the next query rebuilds
+  /// from scratch) — cache consistency under cancellation, DESIGN.md §7.
+  std::shared_ptr<QueryEntry> GetQueryEntry(
+      const std::shared_ptr<const GraphSnapshot>& snap, int d, int s,
+      bool vertex_deletion, ThreadPool* pool, const QueryControl* control,
+      QueryStop* stop);
+  std::shared_ptr<const InitSeeds> GetSeeds(const MultiLayerGraph& graph,
+                                            QueryEntry& entry,
                                             const DccsParams& params,
                                             DccSolver& solver);
-  const VertexLevelIndex* GetIndex(QueryEntry& entry, int d);
+  const VertexLevelIndex* GetIndex(const MultiLayerGraph& graph,
+                                   QueryEntry& entry, int d);
 
-  std::unique_ptr<DccSolver> AcquireSolver();
-  void ReleaseSolver(std::unique_ptr<DccSolver> solver);
+  /// Solvers are bound to one graph object, so the free-list is
+  /// homogeneous per snapshot: acquiring for a different graph builds
+  /// fresh, and releasing a solver for the *current* snapshot's graph
+  /// flushes any stale entries (old snapshots are never pinned by idle
+  /// solvers).
+  std::unique_ptr<DccSolver> AcquireSolver(
+      const std::shared_ptr<const MultiLayerGraph>& graph);
+  void ReleaseSolver(std::shared_ptr<const MultiLayerGraph> graph,
+                     std::unique_ptr<DccSolver> solver);
 
-  std::shared_ptr<const MultiLayerGraph> graph_;
+  std::shared_ptr<GraphStore> store_;
   const Options options_;
 
   // The shared pool. pool_mu_ serialises batches/parallel stages; a query
@@ -318,17 +386,25 @@ class Engine {
 
   // Caches. cache_mu_ guards the maps and the LRU clock; per-entry
   // once-flags/mutexes guard the (expensive) payload computations so a
-  // miss never blocks unrelated queries.
+  // miss never blocks unrelated queries. Keys carry the snapshot
+  // generation the entry was built for (DESIGN.md §8): stale-generation
+  // entries simply stop being found and age out through the LRU, while
+  // in-flight queries pinned to old snapshots still share them.
   mutable std::mutex cache_mu_;
   uint64_t use_clock_ = 0;
-  std::map<int, std::shared_ptr<BaseCoresEntry>> base_cores_;
-  std::map<int, uint64_t> base_cores_last_use_;
-  std::map<std::tuple<int, int, bool>, std::shared_ptr<QueryEntry>> queries_;
-  std::map<std::tuple<int, int, bool>, uint64_t> queries_last_use_;
+  std::map<std::pair<int, uint64_t>, std::shared_ptr<BaseCoresEntry>>
+      base_cores_;
+  std::map<std::pair<int, uint64_t>, uint64_t> base_cores_last_use_;
+  std::map<std::tuple<uint64_t, int, int, bool>, std::shared_ptr<QueryEntry>>
+      queries_;
+  std::map<std::tuple<uint64_t, int, int, bool>, uint64_t> queries_last_use_;
   mutable EngineCacheStats stats_;
 
-  // Solver free-list (the per-worker arenas of DESIGN.md §5).
+  // Solver free-list (the per-worker arenas of DESIGN.md §5), homogeneous
+  // per graph snapshot: free_graph_ names the graph every pooled solver is
+  // bound to.
   std::mutex solver_mu_;
+  std::shared_ptr<const MultiLayerGraph> free_graph_;
   std::vector<std::unique_ptr<DccSolver>> free_solvers_;
 
   // Async scheduler (DESIGN.md §7): bounded priority queue of pending

@@ -1,0 +1,101 @@
+#ifndef MLCORE_STORE_UPDATE_H_
+#define MLCORE_STORE_UPDATE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/multilayer_graph.h"
+
+namespace mlcore {
+
+/// One undirected edge on one layer, as submitted by clients. Endpoint
+/// order is irrelevant; the store canonicalises to u < v.
+struct EdgeUpdate {
+  LayerId layer = 0;
+  VertexId u = 0;
+  VertexId v = 0;
+
+  friend bool operator==(const EdgeUpdate&, const EdgeUpdate&) = default;
+};
+
+/// A batch of graph mutations applied atomically by
+/// `GraphStore::ApplyUpdate` (DESIGN.md §8). Semantics, in application
+/// order:
+///
+///   1. `add_vertices` fresh isolated vertices are appended (ids
+///      [n, n + add_vertices) — ids are never recycled);
+///   2. every vertex in `remove_vertices` is isolated: all its current
+///      edges (on every layer) are removed. The id stays valid — a later
+///      batch may attach new edges to it;
+///   3. `remove_edges` are deleted (each must exist);
+///   4. `insert_edges` are added (each must be absent).
+///
+/// A batch referencing a vertex of `remove_vertices` from an edge record
+/// is rejected, as are self-loops, duplicate records and insert/remove
+/// conflicts — validation happens before anything is applied, so a
+/// rejected batch changes nothing.
+struct UpdateBatch {
+  int32_t add_vertices = 0;
+  VertexSet remove_vertices;
+  std::vector<EdgeUpdate> insert_edges;
+  std::vector<EdgeUpdate> remove_edges;
+
+  UpdateBatch& Insert(LayerId layer, VertexId u, VertexId v) {
+    insert_edges.push_back({layer, u, v});
+    return *this;
+  }
+  UpdateBatch& Remove(LayerId layer, VertexId u, VertexId v) {
+    remove_edges.push_back({layer, u, v});
+    return *this;
+  }
+  UpdateBatch& AddVertices(int32_t count) {
+    add_vertices += count;
+    return *this;
+  }
+  UpdateBatch& RemoveVertex(VertexId v) {
+    remove_vertices.push_back(v);
+    return *this;
+  }
+
+  bool empty() const {
+    return add_vertices == 0 && remove_vertices.empty() &&
+           insert_edges.empty() && remove_edges.empty();
+  }
+};
+
+/// Per-batch report returned by `GraphStore::ApplyUpdate`.
+struct UpdateOutcome {
+  /// Epoch published by this batch (unchanged for an empty no-op batch).
+  uint64_t epoch = 0;
+  int64_t edges_inserted = 0;
+  int64_t edges_removed = 0;
+  int32_t vertices_added = 0;
+  int32_t vertices_removed = 0;
+  /// Tracked-core maintenance effort: (vertex, layer) core exits/entries
+  /// across all tracked degrees, and how each (tracked d, changed layer)
+  /// pair was served — incrementally or by a full-recompute fallback past
+  /// the damage threshold.
+  int64_t core_exits = 0;
+  int64_t core_entries = 0;
+  int64_t incremental_layer_updates = 0;
+  int64_t full_layer_recomputes = 0;
+  double seconds = 0.0;
+};
+
+/// Cumulative `GraphStore` counters (`GraphStore::stats`).
+struct StoreStats {
+  int64_t batches_applied = 0;
+  int64_t batches_rejected = 0;
+  int64_t edges_inserted = 0;
+  int64_t edges_removed = 0;
+  int64_t vertices_added = 0;
+  int64_t vertices_removed = 0;
+  int64_t core_exits = 0;
+  int64_t core_entries = 0;
+  int64_t incremental_layer_updates = 0;
+  int64_t full_layer_recomputes = 0;
+};
+
+}  // namespace mlcore
+
+#endif  // MLCORE_STORE_UPDATE_H_

@@ -24,6 +24,15 @@ class Bitset {
     words_.assign((n + 63) / 64, 0);
   }
 
+  /// Grows capacity to `n` bits, preserving existing bits (the dynamic
+  /// graph store appends vertices without disturbing core membership).
+  /// `n` must be >= size().
+  void GrowTo(size_t n) {
+    MLCORE_DCHECK(n >= n_);
+    n_ = n;
+    words_.resize((n + 63) / 64, 0);
+  }
+
   size_t size() const { return n_; }
 
   void Set(size_t i) {

@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <set>
+#include <tuple>
 #include <vector>
 
+#include "core/dcore.h"
 #include "dccs/cover.h"
+#include "graph/generators.h"
+#include "store/graph_store.h"
 #include "util/rng.h"
 
 namespace mlcore {
@@ -126,6 +130,115 @@ TEST_P(UpdateOracleTest, ProductionMatchesOracleOnRandomStreams) {
 
 INSTANTIATE_TEST_SUITE_P(Capacities, UpdateOracleTest,
                          ::testing::Values(1, 2, 3, 5, 8, 13));
+
+// ---------------------------------------------------------------------------
+// GraphStore insertion/deletion oracle (DESIGN.md §8): randomized
+// interleaved insert/delete batches — including vertex adds and removals —
+// asserting that the incrementally maintained per-layer cores and Num(v)
+// are bit-identical to a from-scratch CoreDecomposition / DCore of the
+// snapshot graph at every epoch.
+// ---------------------------------------------------------------------------
+
+class StoreUpdateOracleTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StoreUpdateOracleTest, IncrementalCoresMatchFromScratchEveryEpoch) {
+  const uint64_t seed = GetParam();
+  const std::vector<int> tracked = {1, 2, 3};
+  GraphStore::Options options;
+  options.tracked_degrees = tracked;
+  // Alternate between a tight threshold (exercises the full-recompute
+  // fallback) and a huge one (pure bounded re-coring) across seeds.
+  options.recore_damage_threshold = seed % 2 == 0 ? 4 : (1 << 20);
+  GraphStore store(GenerateErdosRenyi(70, 3, 0.07, 900 + seed), options);
+
+  Rng rng(seed * 31 + 7);
+  for (int epoch = 1; epoch <= 12; ++epoch) {
+    auto snap = store.snapshot();
+    const MultiLayerGraph& graph = snap->graph();
+    const int32_t n = graph.NumVertices();
+    const int32_t l = graph.NumLayers();
+
+    UpdateBatch batch;
+    std::set<std::pair<VertexId, VertexId>> touched[3];
+    // Occasionally grow the id space and wire the newcomers in.
+    if (epoch % 4 == 0) batch.AddVertices(2);
+    const int32_t reach = n + batch.add_vertices;
+    // Random removals of present edges.
+    for (int i = 0; i < 8; ++i) {
+      auto layer = static_cast<LayerId>(rng.Uniform(0, l - 1));
+      auto v = static_cast<VertexId>(rng.Uniform(0, n - 1));
+      auto nbrs = graph.Neighbors(layer, v);
+      if (nbrs.empty()) continue;
+      VertexId u = nbrs[static_cast<size_t>(
+          rng.Uniform(0, static_cast<int64_t>(nbrs.size()) - 1))];
+      auto key = std::minmax(u, v);
+      if (!touched[layer].insert({key.first, key.second}).second) continue;
+      batch.Remove(layer, u, v);
+    }
+    // Random insertions of absent pairs (new vertices included).
+    for (int i = 0; i < 12; ++i) {
+      auto layer = static_cast<LayerId>(rng.Uniform(0, l - 1));
+      auto u = static_cast<VertexId>(rng.Uniform(0, reach - 1));
+      auto v = static_cast<VertexId>(rng.Uniform(0, reach - 1));
+      if (u == v) continue;
+      auto key = std::minmax(u, v);
+      if (u < n && v < n && graph.HasEdge(layer, key.first, key.second)) {
+        continue;
+      }
+      if (!touched[layer].insert({key.first, key.second}).second) continue;
+      batch.Insert(layer, u, v);
+    }
+    // Occasionally isolate a vertex — but never one referenced by this
+    // batch's edge records (the store rejects that, by design).
+    if (epoch % 3 == 0) {
+      auto victim = static_cast<VertexId>(rng.Uniform(0, n - 1));
+      bool referenced = false;
+      for (const auto& lists : {batch.insert_edges, batch.remove_edges}) {
+        for (const EdgeUpdate& e : lists) {
+          if (e.u == victim || e.v == victim) referenced = true;
+        }
+      }
+      if (!referenced) batch.RemoveVertex(victim);
+    }
+
+    auto outcome = store.ApplyUpdate(batch);
+    ASSERT_TRUE(outcome.ok()) << outcome.status().message;
+    if (!batch.empty()) {
+      ASSERT_EQ(outcome->epoch, static_cast<uint64_t>(store.epoch()));
+    }
+
+    // Oracle: every tracked core and support must equal a from-scratch
+    // recomputation on the published snapshot — via both DCore and the
+    // Batagelj–Zaversnik CoreDecomposition.
+    auto now = store.snapshot();
+    const MultiLayerGraph& updated = now->graph();
+    for (int d : tracked) {
+      const TrackedCores* cores = now->tracked(d);
+      ASSERT_NE(cores, nullptr);
+      std::vector<int> support_oracle(
+          static_cast<size_t>(updated.NumVertices()), 0);
+      for (LayerId layer = 0; layer < l; ++layer) {
+        const VertexSet& maintained =
+            *cores->cores[static_cast<size_t>(layer)];
+        ASSERT_EQ(maintained, DCore(updated, layer, d))
+            << "epoch " << epoch << " d " << d << " layer " << layer;
+        std::vector<int> coreness = CoreDecomposition(updated, layer);
+        VertexSet via_coreness;
+        for (VertexId v = 0; v < updated.NumVertices(); ++v) {
+          if (coreness[static_cast<size_t>(v)] >= d) via_coreness.push_back(v);
+        }
+        ASSERT_EQ(maintained, via_coreness)
+            << "epoch " << epoch << " d " << d << " layer " << layer;
+        for (VertexId v : maintained) ++support_oracle[static_cast<size_t>(v)];
+      }
+      ASSERT_EQ(*cores->support, support_oracle)
+          << "epoch " << epoch << " d " << d;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StoreUpdateOracleTest,
+                         ::testing::Range<uint64_t>(0, 6));
 
 }  // namespace
 }  // namespace mlcore
