@@ -41,45 +41,6 @@ mlcore::MultiLayerGraph ChurnGraph(double scale) {
   return mlcore::GeneratePlanted(config).graph;
 }
 
-// Deterministic churn batch: `size` edge updates, half removals of
-// present edges, half insertions of absent pairs.
-mlcore::UpdateBatch MakeChurnBatch(const mlcore::MultiLayerGraph& graph,
-                                   int64_t size, mlcore::Rng& rng) {
-  mlcore::UpdateBatch batch;
-  const int32_t n = graph.NumVertices();
-  const int32_t l = graph.NumLayers();
-  std::vector<std::vector<std::pair<mlcore::VertexId, mlcore::VertexId>>>
-      touched(static_cast<size_t>(l));
-  auto fresh = [&](mlcore::LayerId layer, mlcore::VertexId u,
-                   mlcore::VertexId v) {
-    auto key = std::make_pair(std::min(u, v), std::max(u, v));
-    auto& list = touched[static_cast<size_t>(layer)];
-    if (std::find(list.begin(), list.end(), key) != list.end()) return false;
-    list.push_back(key);
-    return true;
-  };
-  for (int64_t i = 0; i < size / 2; ++i) {
-    auto layer = static_cast<mlcore::LayerId>(rng.Uniform(0, l - 1));
-    auto v = static_cast<mlcore::VertexId>(rng.Uniform(0, n - 1));
-    auto nbrs = graph.Neighbors(layer, v);
-    if (nbrs.empty()) continue;
-    mlcore::VertexId u = nbrs[static_cast<size_t>(
-        rng.Uniform(0, static_cast<int64_t>(nbrs.size()) - 1))];
-    if (fresh(layer, u, v)) batch.Remove(layer, u, v);
-  }
-  for (int64_t i = 0; i < size - size / 2;) {
-    auto layer = static_cast<mlcore::LayerId>(rng.Uniform(0, l - 1));
-    auto u = static_cast<mlcore::VertexId>(rng.Uniform(0, n - 1));
-    auto v = static_cast<mlcore::VertexId>(rng.Uniform(0, n - 1));
-    ++i;
-    if (u == v || graph.HasEdge(layer, std::min(u, v), std::max(u, v))) {
-      continue;
-    }
-    if (fresh(layer, u, v)) batch.Insert(layer, u, v);
-  }
-  return batch;
-}
-
 struct ThroughputRow {
   int64_t batch_size = 0;
   double incremental_updates_per_s = 0.0;
@@ -133,8 +94,8 @@ int main(int argc, char** argv) {
       int64_t updates = 0;
       mlcore::WallTimer timer;
       for (int r = 0; r < rounds; ++r) {
-        mlcore::UpdateBatch batch =
-            MakeChurnBatch(store.snapshot()->graph(), size, rng);
+        mlcore::UpdateBatch batch = mlcore::bench::MakeChurnBatch(
+            store.snapshot()->graph(), size, rng);
         auto outcome = store.ApplyUpdate(batch);
         MLCORE_CHECK_MSG(outcome.ok(), outcome.status().message.c_str());
         updates += outcome->edges_inserted + outcome->edges_removed;
@@ -168,24 +129,8 @@ int main(int argc, char** argv) {
   // preprocessing cache must stay warm across epochs; community churn
   // rips random edges out of (and into) dense regions, invalidating it.
   const int epochs = context.quick ? 10 : 40;
-  // Disjoint layer-0 pairs with degree <= d - 2: one extra edge keeps
-  // them strictly below the core threshold.
-  std::vector<std::pair<mlcore::VertexId, mlcore::VertexId>> background;
-  {
-    mlcore::VertexId prev = -1;
-    for (mlcore::VertexId v = 0;
-         v < initial.NumVertices() && background.size() < 32; ++v) {
-      if (initial.Degree(0, v) > kTrackedD - 2) continue;
-      if (prev < 0) {
-        prev = v;
-      } else if (!initial.HasEdge(0, prev, v)) {
-        background.emplace_back(prev, v);
-        prev = -1;
-      }
-    }
-    MLCORE_CHECK_MSG(!background.empty(),
-                     "generator produced no low-degree background vertices");
-  }
+  const auto background =
+      mlcore::bench::LowDegreeBackgroundPairs(initial, kTrackedD);
   std::vector<LatencyRow> latency;
   for (int workload = 0; workload < 2; ++workload) {
     mlcore::GraphStore::Options options;
@@ -220,7 +165,7 @@ int main(int argc, char** argv) {
           }
         }
       } else {
-        batch = MakeChurnBatch(graph, 64, rng);
+        batch = mlcore::bench::MakeChurnBatch(graph, 64, rng);
       }
       auto outcome = engine.ApplyUpdate(batch);
       MLCORE_CHECK_MSG(outcome.ok(), outcome.status().message.c_str());

@@ -4,7 +4,7 @@
 //   ./examples/dccs_cli --graph=network.txt --d=4 --s=3 --k=10
 //       [--algorithm=auto|greedy|bu|td] [--engine=queue|bins] [--csv]
 //       [--threads=N] [--priority=P] [--deadline_ms=T] [--cancel_after_ms=T]
-//       [--budget_ms=T] [--updates=stream.txt]
+//       [--budget_ms=T] [--updates=stream.txt] [--subscribe]
 //
 // The query goes through the engine's asynchronous path (Engine::Submit,
 // DESIGN.md §7): --deadline_ms attaches a wall-clock deadline, --priority
@@ -25,11 +25,18 @@
 // preprocessing cache hit/miss counters (warm caches survive batches that
 // leave the relevant d-core subgraphs untouched).
 //
+// --subscribe upgrades the replay to a *standing* query (DESIGN.md §9):
+// one Engine::Subscribe before the replay, then each applied batch is
+// answered by the revision the engine pushes — full result plus
+// vertex-level delta, with epochs the generational keys prove irrelevant
+// arriving as zero-work "unchanged" revisions instead of recomputations.
+//
 // With --demo the tool writes, loads and mines a small self-generated
 // example file, so it is runnable without any input data.
 
 #include <cstdio>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <utility>
@@ -190,8 +197,8 @@ int main(int argc, char** argv) {
                result.stats.preprocess_seconds, result.stats.search_seconds,
                result.stats.total_seconds);
 
-  // --updates: replay an edge-update stream, re-running the query after
-  // every published epoch.
+  // --updates: replay an edge-update stream — via a standing query
+  // (--subscribe) or by re-running after every published epoch.
   const std::string updates_path = flags.GetString("updates", "");
   if (!updates_path.empty()) {
     std::vector<mlcore::UpdateBatch> batches;
@@ -200,14 +207,63 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "error: %s\n", loaded.error.c_str());
       return 1;
     }
-    std::fprintf(stderr, "\nreplaying %zu update batches from %s\n",
-                 batches.size(), updates_path.c_str());
+    const bool subscribe = flags.GetBool("subscribe", false);
+    std::fprintf(stderr, "\nreplaying %zu update batches from %s%s\n",
+                 batches.size(), updates_path.c_str(),
+                 subscribe ? " through one standing subscription" : "");
+
+    mlcore::Subscription subscription;
+    if (subscribe) {
+      mlcore::SubscriptionOptions subscription_options;
+      subscription_options.priority = submit.priority;
+      subscription_options.max_buffered_revisions =
+          static_cast<int>(batches.size()) + 1;
+      auto subscribed = engine.Subscribe(request, subscription_options);
+      if (!subscribed.ok()) {
+        std::fprintf(stderr, "subscribe failed: %s\n",
+                     subscribed.status().message.c_str());
+        return 1;
+      }
+      subscription = *subscribed;
+      // The initial revision restates the epoch-0 answer printed above.
+      std::optional<mlcore::ResultRevision> initial = subscription.Next();
+      if (initial.has_value()) {
+        std::fprintf(stderr, "subscribed: initial revision @ epoch %llu, "
+                     "|Cov(R)| = %lld\n",
+                     static_cast<unsigned long long>(initial->epoch),
+                     static_cast<long long>(initial->result.CoverSize()));
+      }
+    }
+
     for (size_t b = 0; b < batches.size(); ++b) {
       auto outcome = engine.ApplyUpdate(batches[b]);
       if (!outcome.ok()) {
         std::fprintf(stderr, "batch %zu rejected: %s\n", b,
                      outcome.status().message.c_str());
         return 1;
+      }
+      if (subscribe) {
+        std::optional<mlcore::ResultRevision> revision = subscription.Next();
+        if (!revision.has_value()) {
+          std::fprintf(stderr, "subscription ended at epoch %llu\n",
+                       static_cast<unsigned long long>(outcome->epoch));
+          return 2;
+        }
+        std::fprintf(
+            stderr,
+            "revision #%llu @ epoch %llu%s: |Cov(R)| = %lld, "
+            "delta +%zu/-%zu users, %zu/%zu/%zu stories "
+            "appeared/vanished/changed\n",
+            static_cast<unsigned long long>(revision->sequence),
+            static_cast<unsigned long long>(revision->epoch),
+            revision->unchanged ? " [unchanged]" : "",
+            static_cast<long long>(revision->result.CoverSize()),
+            revision->delta.cover_added.size(),
+            revision->delta.cover_removed.size(),
+            revision->delta.cores_appeared.size(),
+            revision->delta.cores_vanished.size(),
+            revision->delta.cores_changed.size());
+        continue;
       }
       auto replayed = engine.Run(request);
       if (!replayed.ok()) {
@@ -231,6 +287,16 @@ int main(int argc, char** argv) {
           replayed->stats.preprocess_seconds * 1e3,
           static_cast<long long>(cache.preprocess_hits),
           static_cast<long long>(cache.preprocess_misses));
+    }
+    if (subscribe) {
+      const mlcore::EngineCacheStats cache = engine.cache_stats();
+      std::fprintf(stderr,
+                   "subscription totals: %lld revisions, %lld unchanged "
+                   "epochs absorbed, %lld coalesced\n",
+                   static_cast<long long>(cache.revisions_emitted),
+                   static_cast<long long>(cache.revisions_unchanged_skipped),
+                   static_cast<long long>(cache.revisions_coalesced));
+      subscription.Cancel();
     }
   }
   return 0;

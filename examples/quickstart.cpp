@@ -66,8 +66,11 @@ int main(int argc, char** argv) {
   request.params.k = static_cast<int>(flags.GetInt("k", 2));
 
   // The engine owns the graph; queries borrow its cached preprocessing.
+  // Holding the snapshot pins the graph no matter what updates later
+  // publish (Engine::graph() is deprecated for exactly that reason).
   mlcore::Engine engine(BuildToyGraph());
-  const mlcore::MultiLayerGraph& graph = engine.graph();
+  auto snapshot = engine.store()->snapshot();
+  const mlcore::MultiLayerGraph& graph = snapshot->graph();
   std::printf("toy graph: %d vertices, %d layers, %lld edges\n",
               graph.NumVertices(), graph.NumLayers(),
               static_cast<long long>(graph.TotalEdges()));

@@ -6,6 +6,14 @@
 
 namespace mlcore {
 
+VertexSet CoverOf(const std::vector<ResultCore>& cores) {
+  VertexSet cover;
+  for (const ResultCore& core : cores) {
+    cover = UnionSorted(cover, core.vertices);
+  }
+  return cover;
+}
+
 CoverageIndex::CoverageIndex(int k) : k_(k) {
   MLCORE_CHECK(k >= 1);
   entries_.reserve(static_cast<size_t>(k));

@@ -10,6 +10,11 @@
 
 namespace mlcore {
 
+/// Union of the cores' (sorted) vertex sets — the paper's Cov(R) for an
+/// arbitrary result list. Shared by `DccsResult::Cover` and the
+/// subscription delta computation (service/delta.h).
+VertexSet CoverOf(const std::vector<ResultCore>& cores);
+
 /// Maintains the temporary top-k diversified d-CC set R and implements the
 /// `Update` procedure of paper §IV-A / Appendix C.
 ///

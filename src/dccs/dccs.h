@@ -30,6 +30,12 @@
 ///   handle.Cancel();                        // or let the deadline fire
 ///   const auto& outcome = handle.Wait();    // kCancelled / result
 ///
+///   // Standing query over an evolving graph (DESIGN.md §9): one
+///   // revision per published epoch, each carrying the full result plus
+///   // a vertex-level delta against the previous revision:
+///   mlcore::Subscription sub = *engine.Subscribe(request);
+///   while (auto revision = sub.Next()) { /* revision->delta */ }
+///
 /// One-shot form — a thin wrapper constructing a temporary Engine per call;
 /// fine for scripts and tests, wasteful for repeated queries:
 ///

@@ -1,12 +1,10 @@
 #include "dccs/params.h"
 
+#include "dccs/cover.h"
+
 namespace mlcore {
 
-VertexSet DccsResult::Cover() const {
-  VertexSet cover;
-  for (const auto& core : cores) cover = UnionSorted(cover, core.vertices);
-  return cover;
-}
+VertexSet DccsResult::Cover() const { return CoverOf(cores); }
 
 int64_t DccsResult::CoverSize() const {
   return static_cast<int64_t>(Cover().size());

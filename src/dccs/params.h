@@ -63,6 +63,8 @@ struct DccsParams {
 struct ResultCore {
   LayerSet layers;
   VertexSet vertices;
+
+  friend bool operator==(const ResultCore&, const ResultCore&) = default;
 };
 
 /// Search-effort counters exposed by all three DCCS algorithms.

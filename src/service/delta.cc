@@ -1,0 +1,60 @@
+#include "service/delta.h"
+
+#include <algorithm>
+#include <iterator>
+#include <map>
+#include <utility>
+
+#include "dccs/cover.h"
+
+namespace mlcore {
+
+namespace {
+
+VertexSet Difference(const VertexSet& a, const VertexSet& b) {
+  VertexSet out;
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(out));
+  return out;
+}
+
+}  // namespace
+
+ResultDelta ComputeResultDelta(const DccsResult& previous,
+                               const DccsResult& next) {
+  ResultDelta delta;
+  const VertexSet prev_cover = CoverOf(previous.cores);
+  const VertexSet next_cover = CoverOf(next.cores);
+  delta.cover_added = Difference(next_cover, prev_cover);
+  delta.cover_removed = Difference(prev_cover, next_cover);
+
+  // Match cores across the two results by layer subset; whatever the new
+  // result does not consume has vanished.
+  std::map<LayerSet, const ResultCore*> unmatched;
+  for (const ResultCore& core : previous.cores) {
+    unmatched[core.layers] = &core;
+  }
+  for (const ResultCore& core : next.cores) {
+    auto it = unmatched.find(core.layers);
+    if (it == unmatched.end()) {
+      delta.cores_appeared.push_back(core);
+      continue;
+    }
+    const ResultCore& old = *it->second;
+    unmatched.erase(it);
+    if (old.vertices == core.vertices) continue;
+    CoreMembershipDelta change;
+    change.layers = core.layers;
+    change.added = Difference(core.vertices, old.vertices);
+    change.removed = Difference(old.vertices, core.vertices);
+    delta.cores_changed.push_back(std::move(change));
+  }
+  for (const ResultCore& core : previous.cores) {
+    if (unmatched.count(core.layers) != 0) {
+      delta.cores_vanished.push_back(core);
+    }
+  }
+  return delta;
+}
+
+}  // namespace mlcore

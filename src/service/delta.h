@@ -1,0 +1,61 @@
+#ifndef MLCORE_SERVICE_DELTA_H_
+#define MLCORE_SERVICE_DELTA_H_
+
+#include <vector>
+
+#include "dccs/params.h"
+#include "graph/multilayer_graph.h"
+
+namespace mlcore {
+
+/// Membership change of one core that survives between two revisions of a
+/// standing query: the same layer subset is present in both results with a
+/// different vertex set.
+struct CoreMembershipDelta {
+  LayerSet layers;
+  VertexSet added;
+  VertexSet removed;
+
+  friend bool operator==(const CoreMembershipDelta&,
+                         const CoreMembershipDelta&) = default;
+};
+
+/// Vertex-level difference between two results of the same (d, s, k)
+/// standing query (Engine::Subscribe), expressed over the paper's coverage
+/// structures (dccs/cover.h): the Cov(R) difference plus a per-core
+/// decomposition. Cores are identified by their layer subset — the
+/// searches evaluate each subset at most once, so within one result the
+/// layer set is a unique key.
+struct ResultDelta {
+  /// Cov(next) \ Cov(previous) and Cov(previous) \ Cov(next), sorted.
+  VertexSet cover_added;
+  VertexSet cover_removed;
+  /// Cores whose layer subset exists only in the new result / only in the
+  /// old one, each in its owning result's rank order.
+  std::vector<ResultCore> cores_appeared;
+  std::vector<ResultCore> cores_vanished;
+  /// Cores present in both results with changed vertex membership, in the
+  /// new result's rank order.
+  std::vector<CoreMembershipDelta> cores_changed;
+
+  /// True when the two results are identical at the vertex level (an
+  /// "unchanged" revision carries an empty delta by construction).
+  bool empty() const {
+    return cover_added.empty() && cover_removed.empty() &&
+           cores_appeared.empty() && cores_vanished.empty() &&
+           cores_changed.empty();
+  }
+
+  friend bool operator==(const ResultDelta&, const ResultDelta&) = default;
+};
+
+/// The delta transforming `previous` into `next`. Per-core vertex sets
+/// must be sorted (every DCCS path returns them sorted); a
+/// default-constructed `previous` describes the revision before the first,
+/// so an initial revision reports its whole result as appeared/added.
+ResultDelta ComputeResultDelta(const DccsResult& previous,
+                               const DccsResult& next);
+
+}  // namespace mlcore
+
+#endif  // MLCORE_SERVICE_DELTA_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <condition_variable>
+#include <deque>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -108,6 +109,65 @@ struct Engine::QueryTask {
   std::condition_variable cv;
   bool done = false;
   std::optional<Expected<DccsResult>> result;
+
+  /// Completion hook, invoked by FinishTask on the resolving thread after
+  /// the terminal result published. Subscription evaluations use it to
+  /// emit their revision; ordinary submissions leave it empty.
+  std::function<void(QueryTask&)> on_done;
+};
+
+/// One standing query (Engine::Subscribe). Shared by the engine (producer
+/// side: dispatcher + evaluation completions) and every Subscription
+/// handle (consumer side); `mu` guards all mutable state. The engine's
+/// destructor sets `cancelled` after all producers stopped, so a state
+/// outliving its engine is inert: buffered revisions drain, then Next
+/// returns nullopt.
+struct Engine::SubscriptionState {
+  // Immutable after Subscribe.
+  DccsRequest request;
+  int priority = 0;
+  size_t max_buffered = 1;
+  bool emit_unchanged = true;
+  std::function<void(const ResultRevision&)> on_revision;
+  /// Subscription-wide cancellation: Cancel trips it once and every
+  /// current or future evaluation of this subscription observes it.
+  CancellationToken token;
+
+  /// A buffered revision carries its full result only through the shared
+  /// handle; `revision.result` stays empty until pop materialises it.
+  /// Coalescing and delta re-anchoring thus never copy a result, and a
+  /// folded revision never paid for one.
+  struct BufferedRevision {
+    ResultRevision revision;
+    std::shared_ptr<const DccsResult> result;
+  };
+
+  std::mutex mu;
+  std::condition_variable cv;
+  /// No further revisions will be produced (user Cancel or engine
+  /// destruction). Buffered revisions stay consumable.
+  bool cancelled = false;
+  /// An evaluation is in flight, or a callback delivery is running — the
+  /// dispatcher never schedules work for a busy subscription, which both
+  /// bounds it to one evaluation at a time and serialises callback
+  /// invocations in revision order.
+  bool busy = false;
+  uint64_t next_sequence = 1;
+  /// Newest epoch this subscription has accounted for (evaluated, or
+  /// absorbed as unchanged). `has_epoch` false = nothing yet, so the
+  /// dispatcher owes the initial revision.
+  bool has_epoch = false;
+  uint64_t last_epoch = 0;
+  /// Result (and its (d, s)-relevant core-subgraph generation) of the last
+  /// *evaluated* revision — the unchanged-skip comparison point and the
+  /// source for unchanged revisions' payload.
+  bool has_result = false;
+  uint64_t last_generation = 0;
+  std::shared_ptr<const DccsResult> last_result;
+  /// Result of the last revision popped by Next/TryNext: the delta base
+  /// when a new revision lands on an empty buffer.
+  std::shared_ptr<const DccsResult> delivered_base;
+  std::deque<BufferedRevision> buffer;
 };
 
 /// RAII hold on one free-list solver, bound to one snapshot's graph.
@@ -192,10 +252,24 @@ Engine::Engine(std::shared_ptr<GraphStore> store, Options options)
 }
 
 Engine::~Engine() {
+  // Shutdown ordering (DESIGN.md §9). First stop epoch notifications —
+  // RemoveEpochListener blocks until any in-flight callback returned, so
+  // after it no store update can reach this engine — then stop the
+  // dispatcher so nothing new gets scheduled.
+  if (subs_started_.load(std::memory_order_acquire)) {
+    store_->RemoveEpochListener(store_listener_id_);
+    {
+      std::lock_guard<std::mutex> lock(subs_mu_);
+      subs_shutdown_ = true;
+    }
+    subs_cv_.notify_all();
+    subs_dispatcher_.join();
+  }
   // Stop admissions, resolve everything still queued (racing workers
   // popping the tail is fine — each entry is obtained exactly once), then
   // wait out in-flight queries. Handles stay usable afterwards: their
-  // tasks are all terminal.
+  // tasks are all terminal; a queued subscription evaluation resolves
+  // kCancelled here and its completion hook drops the revision.
   pending_.Shutdown();
   for (PriorityTaskQueue::Entry& entry : pending_.Drain()) {
     auto task = std::static_pointer_cast<QueryTask>(entry.payload);
@@ -204,7 +278,28 @@ Engine::~Engine() {
                Status::Cancelled("engine destroyed before the query ran"));
   }
   for (std::thread& worker : query_workers_) worker.join();
+  // Every producer is gone: terminate the subscriptions. Surviving
+  // handles drain their buffers, then Next returns nullopt.
+  std::vector<std::shared_ptr<SubscriptionState>> subs;
+  {
+    std::lock_guard<std::mutex> lock(subs_mu_);
+    subs.swap(subscriptions_);
+  }
+  for (const auto& sub : subs) {
+    {
+      std::lock_guard<std::mutex> sub_lock(sub->mu);
+      sub->cancelled = true;
+    }
+    sub->cv.notify_all();
+  }
 }
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+const MultiLayerGraph& Engine::graph() const {
+  return store_->current_graph();
+}
+#pragma GCC diagnostic pop
 
 DccsAlgorithm Engine::ResolvedAlgorithm(const DccsRequest& request) const {
   if (request.algorithm != DccsAlgorithm::kAuto) return request.algorithm;
@@ -428,6 +523,7 @@ void Engine::FinishTask(QueryTask& task, Expected<DccsResult> result) {
   // scanning the queue for an entry that cannot be there.
   task.queue_id.store(0, std::memory_order_release);
   task.cv.notify_all();
+  if (task.on_done != nullptr) task.on_done(task);
 }
 
 void Engine::AwaitTask(const std::shared_ptr<QueryTask>& task) {
@@ -551,6 +647,267 @@ Expected<CommunitySearchResult> Engine::FindCommunity(
   SolverLease solver(this, snap->graph_ptr());
   return SearchCommunityWithCores(graph, base->cores, *solver.get(),
                                   request.query, request.d, request.s);
+}
+
+// --------------------------------------------------------------------------
+// Continuous queries (Engine::Subscribe, DESIGN.md §9)
+// --------------------------------------------------------------------------
+
+Expected<Subscription> Engine::Subscribe(const DccsRequest& request,
+                                         const SubscriptionOptions& options) {
+  Status status = Validate(request);
+  if (!status.ok()) return status;
+  EnsureSubscriptionInfra();
+
+  auto sub = std::make_shared<SubscriptionState>();
+  sub->request = request;
+  sub->priority = options.priority;
+  sub->max_buffered =
+      static_cast<size_t>(std::max(1, options.max_buffered_revisions));
+  sub->emit_unchanged = options.emit_unchanged;
+  sub->on_revision = options.on_revision;
+  {
+    std::lock_guard<std::mutex> lock(subs_mu_);
+    if (subs_shutdown_) {
+      return Status::ResourceExhausted(
+          "engine shutting down; no new subscriptions admitted");
+    }
+    subscriptions_.push_back(sub);
+    subs_dirty_ = true;  // the dispatcher owes the initial revision
+  }
+  subs_cv_.notify_all();
+  return Subscription(std::move(sub));
+}
+
+void Engine::EnsureSubscriptionInfra() {
+  // Deliberately outside subs_mu_: AddEpochListener takes the store's
+  // listener lock, which the listener invocation path holds while taking
+  // subs_mu_ — acquiring them here in the opposite order would deadlock.
+  std::call_once(subs_init_once_, [this] {
+    store_listener_id_ = store_->AddEpochListener(
+        [this](const std::shared_ptr<const GraphSnapshot>&) {
+          PingDispatcher();
+        });
+    subs_dispatcher_ = std::thread([this] { SubscriptionDispatcherLoop(); });
+    subs_started_.store(true, std::memory_order_release);
+  });
+}
+
+void Engine::PingDispatcher() {
+  {
+    std::lock_guard<std::mutex> lock(subs_mu_);
+    subs_dirty_ = true;
+  }
+  subs_cv_.notify_all();
+}
+
+void Engine::SubscriptionDispatcherLoop() {
+  std::unique_lock<std::mutex> lock(subs_mu_);
+  while (true) {
+    subs_cv_.wait(lock, [&] { return subs_shutdown_ || subs_dirty_; });
+    if (subs_shutdown_) return;
+    subs_dirty_ = false;
+    // Prune cancelled subscriptions, snapshot the live list, and release
+    // subs_mu_ for the actual work: Subscribe/Cancel and ApplyUpdate's
+    // listener never wait on an evaluation.
+    std::erase_if(subscriptions_, [](const auto& sub) {
+      std::lock_guard<std::mutex> sub_lock(sub->mu);
+      return sub->cancelled && !sub->busy;
+    });
+    std::vector<std::shared_ptr<SubscriptionState>> live = subscriptions_;
+    lock.unlock();
+    const std::shared_ptr<const GraphSnapshot> snap = store_->snapshot();
+    for (const auto& sub : live) DispatchSubscription(sub, snap);
+    lock.lock();
+  }
+}
+
+void Engine::DispatchSubscription(
+    const std::shared_ptr<SubscriptionState>& sub,
+    const std::shared_ptr<const GraphSnapshot>& snap) {
+  std::shared_ptr<QueryTask> task;
+  std::shared_ptr<DccsResult> unchanged_result;
+  uint64_t generation = 0;
+  {
+    std::lock_guard<std::mutex> sub_lock(sub->mu);
+    if (sub->cancelled || sub->busy) return;
+    if (sub->has_epoch && sub->last_epoch >= snap->epoch()) return;
+    generation = snap->core_generation(sub->request.params.d);
+    if (sub->has_result && generation == sub->last_generation) {
+      // Unchanged skip — the generational-key payoff of DESIGN.md §8: the
+      // (d, s) answer depends only on the per-layer d-core-induced
+      // subgraphs, whose generation did not move across these epochs, so
+      // the previous result is *proven* current. No preprocessing, no
+      // search, no scheduler traffic.
+      sub->last_epoch = snap->epoch();
+      sub->has_epoch = true;
+      {
+        std::lock_guard<std::mutex> stats_lock(cache_mu_);
+        ++stats_.revisions_unchanged_skipped;
+      }
+      if (!sub->emit_unchanged) return;
+      unchanged_result = std::make_shared<DccsResult>(*sub->last_result);
+      unchanged_result->epoch = snap->epoch();
+      // The revision did (near) zero work; its timing says so. Everything
+      // else — cores, search-effort counters — is the proven-current
+      // payload of the last evaluation.
+      unchanged_result->stats.preprocess_seconds = 0.0;
+      unchanged_result->stats.search_seconds = 0.0;
+      unchanged_result->stats.total_seconds = 0.0;
+      sub->busy = true;  // spans the emission (and callback delivery)
+    } else {
+      sub->busy = true;
+    }
+  }
+  if (unchanged_result != nullptr) {
+    const uint64_t epoch = unchanged_result->epoch;
+    FinishRevision(sub, epoch, std::move(unchanged_result), generation,
+                   /*unchanged=*/true);
+    return;
+  }
+
+  // Re-evaluation through the admission queue at subscription priority.
+  task = std::make_shared<QueryTask>();
+  task->request = sub->request;
+  task->snapshot = snap;
+  task->priority = sub->priority;
+  task->token = sub->token;
+  task->control = QueryControl(sub->token, std::nullopt);
+  task->on_done = [this, sub, generation](QueryTask& done) {
+    CompleteSubscriptionEval(sub, generation, done);
+  };
+
+  sched_submitted_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t id = 0;
+  PriorityTaskQueue::Entry displaced;
+  switch (pending_.TryPush(sub->priority, task, &id, &displaced)) {
+    case PriorityTaskQueue::PushOutcome::kRejected:
+      // Shed (queue full of equal-or-higher-priority work): run inline on
+      // the dispatcher thread — the dispatcher is its own backpressure,
+      // mirroring Run's never-fail-on-load contract, so a standing query
+      // is never silently starved. The cost is head-of-line blocking:
+      // while this evaluation runs, no other subscription is dispatched
+      // (not even unchanged-skips), bounded by one evaluation per shed —
+      // acceptable because sheds only happen when the engine is already
+      // saturated with equal-or-higher-priority work.
+      sched_rejected_.fetch_add(1, std::memory_order_relaxed);
+      sched_executed_.fetch_add(1, std::memory_order_relaxed);
+      FinishTask(*task,
+                 RunValidated(task->request, snap,
+                              std::unique_lock<std::mutex>(pool_mu_,
+                                                           std::try_to_lock),
+                              &task->control));
+      return;
+    case PriorityTaskQueue::PushOutcome::kAcceptedDisplacing: {
+      sched_displaced_.fetch_add(1, std::memory_order_relaxed);
+      auto victim = std::static_pointer_cast<QueryTask>(displaced.payload);
+      FinishTask(*victim,
+                 Status::ResourceExhausted(
+                     "displaced from the pending queue by a "
+                     "higher-priority request"));
+      break;
+    }
+    case PriorityTaskQueue::PushOutcome::kAccepted:
+      break;
+  }
+  sched_admitted_.fetch_add(1, std::memory_order_relaxed);
+  task->queue_id.store(id, std::memory_order_release);
+  if (options_.query_workers == 0) {
+    // No dedicated workers: claim the evaluation back and run it here
+    // (the same waiter-donation path Wait uses), otherwise it would sit
+    // queued forever.
+    AwaitTask(task);
+  }
+}
+
+void Engine::CompleteSubscriptionEval(
+    const std::shared_ptr<SubscriptionState>& sub, uint64_t generation,
+    QueryTask& task) {
+  Expected<DccsResult>& outcome = *task.result;
+  if (outcome.ok()) {
+    // The task never escaped as a handle, so the terminal result is ours
+    // to move from.
+    auto result =
+        std::make_shared<DccsResult>(std::move(outcome).value());
+    const uint64_t epoch = result->epoch;
+    FinishRevision(sub, epoch, std::move(result), generation,
+                   /*unchanged=*/false);
+    return;
+  }
+  // Dropped evaluation: kCancelled (subscription Cancel, or engine
+  // teardown resolving the queue) produces nothing; kResourceExhausted
+  // (displaced by a higher-priority submission) also produces nothing but
+  // the dispatcher wake below retries it, since last_epoch never moved.
+  FinishRevision(sub, 0, nullptr, generation, /*unchanged=*/false);
+}
+
+void Engine::FinishRevision(const std::shared_ptr<SubscriptionState>& sub,
+                            uint64_t epoch,
+                            std::shared_ptr<const DccsResult> result,
+                            uint64_t generation, bool unchanged) {
+  static const DccsResult kEmptyResult;
+  std::optional<ResultRevision> deliver;
+  {
+    std::lock_guard<std::mutex> sub_lock(sub->mu);
+    if (result != nullptr && !sub->cancelled) {
+      ResultRevision rev;
+      rev.epoch = epoch;
+      rev.sequence = sub->next_sequence++;
+      rev.unchanged = unchanged;
+      if (sub->on_revision != nullptr) {
+        // Callback mode: no buffer, no coalescing — delivery is immediate
+        // and `busy` spans it, so invocations are serialised in order.
+        const DccsResult& base =
+            sub->last_result != nullptr ? *sub->last_result : kEmptyResult;
+        rev.delta = ComputeResultDelta(base, *result);
+        rev.result = *result;
+        deliver = std::move(rev);
+      } else {
+        int64_t folded = 0;
+        if (sub->buffer.size() >= sub->max_buffered) {
+          // Latest-epoch-wins: fold the newest *buffered* revision into
+          // this one. The delta below re-anchors to the stream revision
+          // before the folded step, so the chain stays consistent.
+          folded = sub->buffer.back().revision.coalesced + 1;
+          sub->buffer.pop_back();
+          std::lock_guard<std::mutex> stats_lock(cache_mu_);
+          ++stats_.revisions_coalesced;
+        }
+        const DccsResult* base = &kEmptyResult;
+        if (!sub->buffer.empty()) {
+          base = sub->buffer.back().result.get();
+        } else if (sub->delivered_base != nullptr) {
+          base = sub->delivered_base.get();
+        }
+        rev.coalesced = folded;
+        rev.delta = ComputeResultDelta(*base, *result);
+        sub->buffer.push_back(
+            SubscriptionState::BufferedRevision{std::move(rev), result});
+      }
+      sub->last_result = std::move(result);
+      sub->has_result = true;
+      sub->last_generation = generation;
+      if (!sub->has_epoch || epoch > sub->last_epoch) {
+        sub->last_epoch = epoch;
+        sub->has_epoch = true;
+      }
+      std::lock_guard<std::mutex> stats_lock(cache_mu_);
+      ++stats_.revisions_emitted;
+    }
+    if (!deliver.has_value()) sub->busy = false;
+  }
+  sub->cv.notify_all();
+  if (deliver.has_value()) {
+    sub->on_revision(*deliver);
+    {
+      std::lock_guard<std::mutex> sub_lock(sub->mu);
+      sub->busy = false;
+    }
+    sub->cv.notify_all();
+  }
+  // Another epoch may have published while this one was in flight (or a
+  // dropped evaluation needs a retry): let the dispatcher re-scan.
+  PingDispatcher();
 }
 
 Expected<DccsResult> Engine::RunValidated(
@@ -945,6 +1302,20 @@ SchedulerStats Engine::scheduler_stats() const {
   return stats;
 }
 
+void Engine::ResetStats() {
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    stats_ = EngineCacheStats{};
+  }
+  sched_submitted_.store(0, std::memory_order_relaxed);
+  sched_admitted_.store(0, std::memory_order_relaxed);
+  sched_rejected_.store(0, std::memory_order_relaxed);
+  sched_displaced_.store(0, std::memory_order_relaxed);
+  sched_cancelled_queued_.store(0, std::memory_order_relaxed);
+  sched_expired_queued_.store(0, std::memory_order_relaxed);
+  sched_executed_.store(0, std::memory_order_relaxed);
+}
+
 void Engine::ClearCache() {
   {
     std::lock_guard<std::mutex> lock(cache_mu_);
@@ -1023,6 +1394,69 @@ void QueryHandle::Cancel() {
 CancellationToken QueryHandle::token() const {
   MLCORE_CHECK_MSG(task_ != nullptr, "token() on an invalid QueryHandle");
   return task_->token;
+}
+
+// --------------------------------------------------------------------------
+// Subscription — defined here because Engine::SubscriptionState is private
+// to this translation unit.
+// --------------------------------------------------------------------------
+
+Subscription::Subscription() = default;
+Subscription::Subscription(const Subscription&) = default;
+Subscription& Subscription::operator=(const Subscription&) = default;
+Subscription::Subscription(Subscription&&) noexcept = default;
+Subscription& Subscription::operator=(Subscription&&) noexcept = default;
+Subscription::~Subscription() = default;
+
+Subscription::Subscription(std::shared_ptr<Engine::SubscriptionState> state)
+    : state_(std::move(state)) {}
+
+std::optional<ResultRevision> Subscription::PopLocked() {
+  if (state_->buffer.empty()) return std::nullopt;
+  Engine::SubscriptionState::BufferedRevision front =
+      std::move(state_->buffer.front());
+  state_->buffer.pop_front();
+  // Materialise the consumer's copy only now — revisions folded away by
+  // coalescing never paid for one — and keep the shared handle as the
+  // delta-chain anchor for the next push onto an emptied buffer.
+  front.revision.result = *front.result;
+  state_->delivered_base = std::move(front.result);
+  return std::move(front.revision);
+}
+
+std::optional<ResultRevision> Subscription::Next() {
+  MLCORE_CHECK_MSG(state_ != nullptr, "Next on an invalid Subscription");
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->cv.wait(lock, [&] {
+    return !state_->buffer.empty() || state_->cancelled;
+  });
+  return PopLocked();
+}
+
+std::optional<ResultRevision> Subscription::TryNext() {
+  MLCORE_CHECK_MSG(state_ != nullptr, "TryNext on an invalid Subscription");
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return PopLocked();
+}
+
+void Subscription::Cancel() {
+  MLCORE_CHECK_MSG(state_ != nullptr, "Cancel on an invalid Subscription");
+  // The token stops an in-flight evaluation at its next checkpoint; the
+  // flag stops production and wakes blocked consumers. The dispatcher
+  // prunes the state on its next scan (or the engine's destructor does).
+  // No live engine is needed, so cancelling after ~Engine is safe.
+  state_->token.RequestCancel();
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    state_->cancelled = true;
+  }
+  state_->cv.notify_all();
+}
+
+bool Subscription::active() const {
+  MLCORE_CHECK_MSG(state_ != nullptr, "active() on an invalid Subscription");
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return !state_->cancelled;
 }
 
 }  // namespace mlcore

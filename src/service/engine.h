@@ -2,10 +2,13 @@
 #define MLCORE_SERVICE_ENGINE_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <thread>
 #include <tuple>
@@ -17,6 +20,7 @@
 #include "dccs/preprocess.h"
 #include "dccs/vertex_index.h"
 #include "graph/multilayer_graph.h"
+#include "service/delta.h"
 #include "service/status.h"
 #include "store/graph_store.h"
 #include "util/cancellation.h"
@@ -25,6 +29,7 @@
 namespace mlcore {
 
 class QueryHandle;
+class Subscription;
 
 /// One DCCS query against an Engine's graph: the paper's (d, s, k)
 /// parameters (plus algorithm knobs) and the algorithm to answer it with.
@@ -70,6 +75,18 @@ struct EngineCacheStats {
   /// Base-core misses served wholesale from the store's incrementally
   /// maintained cores (tracked degrees) — no DCore ran at all.
   int64_t base_core_store_served = 0;
+  /// Subscription counters (Engine::Subscribe). `revisions_emitted` counts
+  /// every revision produced — delivered, still buffered, or later folded
+  /// away by coalescing. `revisions_unchanged_skipped` counts epochs a
+  /// subscription absorbed *without any recomputation* because no core-
+  /// subgraph generation relevant to its (d, s) moved (the generational-key
+  /// payoff of DESIGN.md §8; such an epoch emits an "unchanged" revision).
+  /// `revisions_coalesced` counts undelivered revisions folded into a newer
+  /// one when a subscription's bounded buffer overflowed
+  /// (latest-epoch-wins).
+  int64_t revisions_emitted = 0;
+  int64_t revisions_unchanged_skipped = 0;
+  int64_t revisions_coalesced = 0;
 };
 
 /// Cumulative admission/scheduler counters (Engine::scheduler_stats).
@@ -109,6 +126,63 @@ struct SubmitOptions {
   /// (DESIGN.md §7's unified deadline policy — the effective stop time is
   /// whichever of the two limits fires first).
   double deadline_seconds = 0.0;
+};
+
+/// One delivery of a standing query (Engine::Subscribe): the full result
+/// for one graph epoch plus the vertex-level delta against the previous
+/// revision of the same subscription.
+struct ResultRevision {
+  /// Epoch this revision answers from. Strictly increasing within a
+  /// subscription, but not necessarily contiguous: latest-epoch-wins
+  /// applies at both ends of the pipeline — epochs that publish while an
+  /// evaluation is in flight collapse into the next evaluation (no
+  /// revision of their own), and a full consumer buffer folds the newest
+  /// buffered revision into the incoming one (`coalesced` accounts the
+  /// folded revisions; dispatch-time collapses produce none to fold).
+  uint64_t epoch = 0;
+  /// 1-based position in the subscription's revision stream. Gaps mark
+  /// revisions folded away by coalescing.
+  uint64_t sequence = 0;
+  /// True when the engine proved the result identical to the previous
+  /// revision's without recomputing it: no core-subgraph generation
+  /// relevant to the subscription's (d, s) moved between the two epochs
+  /// (zero preprocess/search work was done; `delta` is empty unless
+  /// coalescing folded a computed revision into this one).
+  bool unchanged = false;
+  /// Undelivered older revisions folded into this one because the
+  /// subscription's buffer was full (latest-epoch-wins).
+  int64_t coalesced = 0;
+  /// The full result, exactly what Engine::Run would have returned for the
+  /// same request against this epoch's snapshot (timing fields report the
+  /// work this revision actually did — near zero when `unchanged`).
+  DccsResult result;
+  /// Delta against the revision the consumer saw before this one (the
+  /// stream's previous revision, delivered or still buffered). The first
+  /// revision reports its whole result as appeared/added.
+  ResultDelta delta;
+};
+
+/// Per-subscription knobs for Engine::Subscribe.
+struct SubscriptionOptions {
+  /// Admission priority of the re-evaluation queries this subscription
+  /// schedules (same scale as SubmitOptions::priority).
+  int priority = 0;
+  /// Bound on undelivered revisions (>= 1; values below 1 are clamped).
+  /// When a new revision lands on a full buffer the newest *buffered* one
+  /// is folded into it — the consumer always sees the latest epoch, with
+  /// `coalesced` and the delta accounting for the folded step.
+  int max_buffered_revisions = 8;
+  /// Emit "unchanged" marker revisions for epochs that provably left the
+  /// result untouched. When false such epochs are absorbed silently (the
+  /// `revisions_unchanged_skipped` counter still moves).
+  bool emit_unchanged = true;
+  /// Callback mode: when set, every revision is delivered by invoking this
+  /// from an engine thread (the dispatcher or a query worker) instead of
+  /// being buffered for Next/TryNext. Invocations are serialised per
+  /// subscription and in revision order. The callback must not block for
+  /// long (it runs on the engine's threads) and must not destroy the
+  /// engine; calling Subscription::Cancel from inside it is allowed.
+  std::function<void(const ResultRevision&)> on_revision;
 };
 
 /// Long-lived, thread-safe DCCS query service over one multi-layer graph
@@ -156,6 +230,13 @@ struct SubmitOptions {
 /// cache entry: caches and their counters end up exactly as if it had
 /// never run (or, when it won the build race late, as if it had
 /// completed).
+///
+/// Continuous queries (DESIGN.md §9): `Subscribe` turns a request into a
+/// standing query — a `Subscription` delivering one epoch-tagged
+/// `ResultRevision` (full result + vertex-level delta) per published
+/// epoch, with epochs the generational cache keys prove irrelevant
+/// absorbed as zero-work "unchanged" revisions and slow consumers bounded
+/// by latest-epoch-wins coalescing.
 ///
 /// Dynamic graphs (DESIGN.md §8): every engine hosts a `GraphStore` —
 /// the graph-owning constructors wrap their graph in a private store, and
@@ -218,10 +299,13 @@ class Engine {
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
-  /// The graph of the *current* snapshot. The reference stays valid until
-  /// the next successful ApplyUpdate retires that snapshot; callers that
-  /// interleave with updates should hold `store()->snapshot()` instead.
-  const MultiLayerGraph& graph() const { return store_->current_graph(); }
+  /// Deprecated: the graph of the *current* snapshot. The reference is
+  /// only valid until the next successful ApplyUpdate retires that
+  /// snapshot — hold `store()->snapshot()` instead.
+  [[deprecated(
+      "valid only until the next ApplyUpdate; hold store()->snapshot() "
+      "instead")]]
+  const MultiLayerGraph& graph() const;
   const std::shared_ptr<GraphStore>& store() const { return store_; }
   const Options& options() const { return options_; }
 
@@ -287,18 +371,53 @@ class Engine {
   Expected<CommunitySearchResult> FindCommunity(
       const CommunityRequest& request);
 
+  /// Standing query (continuous DCCS): validates `request` once and
+  /// returns a `Subscription` that delivers an initial `ResultRevision`
+  /// for the current epoch and then revisions tracking every epoch the
+  /// hosted `GraphStore` publishes, for as long as the subscription stays
+  /// active. Tracking is latest-epoch-wins, not one-revision-per-epoch:
+  /// epochs that publish while a revision is being produced collapse into
+  /// the next one (each revision answers from the newest epoch available
+  /// at its dispatch), so a consumer is always converging on the current
+  /// answer and must key on `ResultRevision::epoch`, never on counting
+  /// revisions against published epochs.
+  ///
+  /// Re-evaluations are scheduled through the admission queue at
+  /// `options.priority` (a shed or displaced evaluation runs inline on the
+  /// dispatcher — a standing query is never silently starved), and each
+  /// revision's result is bit-identical to what `Run` would return for the
+  /// same request against that epoch's snapshot. Epochs that provably
+  /// cannot change the result (no relevant core-subgraph generation moved
+  /// — DESIGN.md §8/§9) are absorbed with zero preprocess/search work and
+  /// emit an "unchanged" revision. Consumers falling behind are bounded by
+  /// `options.max_buffered_revisions` with latest-epoch-wins coalescing.
+  ///
+  /// Destroying the engine finishes in-flight revisions, then terminates
+  /// every subscription; surviving handles stay safe — buffered revisions
+  /// remain consumable, after which Next returns nullopt (DESIGN.md §9's
+  /// shutdown ordering). Only *racing* engine destruction against
+  /// Subscribe itself is undefined, exactly like Submit.
+  Expected<Subscription> Subscribe(const DccsRequest& request,
+                                   const SubscriptionOptions& options = {});
+
   EngineCacheStats cache_stats() const;
   SchedulerStats scheduler_stats() const;
+  /// Zeroes every cache and scheduler counter (cache/scheduler *contents*
+  /// are untouched), so benches and tests can assert deltas instead of
+  /// cumulative totals.
+  void ResetStats();
   /// Drops every cached entry (in-flight queries keep theirs alive) and the
-  /// solver free-list. Counters are not reset.
+  /// solver free-list. Counters are not reset — see ResetStats.
   void ClearCache();
 
  private:
   friend class QueryHandle;
+  friend class Subscription;
 
   struct BaseCoresEntry;
   struct QueryEntry;
   struct QueryTask;
+  struct SubscriptionState;
   class SolverLease;
   class WorkerSolvers;
 
@@ -341,6 +460,33 @@ class Engine {
   /// for a busy worker to claim a task that can only expire.
   void ResolveIfExpiredQueued(const std::shared_ptr<QueryTask>& task);
   void QueryWorkerLoop();
+
+  /// Lazily starts the subscription dispatcher thread and registers the
+  /// store epoch listener (engines that never Subscribe pay for neither).
+  void EnsureSubscriptionInfra();
+  /// Dispatcher: woken by store epochs, new subscriptions and completed
+  /// evaluations; decides per subscription between the unchanged-skip
+  /// fast path and scheduling a re-evaluation (DESIGN.md §9).
+  void SubscriptionDispatcherLoop();
+  /// One dispatch decision for `sub` against `snap`; never blocks on
+  /// query execution except for the inline fallback when admission sheds.
+  void DispatchSubscription(const std::shared_ptr<SubscriptionState>& sub,
+                            const std::shared_ptr<const GraphSnapshot>& snap);
+  /// Completion hook of a subscription's evaluation task (runs on the
+  /// executing thread): emits the revision, or retries/drops on
+  /// shed/cancel.
+  void CompleteSubscriptionEval(const std::shared_ptr<SubscriptionState>& sub,
+                                uint64_t generation, QueryTask& task);
+  /// Emits one revision (buffer push with coalescing, or callback
+  /// delivery) and closes the subscription's busy window; `result` may be
+  /// nullptr for a dropped evaluation (cancel/shed), which produces
+  /// nothing but still wakes the dispatcher for a retry.
+  void FinishRevision(const std::shared_ptr<SubscriptionState>& sub,
+                      uint64_t epoch,
+                      std::shared_ptr<const DccsResult> result,
+                      uint64_t generation, bool unchanged);
+  /// Wakes the dispatcher for another scan.
+  void PingDispatcher();
 
   /// Base cores for `d` at `snap`'s content. On a miss, unchanged layers
   /// are copied from the newest older entry for the same d, and tracked
@@ -420,6 +566,21 @@ class Engine {
   std::atomic<int64_t> sched_cancelled_queued_{0};
   std::atomic<int64_t> sched_expired_queued_{0};
   std::atomic<int64_t> sched_executed_{0};
+
+  // Continuous queries (DESIGN.md §9): the dispatcher thread and store
+  // listener start on the first Subscribe; subs_mu_ guards the
+  // subscription list and the dirty/shutdown flags only — per-subscription
+  // state has its own lock, and the dispatcher drops subs_mu_ before doing
+  // any work, so ApplyUpdate notifications never wait on evaluations.
+  std::once_flag subs_init_once_;
+  std::atomic<bool> subs_started_{false};
+  uint64_t store_listener_id_ = 0;
+  std::thread subs_dispatcher_;
+  std::mutex subs_mu_;
+  std::condition_variable subs_cv_;
+  bool subs_dirty_ = false;
+  bool subs_shutdown_ = false;
+  std::vector<std::shared_ptr<SubscriptionState>> subscriptions_;
 };
 
 /// Handle to one submitted query (Engine::Submit). Copyable — copies share
@@ -465,6 +626,53 @@ class QueryHandle {
 
   std::shared_ptr<Engine::QueryTask> task_;
   Engine* engine_ = nullptr;
+};
+
+/// Handle to one standing query (Engine::Subscribe). Copyable — copies
+/// share the same subscription — and safe to use from any thread,
+/// including after the engine's destruction (which terminates the
+/// subscription but leaves buffered revisions consumable).
+///
+/// Pull mode: `Next` blocks for the next revision (draining the buffer
+/// first) and returns nullopt once the subscription is terminal and
+/// drained; `TryNext` never blocks. With `SubscriptionOptions::
+/// on_revision` set the engine pushes revisions through the callback
+/// instead and the buffer stays empty.
+///
+/// `Cancel` stops the stream: the in-flight re-evaluation (if any) is
+/// cancelled cooperatively, no further revisions are produced, and
+/// blocked `Next` calls wake. Idempotent, never blocks, needs no live
+/// engine.
+class Subscription {
+ public:
+  Subscription();  // invalid; assign from Engine::Subscribe
+  Subscription(const Subscription&);
+  Subscription& operator=(const Subscription&);
+  Subscription(Subscription&&) noexcept;
+  Subscription& operator=(Subscription&&) noexcept;
+  ~Subscription();
+
+  bool valid() const { return state_ != nullptr; }
+
+  /// Blocks until a revision is available, the subscription is cancelled,
+  /// or the engine shut down; buffered revisions are delivered first.
+  /// nullopt = terminal and drained.
+  std::optional<ResultRevision> Next();
+  /// Non-blocking Next.
+  std::optional<ResultRevision> TryNext();
+  /// Stops the stream (see class comment).
+  void Cancel();
+  /// True while the subscription still produces revisions (not cancelled,
+  /// engine alive). Buffered revisions may remain after it turns false.
+  bool active() const;
+
+ private:
+  friend class Engine;
+  explicit Subscription(std::shared_ptr<Engine::SubscriptionState> state);
+  /// Pops the front revision; the caller holds the state's mutex.
+  std::optional<ResultRevision> PopLocked();
+
+  std::shared_ptr<Engine::SubscriptionState> state_;
 };
 
 }  // namespace mlcore

@@ -97,6 +97,24 @@ const MultiLayerGraph& GraphStore::current_graph() const {
   return *current_->graph_;
 }
 
+uint64_t GraphStore::AddEpochListener(EpochListener listener) {
+  MLCORE_CHECK(listener != nullptr);
+  std::lock_guard<std::mutex> lock(listeners_mu_);
+  const uint64_t id = next_listener_id_++;
+  listeners_.emplace_back(id, std::move(listener));
+  return id;
+}
+
+void GraphStore::RemoveEpochListener(uint64_t id) {
+  // Taking listeners_mu_ is the whole synchronisation: ApplyUpdate invokes
+  // listeners under it, so by the time the erase below runs no invocation
+  // of `id` is in flight and none can start.
+  std::lock_guard<std::mutex> lock(listeners_mu_);
+  std::erase_if(listeners_, [id](const auto& entry) {
+    return entry.first == id;
+  });
+}
+
 StoreStats GraphStore::stats() const {
   std::lock_guard<std::mutex> lock(stats_mu_);
   return stats_;
@@ -382,6 +400,13 @@ Expected<UpdateOutcome> GraphStore::ApplyUpdate(const UpdateBatch& batch) {
     stats_.core_entries += outcome.core_entries;
     stats_.incremental_layer_updates += outcome.incremental_layer_updates;
     stats_.full_layer_recomputes += outcome.full_layer_recomputes;
+  }
+
+  // Notify epoch listeners (still under update_mu_, so they observe
+  // epochs in publication order; see EpochListener for the contract).
+  {
+    std::lock_guard<std::mutex> listeners_lock(listeners_mu_);
+    for (const auto& [id, listener] : listeners_) listener(next);
   }
   return outcome;
 }

@@ -2,8 +2,10 @@
 #define MLCORE_STORE_GRAPH_STORE_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <utility>
 #include <vector>
 
 #include "dynamic/decremental_core.h"
@@ -102,6 +104,15 @@ class GraphSnapshot {
 /// monotonically and are never recycled.
 class GraphStore {
  public:
+  /// Epoch-change notification (the hook behind Engine::Subscribe):
+  /// invoked by `ApplyUpdate` immediately after a new epoch's snapshot is
+  /// published — never for rejected or empty batches. Runs on the updating
+  /// thread with the listener registry locked, so listeners must be cheap
+  /// (set a flag, notify a condition variable) and must not call back into
+  /// this store or register/remove listeners.
+  using EpochListener =
+      std::function<void(const std::shared_ptr<const GraphSnapshot>&)>;
+
   struct Options {
     /// Degree thresholds whose per-layer d-cores are maintained
     /// incrementally. Duplicates and negatives are ignored.
@@ -141,11 +152,24 @@ class GraphStore {
   /// Epoch of the current snapshot (0 before any update).
   uint64_t epoch() const;
 
-  /// Convenience: the current snapshot's graph. The reference is valid
-  /// until the *next* successful ApplyUpdate retires the snapshot (and
-  /// every holder of it lets go); callers that outlive updates should
-  /// hold `snapshot()` instead.
+  /// Deprecated convenience: the current snapshot's graph. The reference
+  /// is only valid until the *next* successful ApplyUpdate retires the
+  /// snapshot (and every holder of it lets go) — a footgun under any
+  /// concurrent writer. Hold `snapshot()` instead; it pins the epoch for
+  /// as long as the caller keeps the pointer.
+  [[deprecated(
+      "valid only until the next ApplyUpdate; hold snapshot() instead")]]
   const MultiLayerGraph& current_graph() const;
+
+  /// Registers an epoch-change listener (see EpochListener for the
+  /// invocation contract) and returns a handle for RemoveEpochListener.
+  /// Listeners registered mid-ApplyUpdate see only later epochs.
+  uint64_t AddEpochListener(EpochListener listener);
+
+  /// Unregisters a listener. Blocks until any in-flight invocation has
+  /// returned: once this call completes the listener is never run again
+  /// and whatever it captured may be destroyed. Unknown ids are ignored.
+  void RemoveEpochListener(uint64_t id);
 
   /// Validates and applies `batch`, publishing a new epoch. On a
   /// validation error nothing changes and the status names the offending
@@ -172,6 +196,14 @@ class GraphStore {
 
   mutable std::mutex snapshot_mu_;
   std::shared_ptr<const GraphSnapshot> current_;
+
+  // Listener registry. Invocation happens under listeners_mu_ (holding the
+  // lock for the whole sweep is what lets RemoveEpochListener guarantee
+  // no in-flight callback survives it), after snapshot_mu_ is released —
+  // listeners observe the already-published epoch.
+  mutable std::mutex listeners_mu_;
+  uint64_t next_listener_id_ = 1;
+  std::vector<std::pair<uint64_t, EpochListener>> listeners_;
 
   mutable std::mutex stats_mu_;
   StoreStats stats_;

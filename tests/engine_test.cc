@@ -366,6 +366,78 @@ TEST(EngineConcurrencyTest, BatchesAndRunsInterleave) {
   }
 }
 
+// ResetStats zeroes every cache and scheduler counter under their locks
+// without touching cache *contents*: the next identical query is still a
+// hit, and it is counted from a clean slate — deltas instead of
+// cumulative totals.
+TEST(EngineTest, ResetStatsClearsCountersButKeepsCacheContents) {
+  MultiLayerGraph graph = EngineGraph(21);
+  Engine engine(&graph);
+  DccsRequest request;
+  request.params.d = 3;
+  request.params.s = 2;
+  ASSERT_TRUE(engine.Run(request).ok());
+  ASSERT_GT(engine.cache_stats().preprocess_misses, 0);
+  ASSERT_GT(engine.scheduler_stats().executed, 0);
+
+  engine.ResetStats();
+  EngineCacheStats cache = engine.cache_stats();
+  EXPECT_EQ(cache.preprocess_hits, 0);
+  EXPECT_EQ(cache.preprocess_misses, 0);
+  EXPECT_EQ(cache.base_core_hits, 0);
+  EXPECT_EQ(cache.base_core_misses, 0);
+  EXPECT_EQ(cache.seed_hits, 0);
+  EXPECT_EQ(cache.seed_misses, 0);
+  EXPECT_EQ(cache.revisions_emitted, 0);
+  SchedulerStats sched = engine.scheduler_stats();
+  EXPECT_EQ(sched.submitted, 0);
+  EXPECT_EQ(sched.executed, 0);
+
+  // The caches themselves survived: the repeat query is a pure hit.
+  ASSERT_TRUE(engine.Run(request).ok());
+  cache = engine.cache_stats();
+  EXPECT_EQ(cache.preprocess_hits, 1);
+  EXPECT_EQ(cache.preprocess_misses, 0);
+  EXPECT_EQ(engine.scheduler_stats().executed, 1);
+}
+
+// The subscription counters ride in EngineCacheStats: one emitted
+// revision per delivered epoch, unchanged-skip accounting for epochs the
+// generational keys proved irrelevant, and coalescing for folded buffer
+// entries (exercised in depth by tests/subscription_test.cc).
+TEST(EngineTest, SubscriptionCountersTrackRevisions) {
+  GraphBuilder builder(/*num_vertices=*/8, /*num_layers=*/2);
+  for (LayerId layer = 0; layer < 2; ++layer) {
+    for (VertexId u = 0; u < 4; ++u) {
+      for (VertexId v = u + 1; v < 4; ++v) builder.AddEdge(layer, u, v);
+    }
+  }
+  GraphStore::Options store_options;
+  store_options.tracked_degrees = {3};
+  Engine engine(std::make_shared<GraphStore>(builder.Build(), store_options));
+
+  DccsRequest request;
+  request.params.d = 3;
+  request.params.s = 2;
+  request.params.k = 2;
+  Expected<Subscription> subscribed = engine.Subscribe(request);
+  ASSERT_TRUE(subscribed.ok());
+  Subscription sub = *subscribed;
+  ASSERT_TRUE(sub.Next().has_value());  // initial revision (computed)
+
+  // Background churn between spare vertices: absorbed as unchanged.
+  ASSERT_TRUE(engine.ApplyUpdate(UpdateBatch{}.Insert(0, 5, 6)).ok());
+  std::optional<ResultRevision> unchanged = sub.Next();
+  ASSERT_TRUE(unchanged.has_value());
+  EXPECT_TRUE(unchanged->unchanged);
+
+  EngineCacheStats stats = engine.cache_stats();
+  EXPECT_EQ(stats.revisions_emitted, 2);
+  EXPECT_EQ(stats.revisions_unchanged_skipped, 1);
+  EXPECT_EQ(stats.revisions_coalesced, 0);
+  sub.Cancel();
+}
+
 // Satellite regression: an out-of-enum algorithm used to fall through
 // SolveDccs's switch and silently return an empty result; it now dies with
 // the engine's validation message.

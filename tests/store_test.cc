@@ -148,7 +148,7 @@ TEST(GraphStoreTest, ValidationRejectsMalformedBatches) {
   expect_rejected(negative, "negative add_vertices");
 
   // The failed batches must have changed nothing.
-  EXPECT_EQ(AllEdges(store.current_graph()), AllEdges(TriangleGraph()));
+  EXPECT_EQ(AllEdges(store.snapshot()->graph()), AllEdges(TriangleGraph()));
   EXPECT_EQ(store.stats().batches_applied, 0);
   EXPECT_GT(store.stats().batches_rejected, 0);
 }
@@ -207,6 +207,30 @@ TEST(GraphStoreTest, VertexAddAndRemoveSemantics) {
   EXPECT_EQ(*tracked->cores[0], (VertexSet{0, 2, 5}));
   // The id remains usable: reconnecting is legal.
   EXPECT_TRUE(store.ApplyUpdate(UpdateBatch{}.Insert(1, 1, 4)).ok());
+}
+
+TEST(GraphStoreTest, EpochListenersObserveEveryPublishedEpoch) {
+  GraphStore store(TriangleGraph());
+  std::vector<uint64_t> seen;
+  const uint64_t id = store.AddEpochListener(
+      [&](const std::shared_ptr<const GraphSnapshot>& snap) {
+        seen.push_back(snap->epoch());
+      });
+
+  ASSERT_TRUE(store.ApplyUpdate(UpdateBatch{}.Insert(1, 0, 3)).ok());
+  ASSERT_TRUE(store.ApplyUpdate(UpdateBatch{}.Remove(1, 0, 3)).ok());
+  EXPECT_EQ(seen, (std::vector<uint64_t>{1, 2}));
+
+  // Neither empty nor rejected batches publish, so neither notifies.
+  ASSERT_TRUE(store.ApplyUpdate(UpdateBatch{}).ok());
+  EXPECT_FALSE(store.ApplyUpdate(UpdateBatch{}.Insert(0, 2, 2)).ok());
+  EXPECT_EQ(seen.size(), 2u);
+
+  // After removal the listener never fires again.
+  store.RemoveEpochListener(id);
+  ASSERT_TRUE(store.ApplyUpdate(UpdateBatch{}.Insert(1, 0, 3)).ok());
+  EXPECT_EQ(seen.size(), 2u);
+  store.RemoveEpochListener(id);  // unknown/stale ids are ignored
 }
 
 TEST(GraphStoreTest, IncrementalAndRecomputePathsAgree) {
@@ -321,6 +345,114 @@ TEST(UpdateStreamIoTest, RejectsMalformedRecordsWithLineNumbers) {
   IoStatus status = LoadUpdateStream(path, &batches);
   EXPECT_FALSE(status.ok);
   EXPECT_NE(status.error.find(":3:"), std::string::npos) << status.error;
+  std::remove(path.c_str());
+}
+
+// Comments and blank lines interleave freely with records; a trailing
+// batch without `commit` still loads, and record-free batches are
+// dropped.
+TEST(UpdateStreamIoTest, ParsesThroughCommentsAndBlankLines) {
+  const std::string path = "/tmp/mlcore_update_stream_comments.txt";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs(
+        "# day 1\n"
+        "\n"
+        "+ 0 1 2\n"
+        "# mid-batch note\n"
+        "- 1 3 4\n"
+        "commit\n"
+        "\n"
+        "commit\n"          // empty batch: dropped
+        "# day 2\n"
+        "addv 2\n"
+        "delv 5\n"
+        "+ 2 6 7\n",        // trailing batch, no commit
+        f);
+    std::fclose(f);
+  }
+  std::vector<UpdateBatch> batches;
+  IoStatus status = LoadUpdateStream(path, &batches);
+  ASSERT_TRUE(status.ok) << status.error;
+  ASSERT_EQ(batches.size(), 2u);
+  EXPECT_EQ(batches[0].insert_edges,
+            (std::vector<EdgeUpdate>{{0, 1, 2}}));
+  EXPECT_EQ(batches[0].remove_edges,
+            (std::vector<EdgeUpdate>{{1, 3, 4}}));
+  EXPECT_EQ(batches[1].add_vertices, 2);
+  EXPECT_EQ(batches[1].remove_vertices, (VertexSet{5}));
+  EXPECT_EQ(batches[1].insert_edges,
+            (std::vector<EdgeUpdate>{{2, 6, 7}}));
+  std::remove(path.c_str());
+}
+
+// A file with comments and blank lines round-trips: Save writes a header
+// comment, Load ignores it and reproduces the batches bit-for-bit.
+TEST(UpdateStreamIoTest, SaveLoadRoundTripPreservesBatchesThroughComments) {
+  std::vector<UpdateBatch> batches;
+  batches.push_back(UpdateBatch{}.Insert(0, 1, 2).Insert(1, 2, 3));
+  UpdateBatch second;
+  second.AddVertices(4).RemoveVertex(1).Remove(0, 1, 2);
+  batches.push_back(second);
+
+  const std::string path = "/tmp/mlcore_update_stream_roundtrip.txt";
+  ASSERT_TRUE(SaveUpdateStream(batches, path).ok);
+  // Splice extra comments/blank lines into the saved file; the reload
+  // must be unaffected.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "a");
+    ASSERT_NE(f, nullptr);
+    std::fputs("\n# trailing commentary\n\n", f);
+    std::fclose(f);
+  }
+  std::vector<UpdateBatch> loaded;
+  IoStatus status = LoadUpdateStream(path, &loaded);
+  ASSERT_TRUE(status.ok) << status.error;
+  ASSERT_EQ(loaded.size(), batches.size());
+  for (size_t i = 0; i < batches.size(); ++i) {
+    EXPECT_EQ(loaded[i].add_vertices, batches[i].add_vertices) << i;
+    EXPECT_EQ(loaded[i].remove_vertices, batches[i].remove_vertices) << i;
+    EXPECT_EQ(loaded[i].insert_edges, batches[i].insert_edges) << i;
+    EXPECT_EQ(loaded[i].remove_edges, batches[i].remove_edges) << i;
+  }
+  std::remove(path.c_str());
+}
+
+// Every malformed record kind is rejected with path:line context and a
+// description of the expected form — the structural half of the
+// validation story (GraphStore::ApplyUpdate owns the graph-dependent
+// half).
+TEST(UpdateStreamIoTest, EveryRecordKindRejectsWithPathLineContext) {
+  const std::string path = "/tmp/mlcore_update_stream_records.txt";
+  struct Case {
+    const char* content;
+    const char* needle;  // expected fragment of the message
+  };
+  const std::vector<Case> cases = {
+      {"+ 0 1\n", "expected '+ <layer> <u> <v>'"},
+      {"- 0 -1 2\n", "expected '- <layer> <u> <v>'"},
+      {"+ 0 1 99999999999\n", "expected '+ <layer> <u> <v>'"},
+      {"addv -3\n", "expected 'addv <count>'"},
+      {"delv\n", "expected 'delv <v>'"},
+      {"insert 0 1 2\n", "unknown record 'insert'"},
+  };
+  for (const Case& c : cases) {
+    {
+      std::FILE* f = std::fopen(path.c_str(), "w");
+      ASSERT_NE(f, nullptr);
+      std::fputs("# header\n\n", f);  // the record lands on line 3
+      std::fputs(c.content, f);
+      std::fclose(f);
+    }
+    std::vector<UpdateBatch> batches;
+    IoStatus status = LoadUpdateStream(path, &batches);
+    EXPECT_FALSE(status.ok) << c.content;
+    EXPECT_NE(status.error.find(path + ":3:"), std::string::npos)
+        << status.error;
+    EXPECT_NE(status.error.find(c.needle), std::string::npos)
+        << status.error;
+  }
   std::remove(path.c_str());
 }
 
