@@ -20,16 +20,32 @@ namespace mlcore::bench {
 
 /// Shared harness context for the figure-reproduction binaries.
 ///
+/// Process-wide default for DccsParams::search_threads, set from the
+/// --search_threads flag by BenchContext: every figure binary's
+/// single-query searches run in parallel mode without per-bench plumbing
+/// (RunAlgorithm applies it to params still at the default). Results are
+/// bit-identical at any value (DESIGN.md §10) — only timings change.
+inline int& DefaultSearchThreads() {
+  static int value = 1;
+  return value;
+}
+
 /// Every binary accepts:
-///   --quick        shrink datasets (scale 0.25) and trim sweeps — smoke run
-///   --scale=F      explicit dataset scale in (0, 1]
+///   --quick            shrink datasets (scale 0.25), trim sweeps — smoke run
+///   --scale=F          explicit dataset scale in (0, 1]
+///   --search_threads=N parallel BU/TD search lanes per query (default 1)
 struct BenchContext {
   explicit BenchContext(const Flags& flags)
       : quick(flags.GetBool("quick", false)),
-        scale(flags.GetDouble("scale", quick ? 0.25 : 1.0)) {}
+        scale(flags.GetDouble("scale", quick ? 0.25 : 1.0)),
+        search_threads(static_cast<int>(
+            std::max<int64_t>(1, flags.GetInt("search_threads", 1)))) {
+    DefaultSearchThreads() = search_threads;
+  }
 
   bool quick;
   double scale;
+  int search_threads;
 
   /// Loads (and memoises) a dataset at the configured scale, backed by an
   /// on-disk cache shared across the figure binaries (generation of the
@@ -86,7 +102,11 @@ struct RunOutcome {
 inline RunOutcome RunAlgorithm(const MultiLayerGraph& graph,
                                const DccsParams& params,
                                DccsAlgorithm algorithm) {
-  DccsResult result = SolveDccs(graph, params, algorithm);
+  DccsParams effective = params;
+  if (effective.search_threads <= 1) {
+    effective.search_threads = DefaultSearchThreads();
+  }
+  DccsResult result = SolveDccs(graph, effective, algorithm);
   return RunOutcome{result.stats.total_seconds, result.CoverSize(),
                     result.stats};
 }

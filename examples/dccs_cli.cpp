@@ -3,8 +3,9 @@
 //
 //   ./examples/dccs_cli --graph=network.txt --d=4 --s=3 --k=10
 //       [--algorithm=auto|greedy|bu|td] [--engine=queue|bins] [--csv]
-//       [--threads=N] [--priority=P] [--deadline_ms=T] [--cancel_after_ms=T]
-//       [--budget_ms=T] [--updates=stream.txt] [--subscribe]
+//       [--threads=N] [--search_threads=N] [--priority=P] [--deadline_ms=T]
+//       [--cancel_after_ms=T] [--budget_ms=T] [--updates=stream.txt]
+//       [--subscribe]
 //
 // The query goes through the engine's asynchronous path (Engine::Submit,
 // DESIGN.md §7): --deadline_ms attaches a wall-clock deadline, --priority
@@ -113,9 +114,15 @@ int main(int argc, char** argv) {
       std::shared_ptr<const mlcore::MultiLayerGraph>(
           &graph, [](const mlcore::MultiLayerGraph*) {}),
       store_options);
+  // --threads feeds the shared pool (preprocessing, batch fan-out);
+  // --search_threads parallelises the BU/TD lattice search itself
+  // (DESIGN.md §10) — results are bit-identical at any value of either.
   mlcore::Engine engine(
-      store, mlcore::Engine::Options{
-                 .num_threads = static_cast<int>(flags.GetInt("threads", 1))});
+      store,
+      mlcore::Engine::Options{
+          .num_threads = static_cast<int>(flags.GetInt("threads", 1)),
+          .search_threads =
+              static_cast<int>(flags.GetInt("search_threads", 1))});
   mlcore::SubmitOptions submit;
   submit.priority = static_cast<int>(flags.GetInt("priority", 0));
   submit.deadline_seconds = flags.GetDouble("deadline_ms", 0.0) / 1e3;

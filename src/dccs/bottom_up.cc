@@ -1,12 +1,19 @@
 #include "dccs/bottom_up.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
 
 #include "core/dcc.h"
+#include "dccs/concurrent_topk.h"
 #include "dccs/cover.h"
 #include "dccs/preprocess.h"
+#include "util/task_group.h"
 #include "util/thread_pool.h"
 #include "util/timing.h"
 
@@ -14,37 +21,96 @@ namespace mlcore {
 
 namespace {
 
-/// DFS state for BU-Gen (paper Fig 3). Layers are addressed by *position*
-/// in the sorted layer order (Fig 7 line 9); positions are translated back
-/// to original layer ids whenever a dCC is computed or reported.
+// Lifecycle of one speculative child evaluation (DESIGN.md §10). Exactly
+// one thread wins the kPending -> kRunning CAS — a task-group worker, or
+// the commit driver claiming the slot inline (which at search_threads == 1
+// is how every slot runs, reproducing the sequential search).
+constexpr uint8_t kSlotPending = 0;
+constexpr uint8_t kSlotRunning = 1;
+constexpr uint8_t kSlotDone = 2;
+constexpr uint8_t kSlotCancelled = 3;
+
+/// The BU-Gen search (paper Fig 3), restructured for intra-query
+/// parallelism: the recursion below is the sequential *commit driver* — it
+/// makes every pruning, ordering, recursion and top-k decision in the
+/// exact order and against the exact state of the historical sequential
+/// search — while the d-CC evaluations of lattice children (the expensive
+/// part) run as speculative tasks on a work-stealing TaskGroup. A stale
+/// published bound only launches evaluations the driver will later discard
+/// (counted as stats.speculative_evals), so results are bit-identical at
+/// any thread count. Layers are addressed by *position* in the sorted
+/// layer order (Fig 7 line 9); positions are translated back to original
+/// layer ids whenever a dCC is computed or reported.
 class BottomUpSearch {
  public:
   BottomUpSearch(const MultiLayerGraph& graph, const DccsParams& params,
                  const PreprocessResult& preprocess,
                  const std::vector<LayerId>& order,
-                 const QueryControl* control, DccSolver& solver,
-                 CoverageIndex& result, SearchStats& stats)
+                 const DccsExecution& exec, DccSolver& solver,
+                 ConcurrentTopK& result, SearchStats& stats)
       : graph_(graph),
         params_(params),
         preprocess_(preprocess),
         order_(order),
-        control_(control),
+        control_(exec.control),
+        worker_solver_(exec.worker_solver),
         solver_(solver),
         result_(result),
-        stats_(stats) {}
+        stats_(stats) {
+    const int threads = std::max(1, exec.search_threads);
+    if (threads > 1) {
+      lane_solvers_.resize(static_cast<size_t>(threads), nullptr);
+      owned_solvers_.resize(static_cast<size_t>(threads));
+      group_.emplace(threads);
+    }
+  }
 
   void Run() {
-    LayerSet root;
-    Gen(root, preprocess_.active, /*excluded=*/0);
+    auto root = std::make_shared<Node>();
+    root->core = &preprocess_.active;
+    root->excluded = 0;
+    Prepare(*root);
+    SpawnEvals(root);
+    Gen(root);
+  }
+
+  /// dCC evaluations the commit driver consumed — the deterministic part
+  /// of candidates_generated.
+  int64_t committed_calls() const { return committed_calls_; }
+  /// All dCC evaluations performed, including speculative ones whose slot
+  /// was never committed; thread-count-dependent.
+  int64_t executed_calls() const {
+    return executed_calls_.load(std::memory_order_relaxed);
   }
 
  private:
-  // Cooperative checkpoint, polled once per generated child (a
-  // subset-lattice node boundary): the anytime time_budget_seconds, plus
-  // the injected QueryControl's cancellation/deadline. When any fires the
-  // search unwinds; for budget/deadline the temporary top-k set becomes the
-  // (anytime) result, for cancellation the caller discards it. Inactive
-  // control and zero budget reduce this to two predictable branches.
+  struct EvalSlot {
+    LayerSet ids;     // the child's L translated to layer ids
+    VertexSet core;   // output: C^d_L of the child
+    int64_t solver_calls = 0;
+    std::atomic<uint8_t> state{kSlotPending};
+  };
+
+  /// One prepared lattice node: its children's scopes and evaluation
+  /// slots, indexed like `expandable`. Shared with task closures, which
+  /// may outlive the driver's interest in the node (a cancelled slot's
+  /// task still holds a reference until a lane pops and skips it).
+  struct Node {
+    LayerSet positions;        // the node's L (ascending positions)
+    VertexSet core_storage;    // owned for non-root nodes
+    const VertexSet* core = nullptr;
+    uint64_t excluded = 0;     // LQ bitmask of Lemma 4 exclusions
+    bool leaf_children = false;
+    std::vector<int> expandable;      // LP (Fig 3 line 1)
+    std::vector<VertexSet> scopes;    // C ∩ C^d(G_j) per expandable child
+    std::unique_ptr<EvalSlot[]> slots;
+  };
+
+  // Cooperative checkpoint, polled by the driver once per committed child
+  // (a subset-lattice node boundary): the anytime time_budget_seconds,
+  // plus the injected QueryControl's cancellation/deadline. When any fires
+  // the search unwinds; for budget/deadline the temporary top-k set
+  // becomes the (anytime) result, for cancellation the caller discards it.
   bool StopRequested() {
     if (stats_.stopped != QueryStop::kNone) return true;
     return LatchQueryStop(
@@ -57,117 +123,233 @@ class BottomUpSearch {
         order_[static_cast<size_t>(pos)])];
   }
 
-  void ToLayerIdsInto(const LayerSet& positions, LayerSet* ids) const {
-    PositionsToLayerIds(order_, positions, ids);
+  DccSolver& SolverFor(int worker) {
+    if (worker == 0) return solver_;
+    DccSolver*& lane = lane_solvers_[static_cast<size_t>(worker)];
+    // Each lane is serviced by exactly one thread, so lazy init is
+    // race-free without synchronisation.
+    if (lane == nullptr) {
+      if (worker_solver_) {
+        lane = worker_solver_(worker);
+      } else {
+        owned_solvers_[static_cast<size_t>(worker)] =
+            std::make_unique<DccSolver>(graph_);
+        lane = owned_solvers_[static_cast<size_t>(worker)].get();
+      }
+    }
+    return *lane;
   }
 
-  // BU-Gen (Fig 3). `positions` is the node's L (ascending positions),
-  // `core` its d-CC, `excluded` the LQ bitmask of Lemma 4 exclusions.
-  void Gen(const LayerSet& positions, const VertexSet& core,
-           uint64_t excluded) {
+  /// Computes LP, the per-child scopes and the child evaluation slots.
+  /// Pure derivation from the node's (positions, core, excluded) — safe to
+  /// run any time before the node is committed.
+  void Prepare(Node& node) {
     const int l = graph_.NumLayers();
-    const int max_pos = positions.empty() ? -1 : positions.back();
-    const auto depth = static_cast<int>(positions.size());
-
-    // LP: positions usable to expand L (line 1).
-    std::vector<int> expandable;
+    const int max_pos = node.positions.empty() ? -1 : node.positions.back();
     for (int j = max_pos + 1; j < l; ++j) {
-      if ((excluded >> j) & 1) continue;
-      expandable.push_back(j);
+      if ((node.excluded >> j) & 1) continue;
+      node.expandable.push_back(j);
     }
-    if (expandable.empty()) return;
+    node.leaf_children =
+        static_cast<int>(node.positions.size()) + 1 == params_.s;
+    const size_t n = node.expandable.size();
+    if (n == 0) return;
+    node.scopes.resize(n);
+    node.slots = std::make_unique<EvalSlot[]>(n);
+    for (size_t idx = 0; idx < n; ++idx) {
+      const int j = node.expandable[idx];
+      IntersectSortedInto(*node.core, CoreAtPosition(j), &node.scopes[idx]);
+      positions_buf_ = node.positions;
+      positions_buf_.push_back(static_cast<LayerId>(j));
+      PositionsToLayerIds(order_, positions_buf_, &node.slots[idx].ids);
+    }
+  }
 
-    struct Child {
+  /// Launches the node's child evaluations on the task group, largest
+  /// scope first (the order the commit loop consumes once R is full).
+  /// Children already hopeless under the *published* bound are not
+  /// launched: if the driver nevertheless needs one (the published bound
+  /// was stale), it claims the still-pending slot inline.
+  void SpawnEvals(const std::shared_ptr<Node>& node) {
+    if (!group_) return;
+    const size_t n = node->expandable.size();
+    if (n == 0) return;
+    spawn_order_.clear();
+    for (size_t idx = 0; idx < n; ++idx) spawn_order_.push_back(idx);
+    if (result_.SpeculativelyFull()) {
+      std::stable_sort(spawn_order_.begin(), spawn_order_.end(),
+                       [&](size_t a, size_t b) {
+                         return node->scopes[a].size() > node->scopes[b].size();
+                       });
+    }
+    for (size_t idx : spawn_order_) {
+      if (result_.SpeculativelyBelowOrderThreshold(
+              static_cast<int64_t>(node->scopes[idx].size()))) {
+        continue;
+      }
+      group_->Spawn(0, [this, node, idx](int worker) {
+        RunEval(*node, idx, worker);
+      });
+    }
+  }
+
+  /// Claims and runs one child evaluation; no-op when another thread (or a
+  /// cancellation) already owns the slot.
+  void RunEval(Node& node, size_t idx, int worker) {
+    EvalSlot& slot = node.slots[idx];
+    uint8_t expected = kSlotPending;
+    if (!slot.state.compare_exchange_strong(expected, kSlotRunning,
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_acquire)) {
+      return;
+    }
+    DccSolver& solver = SolverFor(worker);
+    const int64_t before = solver.num_calls();
+    solver.Compute(slot.ids, params_.d, node.scopes[idx], &slot.core,
+                   params_.dcc_engine);
+    slot.solver_calls = solver.num_calls() - before;
+    executed_calls_.fetch_add(slot.solver_calls, std::memory_order_relaxed);
+    slot.state.store(kSlotDone, std::memory_order_release);
+  }
+
+  /// Blocks (productively) until the slot's evaluation exists: claims an
+  /// unclaimed slot inline, otherwise helps drain the task group while a
+  /// worker finishes it.
+  EvalSlot& WaitSlot(Node& node, size_t idx) {
+    EvalSlot& slot = node.slots[idx];
+    RunEval(node, idx, 0);
+    while (slot.state.load(std::memory_order_acquire) != kSlotDone) {
+      if (!group_ || !group_->TryRunOne(0)) std::this_thread::yield();
+    }
+    return slot;
+  }
+
+  void CancelSlot(EvalSlot& slot) {
+    uint8_t expected = kSlotPending;
+    slot.state.compare_exchange_strong(expected, kSlotCancelled,
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_acquire);
+  }
+
+  void CancelPending(Node& node) {
+    for (size_t idx = 0; idx < node.expandable.size(); ++idx) {
+      CancelSlot(node.slots[idx]);
+    }
+  }
+
+  // BU-Gen (Fig 3), commit side. Every stats increment, Update call,
+  // pruning test and recursion decision below happens on this thread in
+  // the sequential DFS order.
+  void Gen(const std::shared_ptr<Node>& node) {
+    const size_t n = node->expandable.size();
+    if (n == 0) return;
+    const bool leaf = node->leaf_children;
+
+    struct ChildRef {
       int position;
-      VertexSet core;
+      size_t idx;
     };
-    std::vector<Child> recurse;  // the LR set with its computed d-CCs
+    std::vector<ChildRef> recurse;  // the LR set (slots hold their d-CCs)
     uint64_t in_lr = 0;
 
-    const bool leaf = depth + 1 == params_.s;
     if (!result_.full()) {
       // Lines 2–9: no pruning is applicable while |R| < k.
-      for (int j : expandable) {
-        if (StopRequested()) return;
+      for (size_t idx = 0; idx < n; ++idx) {
+        if (StopRequested()) {
+          CancelPending(*node);
+          return;
+        }
+        const int j = node->expandable[idx];
         ++stats_.nodes_visited;
-        positions_buf_ = positions;
-        positions_buf_.push_back(static_cast<LayerId>(j));
-        ToLayerIdsInto(positions_buf_, &ids_buf_);
-        IntersectSortedInto(core, CoreAtPosition(j), &scope_buf_);
-        solver_.Compute(ids_buf_, params_.d, scope_buf_, &core_buf_,
-                        params_.dcc_engine);
+        EvalSlot& slot = WaitSlot(*node, idx);
+        committed_calls_ += slot.solver_calls;
         if (leaf) {
-          if (result_.Update(core_buf_, ids_buf_)) {
+          if (result_.Update(slot.core, slot.ids)) {
             ++stats_.updates_accepted;
           }
-        } else if (!core_buf_.empty()) {
+        } else if (!slot.core.empty()) {
           in_lr |= uint64_t{1} << j;
-          recurse.push_back(Child{j, core_buf_});
+          recurse.push_back(ChildRef{j, idx});
         }
       }
     } else {
-      // Lines 10–22: sort candidates by |C ∩ C^d(G_j)| descending and apply
-      // order-based (Lemma 3), Eq. (1) (Lemma 2) and layer (Lemma 4)
-      // pruning. The scopes live in a member arena indexed by expandable
-      // position and only the index permutation is sorted; the arena is
-      // dead by the time the recursion below reuses it.
-      const size_t num_scoped = expandable.size();
-      if (scope_arena_.size() < num_scoped) scope_arena_.resize(num_scoped);
-      scoped_order_.clear();
-      for (size_t idx = 0; idx < num_scoped; ++idx) {
-        IntersectSortedInto(core, CoreAtPosition(expandable[idx]),
-                            &scope_arena_[idx]);
-        scoped_order_.push_back(idx);
-      }
-      std::stable_sort(scoped_order_.begin(), scoped_order_.end(),
+      // Lines 10–22: sort candidates by |C ∩ C^d(G_j)| descending and
+      // apply order-based (Lemma 3), Eq. (1) (Lemma 2) and layer (Lemma 4)
+      // pruning. Only the index permutation is sorted.
+      order_buf_.clear();
+      for (size_t idx = 0; idx < n; ++idx) order_buf_.push_back(idx);
+      std::stable_sort(order_buf_.begin(), order_buf_.end(),
                        [&](size_t a, size_t b) {
-                         return scope_arena_[a].size() > scope_arena_[b].size();
+                         return node->scopes[a].size() > node->scopes[b].size();
                        });
-      for (size_t rank = 0; rank < num_scoped; ++rank) {
-        if (StopRequested()) return;
-        const int j = expandable[scoped_order_[rank]];
-        const VertexSet& scope = scope_arena_[scoped_order_[rank]];
-        if (result_.BelowOrderThreshold(
-                static_cast<int64_t>(scope.size()))) {
+      for (size_t rank = 0; rank < n; ++rank) {
+        if (StopRequested()) {
+          CancelPending(*node);
+          return;
+        }
+        const size_t idx = order_buf_[rank];
+        const int j = node->expandable[idx];
+        const VertexSet& scope = node->scopes[idx];
+        if (result_.BelowOrderThreshold(static_cast<int64_t>(scope.size()))) {
           // Lemma 3: this and all later children in the order are hopeless.
-          stats_.pruned_order += static_cast<int64_t>(num_scoped - rank);
+          stats_.pruned_order += static_cast<int64_t>(n - rank);
+          for (size_t r = rank; r < n; ++r) {
+            CancelSlot(node->slots[order_buf_[r]]);
+          }
           break;
         }
         ++stats_.nodes_visited;
-        positions_buf_ = positions;
-        positions_buf_.push_back(static_cast<LayerId>(j));
-        ToLayerIdsInto(positions_buf_, &ids_buf_);
-        solver_.Compute(ids_buf_, params_.d, scope, &core_buf_,
-                        params_.dcc_engine);
+        EvalSlot& slot = WaitSlot(*node, idx);
+        committed_calls_ += slot.solver_calls;
         if (leaf) {
-          if (result_.Update(core_buf_, ids_buf_)) {
+          if (result_.Update(slot.core, slot.ids)) {
             ++stats_.updates_accepted;
           }
-        } else if (!core_buf_.empty() && result_.SatisfiesEq1(core_buf_)) {
+        } else if (!slot.core.empty() && result_.SatisfiesEq1(slot.core)) {
           in_lr |= uint64_t{1} << j;
-          recurse.push_back(Child{j, core_buf_});
+          recurse.push_back(ChildRef{j, idx});
         } else {
           ++stats_.pruned_eq1;  // Lemma 2 subtree prune
         }
       }
     }
 
-    if (depth + 1 >= params_.s) return;
+    if (static_cast<int>(node->positions.size()) + 1 >= params_.s) return;
 
     // Lemma 4: positions tried here but not admitted to LR are excluded in
     // the whole subtree below (LQ ∪ (LP − LR), line 26).
-    uint64_t child_excluded = excluded;
-    for (int j : expandable) {
+    uint64_t child_excluded = node->excluded;
+    for (int j : node->expandable) {
       if (!((in_lr >> j) & 1)) {
         child_excluded |= uint64_t{1} << j;
         ++stats_.pruned_layer;
       }
     }
-    for (const Child& child : recurse) {
-      if (StopRequested()) return;
-      LayerSet child_positions = positions;
-      child_positions.push_back(static_cast<LayerId>(child.position));
-      Gen(child_positions, child.core, child_excluded);
+
+    // Prepare and launch every admitted subtree before descending into the
+    // first: sibling subtrees evaluate on the workers while the driver
+    // commits this one — the frontier spans the whole DFS spine.
+    std::vector<std::shared_ptr<Node>> children;
+    children.reserve(recurse.size());
+    for (const ChildRef& ref : recurse) {
+      auto child = std::make_shared<Node>();
+      child->positions = node->positions;
+      child->positions.push_back(static_cast<LayerId>(ref.position));
+      child->core_storage = std::move(node->slots[ref.idx].core);
+      child->core = &child->core_storage;
+      child->excluded = child_excluded;
+      Prepare(*child);
+      SpawnEvals(child);
+      children.push_back(std::move(child));
+    }
+    for (size_t c = 0; c < children.size(); ++c) {
+      if (StopRequested()) {
+        for (size_t rest = c; rest < children.size(); ++rest) {
+          CancelPending(*children[rest]);
+        }
+        return;
+      }
+      Gen(children[c]);
     }
   }
 
@@ -176,17 +358,28 @@ class BottomUpSearch {
   const PreprocessResult& preprocess_;
   const std::vector<LayerId>& order_;
   const QueryControl* control_;
+  const std::function<DccSolver*(int worker)> worker_solver_;
   DccSolver& solver_;
-  CoverageIndex& result_;
+  ConcurrentTopK& result_;
   SearchStats& stats_;
   WallTimer timer_;
 
-  // Reusable per-node buffers; leaf children (the vast majority of tree
-  // nodes at the search frontier) complete without any allocation.
-  LayerSet positions_buf_, ids_buf_;
-  VertexSet scope_buf_, core_buf_;
-  std::vector<VertexSet> scope_arena_;
-  std::vector<size_t> scoped_order_;
+  int64_t committed_calls_ = 0;
+  std::atomic<int64_t> executed_calls_{0};
+
+  // Driver-side reusable buffers (never touched by tasks).
+  LayerSet positions_buf_;
+  std::vector<size_t> order_buf_, spawn_order_;
+
+  // Lane 0 uses solver_; other lanes resolve through worker_solver_ or an
+  // owned per-lane fallback, each lane single-threaded by construction.
+  std::vector<DccSolver*> lane_solvers_;
+  std::vector<std::unique_ptr<DccSolver>> owned_solvers_;
+
+  // Last member: destroyed first, so in-flight task closures (which
+  // reference this object and its nodes) finish before anything above
+  // goes away.
+  std::optional<TaskGroup> group_;
 };
 
 }  // namespace
@@ -194,10 +387,12 @@ class BottomUpSearch {
 DccsResult BottomUpDccs(const MultiLayerGraph& graph,
                         const DccsParams& params) {
   // Per-layer d-cores of preprocessing fan out over a pool scoped to this
-  // call; the search itself is sequential through the shared top-k state.
+  // call; the search phase parallelises over params.search_threads lanes
+  // of its own (DESIGN.md §10).
   ThreadPool pool(params.num_threads);
   DccsExecution exec;
   exec.pool = &pool;
+  exec.search_threads = params.search_threads;
   return BottomUpDccs(graph, params, exec);
 }
 
@@ -205,11 +400,14 @@ DccsResult BottomUpDccs(const MultiLayerGraph& graph, const DccsParams& params,
                         const DccsExecution& exec) {
   MLCORE_CHECK(params.s >= 1);
   MLCORE_CHECK(params.k >= 1);
-  MLCORE_CHECK(graph.NumLayers() <= 64);
 
   WallTimer total_timer;
   DccsResult result;
-  if (params.s > graph.NumLayers()) {
+  if (params.s > graph.NumLayers() || graph.NumLayers() > 64) {
+    // > 64 layers: the lattice's word-sized position masks cannot represent
+    // the layer subsets. Library callers get the same (empty) result as the
+    // vacuous s > l case; the Engine rejects such requests up front with
+    // kInvalidArgument instead of ever dispatching here (DESIGN.md §5).
     result.stats.total_seconds = total_timer.Seconds();
     return result;
   }
@@ -238,32 +436,45 @@ DccsResult BottomUpDccs(const MultiLayerGraph& graph, const DccsParams& params,
   std::optional<DccSolver> local_solver;
   if (exec.solver == nullptr) local_solver.emplace(graph);
   DccSolver& solver = exec.solver != nullptr ? *exec.solver : *local_solver;
-  const int64_t calls_before = solver.num_calls();
 
-  CoverageIndex top_k(params.k);
-  // Fig 7 line 8: greedy initialisation of R (Appendix D), replayed from a
-  // cached capture when available. Replay performs the same Update sequence
-  // as the computation, so the seeded state is identical either way; its
-  // recorded dCC evaluations keep candidates_generated exact.
+  // Fig 7 line 8: greedy initialisation of R (Appendix D) — replayed from a
+  // cached capture, copied from an already-seeded prototype, or computed.
+  // All three leave the identical seeded state; the capture's recorded dCC
+  // evaluations keep candidates_generated exact.
+  CoverageIndex seeded(params.k);
   int64_t seed_calls = 0;
-  if (exec.seeds != nullptr) {
-    ReplayInitSeeds(*exec.seeds, top_k);
+  if (exec.seeded_topk != nullptr) {
+    seeded = *exec.seeded_topk;
+    seed_calls = exec.seeds != nullptr ? exec.seeds->solver_calls : 0;
+  } else if (exec.seeds != nullptr) {
+    ReplayInitSeeds(*exec.seeds, seeded);
     seed_calls = exec.seeds->solver_calls;
   } else {
-    InitTopK(graph, params, preprocess, solver, top_k);
+    const int64_t calls_before = solver.num_calls();
+    InitTopK(graph, params, preprocess, solver, seeded);
+    seed_calls = solver.num_calls() - calls_before;
   }
-  // Fig 7 line 9: sort layers by |C^d(G_i)| descending.
-  std::vector<LayerId> order =
-      SortedLayerOrder(preprocess, /*descending=*/true, params.sort_layers);
+  // Fig 7 line 9: sort layers by |C^d(G_i)| descending (cached by the
+  // Engine per query entry).
+  std::optional<std::vector<LayerId>> local_order;
+  if (exec.layer_order == nullptr) {
+    local_order =
+        SortedLayerOrder(preprocess, /*descending=*/true, params.sort_layers);
+  }
+  const std::vector<LayerId>& order =
+      exec.layer_order != nullptr ? *exec.layer_order : *local_order;
 
-  // Fig 7 line 10: recursive candidate generation.
-  BottomUpSearch search(graph, params, preprocess, order, exec.control,
-                        solver, top_k, result.stats);
+  // Fig 7 line 10: recursive candidate generation (the commit driver),
+  // with child evaluations fanned out over exec.search_threads lanes.
+  ConcurrentTopK top_k(std::move(seeded));
+  BottomUpSearch search(graph, params, preprocess, order, exec, solver, top_k,
+                        result.stats);
   search.Run();
 
-  result.cores = top_k.entries();
-  result.stats.candidates_generated =
-      solver.num_calls() - calls_before + seed_calls;
+  result.cores = top_k.index().entries();
+  result.stats.candidates_generated = seed_calls + search.committed_calls();
+  result.stats.speculative_evals =
+      search.executed_calls() - search.committed_calls();
   result.stats.search_seconds = search_timer.Seconds();
   result.stats.total_seconds = total_timer.Seconds();
   return result;

@@ -1,0 +1,28 @@
+#include "dccs/concurrent_topk.h"
+
+#include <utility>
+
+namespace mlcore {
+
+ConcurrentTopK::ConcurrentTopK(CoverageIndex seeded)
+    : index_(std::move(seeded)) {
+  cap_.store(index_.capacity(), std::memory_order_relaxed);
+  Publish();
+}
+
+bool ConcurrentTopK::Update(const VertexSet& candidate,
+                            const LayerSet& layers) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const bool changed = index_.Update(candidate, layers);
+  if (changed) Publish();
+  return changed;
+}
+
+void ConcurrentTopK::Publish() {
+  cover_size_.store(index_.cover_size(), std::memory_order_relaxed);
+  min_exclusive_.store(index_.size() > 0 ? index_.MinExclusiveSize() : 0,
+                       std::memory_order_relaxed);
+  size_.store(index_.size(), std::memory_order_relaxed);
+}
+
+}  // namespace mlcore

@@ -64,8 +64,10 @@ inline DccsResult SolveDccs(const MultiLayerGraph& graph,
   // query_workers = 0: the single Run executes on this thread via the
   // waiter-donation path, so the one-shot wrapper spawns no scheduler
   // thread.
-  Engine engine(&graph, Engine::Options{.num_threads = params.num_threads,
-                                        .query_workers = 0});
+  Engine engine(&graph,
+                Engine::Options{.num_threads = params.num_threads,
+                                .query_workers = 0,
+                                .search_threads = params.search_threads});
   Expected<DccsResult> response = engine.Run(DccsRequest{params, algorithm});
   MLCORE_CHECK_MSG(response.ok(), response.status().message.c_str());
   return std::move(response).value();

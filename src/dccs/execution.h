@@ -4,6 +4,7 @@
 #include <functional>
 
 #include "core/dcc.h"
+#include "dccs/cover.h"
 #include "dccs/preprocess.h"
 #include "dccs/vertex_index.h"
 #include "util/cancellation.h"
@@ -36,6 +37,19 @@ struct DccsExecution {
   /// params.init_result is set, the algorithm computes seeds itself.
   const InitSeeds* seeds = nullptr;
 
+  /// Already-seeded top-k prototype for (k, dcc_engine): the CoverageIndex
+  /// state after replaying `seeds`. When set, BU/TD start from a *copy* of
+  /// it and skip the per-query replay loop entirely (the Engine caches one
+  /// per query entry). `seeds` must still be set — its solver_calls keeps
+  /// candidates_generated exact — and must be the capture the prototype was
+  /// seeded from.
+  const CoverageIndex* seeded_topk = nullptr;
+
+  /// Sorted layer order to reuse (SortedLayerOrder output): descending
+  /// |C^d(G_i)| for BU, ascending for TD, identity when the query's
+  /// params.sort_layers is false. When null the algorithm sorts per call.
+  const std::vector<LayerId>* layer_order = nullptr;
+
   /// §V-C vertex index to reuse (TD-DCCS only). When null, TD-DCCS builds
   /// its own over preprocess->active.
   const VertexLevelIndex* index = nullptr;
@@ -51,11 +65,25 @@ struct DccsExecution {
   /// sequentially; results are bit-identical either way (DESIGN.md §4).
   ThreadPool* pool = nullptr;
 
-  /// Per-lane solver provider for GD-DCCS candidate generation: called at
-  /// most once per pool worker id, must be thread-safe, and the returned
-  /// solvers must stay valid for the duration of the call. When empty, the
-  /// candidate loop constructs (and discards) its own per-lane solvers.
+  /// Per-lane solver provider for the parallel stages that evaluate d-CCs
+  /// on worker threads: GD-DCCS candidate generation (lanes of `pool`) and
+  /// the BU/TD parallel search (lanes of the per-query task group, see
+  /// `search_threads`). Called at most once per worker id, must be
+  /// thread-safe, and the returned solvers must stay valid for the duration
+  /// of the call. When empty, the algorithms construct their own per-lane
+  /// solvers. Lane 0 is the calling (driver) thread and always uses
+  /// `solver`, never this provider.
   std::function<DccSolver*(int worker)> worker_solver;
+
+  /// Worker lanes for the BU/TD search phase (DESIGN.md §10): the search
+  /// spins up a TaskGroup of `search_threads` lanes (driver included) and
+  /// evaluates lattice children speculatively on them while the driver
+  /// commits results in the exact sequential order — bit-identical output
+  /// at any value. <= 1 runs the historical sequential search with no task
+  /// group at all. Hosts running concurrent queries should budget lanes so
+  /// the sum stays within the machine (the Engine debits a shared lane
+  /// budget, see Engine::Options::search_threads).
+  int search_threads = 1;
 
   /// Cooperative stop control (util/cancellation.h): polled at the
   /// subset-lattice nodes of BU/TD, at GD-DCCS candidate-evaluation

@@ -32,6 +32,19 @@ struct DccsParams {
   /// through the shared top-k state.
   int num_threads = 1;
 
+  /// Worker lanes for the BU/TD *search phase itself* (DESIGN.md §10):
+  /// child d-CC evaluations are farmed out speculatively to a work-stealing
+  /// task group while a sequential commit driver replays every pruning and
+  /// top-k decision in the exact sequential order, so results — cores,
+  /// cover, and all pre-existing SearchStats counters — are bit-identical
+  /// for any value. 1 (the default) runs the historical sequential search.
+  /// Honoured by the one-shot free functions and mapped to
+  /// `Engine::Options::search_threads` by `SolveDccs`; an Engine ignores
+  /// this field just as it ignores `num_threads` (threading is engine
+  /// policy, see service/engine.h). GD-DCCS ignores it (its candidate loop
+  /// already parallelises over `num_threads`).
+  int search_threads = 1;
+
   /// Wall-clock budget for the search phase, in seconds (0 = unlimited).
   /// All three algorithms honour it: BU-DCCS and TD-DCCS return their
   /// best-so-far result set when the budget expires ("anytime" behaviour;
@@ -83,6 +96,14 @@ struct SearchStats {
   int64_t pruned_potential = 0;
   /// Accepted Update calls (result-set improvements).
   int64_t updates_accepted = 0;
+  /// dCC evaluations performed speculatively by the parallel search's
+  /// worker lanes whose results the commit driver never consumed — work
+  /// wasted to a bound that tightened after launch, or to a stop request.
+  /// The ONLY thread-count-dependent counter: 0 when search_threads == 1,
+  /// and excluded from candidates_generated (which counts committed
+  /// evaluations only and stays bit-identical at any thread count). See
+  /// DESIGN.md §10.
+  int64_t speculative_evals = 0;
   /// True when the search stopped early on a time limit — either
   /// DccsParams::time_budget_seconds or a QueryControl deadline — and
   /// returned its best-so-far result. (Not set for cancellation: a

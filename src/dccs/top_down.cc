@@ -1,15 +1,22 @@
 #include "dccs/top_down.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
 
 #include "core/dcc.h"
+#include "dccs/concurrent_topk.h"
 #include "dccs/cover.h"
 #include "dccs/preprocess.h"
 #include "dccs/vertex_index.h"
 #include "util/bitset.h"
 #include "util/rng.h"
+#include "util/task_group.h"
 #include "util/thread_pool.h"
 #include "util/timing.h"
 
@@ -17,95 +24,50 @@ namespace mlcore {
 
 namespace {
 
-/// DFS machinery for TD-Gen (paper Fig 8). As in the bottom-up search,
-/// layers are addressed by *position* in the sorted layer order (ascending
-/// |C^d(G_i)|, Fig 11 line 2); positions translate back to layer ids at
-/// every dCC/RefineC evaluation.
-class TopDownSearch {
+// Slot lifecycle shared with the bottom-up search; see DESIGN.md §10.
+constexpr uint8_t kSlotPending = 0;
+constexpr uint8_t kSlotRunning = 1;
+constexpr uint8_t kSlotDone = 2;
+constexpr uint8_t kSlotCancelled = 3;
+
+// Largest position missing from sorted `positions`, or -1 if none below
+// l. l ≤ 64 (validated at entry), so a word-sized mask replaces the Bitset
+// this built per tree node.
+int MaxComplement(int l, const LayerSet& positions) {
+  uint64_t present = 0;
+  for (LayerId p : positions) present |= uint64_t{1} << p;
+  const uint64_t missing =
+      ~present & ((l == 64) ? ~uint64_t{0} : (uint64_t{1} << l) - 1);
+  if (missing == 0) return -1;
+  return 63 - __builtin_clzll(missing);
+}
+
+/// Per-lane RefineU/RefineC machinery of TD-Gen (paper Figs 9/10) with its
+/// scratch arenas. The parallel search materialises lattice children on
+/// worker lanes concurrently; each lane owns one refiner (and one solver),
+/// so the hot-path buffers below never need locks. Refinement is a pure
+/// function of (parent potential, child layer set) — independent of the
+/// shared top-k state — which is what makes the child materialisations
+/// safe to run out of order (DESIGN.md §10).
+class TdRefiner {
  public:
-  TopDownSearch(const MultiLayerGraph& graph, const DccsParams& params,
-                const PreprocessResult& preprocess,
-                const std::vector<LayerId>& order,
-                const VertexLevelIndex& index, const QueryControl* control,
-                DccSolver& solver, CoverageIndex& result, SearchStats& stats)
+  TdRefiner(const MultiLayerGraph& graph, const DccsParams& params,
+            const PreprocessResult& preprocess,
+            const std::vector<LayerId>& order, const VertexLevelIndex& index,
+            DccSolver& solver)
       : graph_(graph),
         params_(params),
         preprocess_(preprocess),
         order_(order),
         index_(index),
-        control_(control),
         solver_(solver),
-        result_(result),
-        stats_(stats),
-        rng_(kSeed),
         state_(static_cast<size_t>(graph.NumVertices()), kUntouched),
         dplus_(static_cast<size_t>(graph.NumVertices()) *
                    static_cast<size_t>(graph.NumLayers()),
                0),
         in_z_(static_cast<size_t>(graph.NumVertices())) {}
 
-  void Run() {
-    const int l = graph_.NumLayers();
-    LayerSet root_positions(static_cast<size_t>(l));
-    for (int j = 0; j < l; ++j) root_positions[static_cast<size_t>(j)] = j;
-    // Fig 11 line 4: the root d-CC w.r.t. all layers.
-    VertexSet root_core = solver_.Compute(ToLayerIds(root_positions),
-                                          params_.d, preprocess_.active,
-                                          params_.dcc_engine);
-    if (params_.s == l) {
-      if (result_.Update(root_core, ToLayerIds(root_positions))) {
-        ++stats_.updates_accepted;
-      }
-      return;
-    }
-    Gen(root_positions, root_core, preprocess_.active);
-  }
-
- private:
-  static constexpr uint64_t kSeed = 0x5851f42d4c957f2dULL;
-
-  // Cooperative checkpoint at subset-lattice node boundaries: the anytime
-  // time_budget_seconds plus the injected QueryControl (cancellation /
-  // wall-clock deadline) — see BottomUpSearch::StopRequested.
-  bool StopRequested() {
-    if (stats_.stopped != QueryStop::kNone) return true;
-    return LatchQueryStop(
-        CheckQueryStop(control_, params_.time_budget_seconds, timer_),
-        &stats_);
-  }
-
-  const VertexSet& CoreAtPosition(int pos) const {
-    return preprocess_.layer_cores[static_cast<size_t>(
-        order_[static_cast<size_t>(pos)])];
-  }
-  const Bitset& CoreBitsAtPosition(int pos) const {
-    return preprocess_.layer_core_bits[static_cast<size_t>(
-        order_[static_cast<size_t>(pos)])];
-  }
-
-  LayerSet ToLayerIds(const LayerSet& positions) const {
-    LayerSet ids;
-    ToLayerIdsInto(positions, &ids);
-    return ids;
-  }
-
-  // Buffer-reusing form for transient translations on the hot path.
-  void ToLayerIdsInto(const LayerSet& positions, LayerSet* ids) const {
-    PositionsToLayerIds(order_, positions, ids);
-  }
-
-  // Largest position missing from sorted `positions`, or -1 if none below
-  // l. l ≤ 64 (checked at entry), so a word-sized mask replaces the Bitset
-  // this built per tree node.
-  int MaxComplement(const LayerSet& positions) const {
-    const int l = graph_.NumLayers();
-    uint64_t present = 0;
-    for (LayerId p : positions) present |= uint64_t{1} << p;
-    const uint64_t missing = ~present & ((l == 64) ? ~uint64_t{0}
-                                                   : (uint64_t{1} << l) - 1);
-    if (missing == 0) return -1;
-    return 63 - __builtin_clzll(missing);
-  }
+  DccSolver& solver() { return solver_; }
 
   // RefineU (Fig 9): shrinks the parent's potential set to U^d_{L'}.
   // Refinement Method 2 filters by support over the Class-2 layers against
@@ -114,7 +76,7 @@ class TopDownSearch {
   // during peeling, one pass of each reaches the paper's fixpoint.
   void RefineU(const VertexSet& parent_u, const LayerSet& positions,
                VertexSet* out) {
-    const int max_comp = MaxComplement(positions);
+    const int max_comp = MaxComplement(graph_.NumLayers(), positions);
     class1_.clear();
     class2_.clear();
     for (LayerId p : positions) {
@@ -162,6 +124,16 @@ class TopDownSearch {
     RefineCIndexed(scope_buf_, ids_buf_, out);
   }
 
+ private:
+  const Bitset& CoreBitsAtPosition(int pos) const {
+    return preprocess_.layer_core_bits[static_cast<size_t>(
+        order_[static_cast<size_t>(pos)])];
+  }
+
+  void ToLayerIdsInto(const LayerSet& positions, LayerSet* ids) const {
+    PositionsToLayerIds(order_, positions, ids);
+  }
+
   // The index-based Fig 10 search in the two-pass form justified by
   // Lemma 9: (1) keep only vertices reachable through a level-monotone
   // chain of index edges from a vertex whose label L(w) covers L'; (2) peel
@@ -171,167 +143,32 @@ class TopDownSearch {
   void RefineCIndexed(const VertexSet& scope, const LayerSet& ids,
                       VertexSet* out);
 
-  // TD-Gen (Fig 8). `positions` = L (|L| > s), `core` = C^d_L, `potential`
-  // = U^d_L.
-  void Gen(const LayerSet& positions, const VertexSet& core,
-           const VertexSet& potential) {
-    (void)core;  // the parent d-CC guides no decision beyond reaching here
-    const auto depth = static_cast<int>(positions.size());
-    const int max_comp = MaxComplement(positions);
-
-    // LR: removable positions (line 1).
-    std::vector<int> removable;
-    for (LayerId p : positions) {
-      if (p > max_comp) removable.push_back(p);
-    }
-    if (removable.empty()) return;
-
-    // Lines 2–5: materialise every child's U and C up front.
-    struct Child {
-      int removed_position;
-      LayerSet positions;
-      VertexSet potential;
-      VertexSet core;
-    };
-    std::vector<Child> children;
-    children.reserve(removable.size());
-    for (int j : removable) {
-      if (StopRequested()) return;
-      ++stats_.nodes_visited;
-      Child child;
-      child.removed_position = j;
-      child.positions = positions;
-      child.positions.erase(std::find(child.positions.begin(),
-                                      child.positions.end(),
-                                      static_cast<LayerId>(j)));
-      RefineU(potential, child.positions, &child.potential);
-      RefineC(child.potential, child.positions, &child.core);
-      children.push_back(std::move(child));
-    }
-
-    if (!result_.full()) {
-      // Cases 1–2 (lines 6–12).
-      for (Child& child : children) {
-        if (StopRequested()) return;
-        if (depth - 1 == params_.s) {
-          ToLayerIdsInto(child.positions, &ids_buf_);
-          if (result_.Update(child.core, ids_buf_)) {
-            ++stats_.updates_accepted;
-          }
-        } else {
-          Gen(child.positions, child.core, child.potential);
-        }
-      }
-      return;
-    }
-
-    // Cases 3–4 (lines 13–29): order children by |U| descending (Lemma 6).
-    std::stable_sort(children.begin(), children.end(),
-                     [](const Child& a, const Child& b) {
-                       return a.potential.size() > b.potential.size();
-                     });
-    for (size_t idx = 0; idx < children.size(); ++idx) {
-      if (StopRequested()) return;
-      Child& child = children[idx];
-      if (result_.BelowOrderThreshold(
-              static_cast<int64_t>(child.potential.size()))) {
-        stats_.pruned_order += static_cast<int64_t>(children.size() - idx);
-        break;  // Lemma 6
-      }
-      if (depth - 1 == params_.s) {
-        ToLayerIdsInto(child.positions, &ids_buf_);
-        if (result_.Update(child.core, ids_buf_)) {
-          ++stats_.updates_accepted;
-        }
-        continue;
-      }
-      // Lemma 5: every descendant candidate is contained in U^d_{L'}, so if
-      // U fails Eq. (1) the whole subtree is hopeless. (Fig 8 line 23
-      // prints C^d_{L'} here; the §V-A text and Lemma 5 establish the bound
-      // via the potential set, which is what we check — see DESIGN.md.)
-      if (!result_.SatisfiesEq1(child.potential)) {
-        ++stats_.pruned_eq1;
-        continue;
-      }
-      // Lemma 7: in the optimistic regime a single random descendant
-      // represents the subtree.
-      if (result_.SatisfiesEq1(child.core) &&
-          result_.SatisfiesEq2(static_cast<int64_t>(child.potential.size()))) {
-        if (TryPotentialShortcut(child.positions, child.potential)) {
-          ++stats_.pruned_potential;
-          continue;
-        }
-      }
-      Gen(child.positions, child.core, child.potential);
-    }
-  }
-
-  // Lines 25–27 of Fig 8: pick a random size-s descendant S of L', compute
-  // its d-CC inside U^d_{L'}, and update R with it. Returns false when L'
-  // has no size-s descendant (a dead-end branch of the top-down lattice).
-  bool TryPotentialShortcut(const LayerSet& positions,
-                            const VertexSet& potential) {
-    const auto depth = static_cast<int>(positions.size());
-    const int max_comp = MaxComplement(positions);
-    std::vector<LayerId> removable;
-    for (LayerId p : positions) {
-      if (p > max_comp) removable.push_back(p);
-    }
-    const int to_remove = depth - params_.s;
-    if (static_cast<int>(removable.size()) < to_remove) return false;
-    std::shuffle(removable.begin(), removable.end(), rng_.engine());
-    removable.resize(static_cast<size_t>(to_remove));
-
-    LayerSet descendant;
-    for (LayerId p : positions) {
-      if (std::find(removable.begin(), removable.end(), p) ==
-          removable.end()) {
-        descendant.push_back(p);
-      }
-    }
-    scope_buf_.clear();
-    scope_buf_.reserve(potential.size());
-    for (VertexId v : potential) {
-      if (index_.stage(v) >= params_.s) scope_buf_.push_back(v);
-    }
-    ToLayerIdsInto(descendant, &ids_buf_);
-    solver_.Compute(ids_buf_, params_.d, scope_buf_, &core_buf_,
-                    params_.dcc_engine);
-    if (result_.Update(core_buf_, ids_buf_)) ++stats_.updates_accepted;
-    return true;
-  }
-
   const MultiLayerGraph& graph_;
   const DccsParams& params_;
   const PreprocessResult& preprocess_;
   const std::vector<LayerId>& order_;
   const VertexLevelIndex& index_;
-  const QueryControl* control_;
   DccSolver& solver_;
-  CoverageIndex& result_;
-  SearchStats& stats_;
-  Rng rng_;
-  WallTimer timer_;
 
   // RefineCIndexed scratch (cleared per call along the visited scope).
-  static constexpr uint8_t kUntouched = 0;    // unexplored
+  static constexpr uint8_t kUntouched = 0;  // unexplored
   static constexpr uint8_t kUndetermined = 1;
   static constexpr uint8_t kDiscarded = 2;
   std::vector<uint8_t> state_;
   std::vector<int32_t> dplus_;
   Bitset in_z_;
 
-  // Reusable per-node buffers: the tree search calls RefineU/RefineC/
-  // TryPotentialShortcut thousands of times; these hold their transient
-  // layer translations, scope filters and leaf cores across calls.
+  // Reusable buffers: the search calls RefineU/RefineC thousands of times
+  // on this lane; these hold their transient layer translations, scope
+  // filters and intermediate sets across calls.
   LayerSet class1_, class2_, ids_buf_;
-  VertexSet filter_buf_, scope_buf_, core_buf_, reached_buf_;
+  VertexSet filter_buf_, scope_buf_, reached_buf_;
   std::vector<std::pair<int, VertexId>> by_level_buf_;
   std::vector<VertexId> peel_queue_;
 };
 
-void TopDownSearch::RefineCIndexed(const VertexSet& scope,
-                                   const LayerSet& ids, VertexSet* out) {
+void TdRefiner::RefineCIndexed(const VertexSet& scope, const LayerSet& ids,
+                               VertexSet* out) {
   const auto l = static_cast<size_t>(graph_.NumLayers());
   out->clear();
   if (scope.empty()) return;
@@ -434,14 +271,374 @@ void TopDownSearch::RefineCIndexed(const VertexSet& scope,
   }
 }
 
+/// TD-Gen (paper Fig 8), restructured like BottomUpSearch: this class is
+/// the sequential commit driver — it owns every pruning test, Update, rng
+/// draw (Lemma 7) and stats increment, applied in the exact order of the
+/// historical sequential search — while the per-child RefineU/RefineC
+/// materialisations (all of the heavy lifting) run as tasks on a
+/// work-stealing TaskGroup. The sequential search materialises *every*
+/// child of a visited node before pruning any of them (Fig 8 lines 2–5),
+/// so unlike the bottom-up case these tasks are not speculative: the only
+/// wasted work is what a mid-node stop request abandons.
+class TopDownSearch {
+ public:
+  TopDownSearch(const MultiLayerGraph& graph, const DccsParams& params,
+                const PreprocessResult& preprocess,
+                const std::vector<LayerId>& order,
+                const VertexLevelIndex& index, const DccsExecution& exec,
+                DccSolver& solver, ConcurrentTopK& result, SearchStats& stats)
+      : graph_(graph),
+        params_(params),
+        preprocess_(preprocess),
+        order_(order),
+        index_(index),
+        control_(exec.control),
+        worker_solver_(exec.worker_solver),
+        solver_(solver),
+        result_(result),
+        stats_(stats),
+        rng_(kSeed) {
+    const int threads = std::max(1, exec.search_threads);
+    lane_refiners_.resize(static_cast<size_t>(std::max(1, threads)));
+    owned_solvers_.resize(static_cast<size_t>(std::max(1, threads)));
+    lane_refiners_[0] = std::make_unique<TdRefiner>(
+        graph_, params_, preprocess_, order_, index_, solver_);
+    if (threads > 1) group_.emplace(threads);
+  }
+
+  void Run() {
+    const int l = graph_.NumLayers();
+    LayerSet root_positions(static_cast<size_t>(l));
+    for (int j = 0; j < l; ++j) root_positions[static_cast<size_t>(j)] = j;
+    // Fig 11 line 4: the root d-CC w.r.t. all layers.
+    const int64_t before = solver_.num_calls();
+    VertexSet root_core =
+        solver_.Compute(ToLayerIds(root_positions), params_.d,
+                        preprocess_.active, params_.dcc_engine);
+    driver_calls_ += solver_.num_calls() - before;
+    if (params_.s == l) {
+      if (result_.Update(root_core, ToLayerIds(root_positions))) {
+        ++stats_.updates_accepted;
+      }
+      return;
+    }
+    auto root = std::make_shared<Node>();
+    root->positions = std::move(root_positions);
+    root->potential = &preprocess_.active;
+    Prepare(*root);
+    SpawnMaterialise(root);
+    Gen(root);
+  }
+
+  int64_t committed_calls() const {
+    return driver_calls_ + committed_slot_calls_;
+  }
+  int64_t speculative_calls() const {
+    return executed_slot_calls_.load(std::memory_order_relaxed) -
+           committed_slot_calls_;
+  }
+
+ private:
+  static constexpr uint64_t kSeed = 0x5851f42d4c957f2dULL;
+
+  /// One materialised-or-in-flight child (Fig 8 lines 2–5): L' and the
+  /// refined U^d_{L'} / C^d_{L'} outputs.
+  struct ChildSlot {
+    LayerSet positions;
+    VertexSet potential;
+    VertexSet core;
+    int64_t solver_calls = 0;
+    std::atomic<uint8_t> state{kSlotPending};
+  };
+
+  /// A visited lattice node whose children are being materialised. Shared
+  /// with task closures (see BottomUpSearch::Node).
+  struct Node {
+    LayerSet positions;           // the node's L
+    VertexSet potential_storage;  // owned for non-root nodes
+    const VertexSet* potential = nullptr;
+    std::vector<int> removable;   // LR (Fig 8 line 1)
+    std::unique_ptr<ChildSlot[]> slots;
+  };
+
+  // Cooperative checkpoint at subset-lattice node boundaries: the anytime
+  // time_budget_seconds plus the injected QueryControl (cancellation /
+  // wall-clock deadline) — see BottomUpSearch::StopRequested.
+  bool StopRequested() {
+    if (stats_.stopped != QueryStop::kNone) return true;
+    return LatchQueryStop(
+        CheckQueryStop(control_, params_.time_budget_seconds, timer_),
+        &stats_);
+  }
+
+  LayerSet ToLayerIds(const LayerSet& positions) const {
+    LayerSet ids;
+    ToLayerIdsInto(positions, &ids);
+    return ids;
+  }
+
+  // Buffer-reusing form for transient translations on the hot path.
+  void ToLayerIdsInto(const LayerSet& positions, LayerSet* ids) const {
+    PositionsToLayerIds(order_, positions, ids);
+  }
+
+  TdRefiner& RefinerFor(int worker) {
+    std::unique_ptr<TdRefiner>& lane =
+        lane_refiners_[static_cast<size_t>(worker)];
+    // Each lane is serviced by exactly one thread (lane 0 = the driver),
+    // so lazy init is race-free without synchronisation.
+    if (lane == nullptr) {
+      DccSolver* solver = nullptr;
+      if (worker_solver_) {
+        solver = worker_solver_(worker);
+      } else {
+        owned_solvers_[static_cast<size_t>(worker)] =
+            std::make_unique<DccSolver>(graph_);
+        solver = owned_solvers_[static_cast<size_t>(worker)].get();
+      }
+      lane = std::make_unique<TdRefiner>(graph_, params_, preprocess_, order_,
+                                         index_, *solver);
+    }
+    return *lane;
+  }
+
+  /// Computes LR and the child slots (child layer sets only — the refined
+  /// sets are what the tasks fill in).
+  void Prepare(Node& node) {
+    const int max_comp = MaxComplement(graph_.NumLayers(), node.positions);
+    for (LayerId p : node.positions) {
+      if (p > max_comp) node.removable.push_back(p);
+    }
+    const size_t n = node.removable.size();
+    if (n == 0) return;
+    node.slots = std::make_unique<ChildSlot[]>(n);
+    for (size_t idx = 0; idx < n; ++idx) {
+      ChildSlot& slot = node.slots[idx];
+      slot.positions = node.positions;
+      slot.positions.erase(std::find(
+          slot.positions.begin(), slot.positions.end(),
+          static_cast<LayerId>(node.removable[idx])));
+    }
+  }
+
+  void SpawnMaterialise(const std::shared_ptr<Node>& node) {
+    if (!group_) return;
+    for (size_t idx = 0; idx < node->removable.size(); ++idx) {
+      group_->Spawn(0, [this, node, idx](int worker) {
+        RunMaterialise(*node, idx, worker);
+      });
+    }
+  }
+
+  void RunMaterialise(Node& node, size_t idx, int worker) {
+    ChildSlot& slot = node.slots[idx];
+    uint8_t expected = kSlotPending;
+    if (!slot.state.compare_exchange_strong(expected, kSlotRunning,
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_acquire)) {
+      return;
+    }
+    TdRefiner& refiner = RefinerFor(worker);
+    const int64_t before = refiner.solver().num_calls();
+    refiner.RefineU(*node.potential, slot.positions, &slot.potential);
+    refiner.RefineC(slot.potential, slot.positions, &slot.core);
+    slot.solver_calls = refiner.solver().num_calls() - before;
+    executed_slot_calls_.fetch_add(slot.solver_calls,
+                                   std::memory_order_relaxed);
+    slot.state.store(kSlotDone, std::memory_order_release);
+  }
+
+  ChildSlot& WaitSlot(Node& node, size_t idx) {
+    ChildSlot& slot = node.slots[idx];
+    RunMaterialise(node, idx, 0);
+    while (slot.state.load(std::memory_order_acquire) != kSlotDone) {
+      if (!group_ || !group_->TryRunOne(0)) std::this_thread::yield();
+    }
+    return slot;
+  }
+
+  void CancelPending(Node& node) {
+    for (size_t idx = 0; idx < node.removable.size(); ++idx) {
+      uint8_t expected = kSlotPending;
+      node.slots[idx].state.compare_exchange_strong(
+          expected, kSlotCancelled, std::memory_order_acq_rel,
+          std::memory_order_acquire);
+    }
+  }
+
+  /// Moves a committed slot into a child node, launches its own children
+  /// and descends.
+  void Descend(Node& node, size_t idx) {
+    ChildSlot& slot = node.slots[idx];
+    auto child = std::make_shared<Node>();
+    child->positions = std::move(slot.positions);
+    child->potential_storage = std::move(slot.potential);
+    child->potential = &child->potential_storage;
+    Prepare(*child);
+    SpawnMaterialise(child);
+    Gen(child);
+  }
+
+  // TD-Gen (Fig 8), commit side.
+  void Gen(const std::shared_ptr<Node>& node) {
+    const auto depth = static_cast<int>(node->positions.size());
+    const size_t n = node->removable.size();
+    if (n == 0) return;
+
+    // Lines 2–5: materialise every child's U and C up front — committed in
+    // removable order; the refinement work itself runs on the task group.
+    for (size_t idx = 0; idx < n; ++idx) {
+      if (StopRequested()) {
+        CancelPending(*node);
+        return;
+      }
+      ++stats_.nodes_visited;
+      ChildSlot& slot = WaitSlot(*node, idx);
+      committed_slot_calls_ += slot.solver_calls;
+    }
+
+    if (!result_.full()) {
+      // Cases 1–2 (lines 6–12).
+      for (size_t idx = 0; idx < n; ++idx) {
+        if (StopRequested()) return;
+        ChildSlot& slot = node->slots[idx];
+        if (depth - 1 == params_.s) {
+          ToLayerIdsInto(slot.positions, &ids_buf_);
+          if (result_.Update(slot.core, ids_buf_)) {
+            ++stats_.updates_accepted;
+          }
+        } else {
+          Descend(*node, idx);
+        }
+      }
+      return;
+    }
+
+    // Cases 3–4 (lines 13–29): order children by |U| descending (Lemma 6).
+    std::vector<size_t> by_potential;  // local: Gen recurses inside the loop
+    by_potential.reserve(n);
+    for (size_t idx = 0; idx < n; ++idx) by_potential.push_back(idx);
+    std::stable_sort(by_potential.begin(), by_potential.end(),
+                     [&](size_t a, size_t b) {
+                       return node->slots[a].potential.size() >
+                              node->slots[b].potential.size();
+                     });
+    for (size_t rank = 0; rank < n; ++rank) {
+      if (StopRequested()) return;
+      ChildSlot& slot = node->slots[by_potential[rank]];
+      if (result_.BelowOrderThreshold(
+              static_cast<int64_t>(slot.potential.size()))) {
+        stats_.pruned_order += static_cast<int64_t>(n - rank);
+        break;  // Lemma 6
+      }
+      if (depth - 1 == params_.s) {
+        ToLayerIdsInto(slot.positions, &ids_buf_);
+        if (result_.Update(slot.core, ids_buf_)) {
+          ++stats_.updates_accepted;
+        }
+        continue;
+      }
+      // Lemma 5: every descendant candidate is contained in U^d_{L'}, so if
+      // U fails Eq. (1) the whole subtree is hopeless. (Fig 8 line 23
+      // prints C^d_{L'} here; the §V-A text and Lemma 5 establish the bound
+      // via the potential set, which is what we check — see DESIGN.md.)
+      if (!result_.SatisfiesEq1(slot.potential)) {
+        ++stats_.pruned_eq1;
+        continue;
+      }
+      // Lemma 7: in the optimistic regime a single random descendant
+      // represents the subtree.
+      if (result_.SatisfiesEq1(slot.core) &&
+          result_.SatisfiesEq2(static_cast<int64_t>(slot.potential.size()))) {
+        if (TryPotentialShortcut(slot.positions, slot.potential)) {
+          ++stats_.pruned_potential;
+          continue;
+        }
+      }
+      Descend(*node, by_potential[rank]);
+    }
+  }
+
+  // Lines 25–27 of Fig 8: pick a random size-s descendant S of L', compute
+  // its d-CC inside U^d_{L'}, and update R with it. Returns false when L'
+  // has no size-s descendant (a dead-end branch of the top-down lattice).
+  // Driver-only: the rng_ stream must be drawn in the sequential commit
+  // order for results to stay thread-count-invariant.
+  bool TryPotentialShortcut(const LayerSet& positions,
+                            const VertexSet& potential) {
+    const auto depth = static_cast<int>(positions.size());
+    const int max_comp = MaxComplement(graph_.NumLayers(), positions);
+    std::vector<LayerId> removable;
+    for (LayerId p : positions) {
+      if (p > max_comp) removable.push_back(p);
+    }
+    const int to_remove = depth - params_.s;
+    if (static_cast<int>(removable.size()) < to_remove) return false;
+    std::shuffle(removable.begin(), removable.end(), rng_.engine());
+    removable.resize(static_cast<size_t>(to_remove));
+
+    LayerSet descendant;
+    for (LayerId p : positions) {
+      if (std::find(removable.begin(), removable.end(), p) ==
+          removable.end()) {
+        descendant.push_back(p);
+      }
+    }
+    scope_buf_.clear();
+    scope_buf_.reserve(potential.size());
+    for (VertexId v : potential) {
+      if (index_.stage(v) >= params_.s) scope_buf_.push_back(v);
+    }
+    ToLayerIdsInto(descendant, &ids_buf_);
+    const int64_t before = solver_.num_calls();
+    solver_.Compute(ids_buf_, params_.d, scope_buf_, &core_buf_,
+                    params_.dcc_engine);
+    driver_calls_ += solver_.num_calls() - before;
+    if (result_.Update(core_buf_, ids_buf_)) ++stats_.updates_accepted;
+    return true;
+  }
+
+  const MultiLayerGraph& graph_;
+  const DccsParams& params_;
+  const PreprocessResult& preprocess_;
+  const std::vector<LayerId>& order_;
+  const VertexLevelIndex& index_;
+  const QueryControl* control_;
+  const std::function<DccSolver*(int worker)> worker_solver_;
+  DccSolver& solver_;
+  ConcurrentTopK& result_;
+  SearchStats& stats_;
+  Rng rng_;
+  WallTimer timer_;
+
+  int64_t driver_calls_ = 0;           // root core + Lemma 7 shortcuts
+  int64_t committed_slot_calls_ = 0;   // materialisations the driver used
+  std::atomic<int64_t> executed_slot_calls_{0};
+
+  // Driver-side buffers for Update translations and the shortcut.
+  LayerSet ids_buf_;
+  VertexSet scope_buf_, core_buf_;
+
+  // Lane 0 wraps solver_; other lanes resolve through worker_solver_ or an
+  // owned fallback solver. Each lane single-threaded by construction.
+  std::vector<std::unique_ptr<TdRefiner>> lane_refiners_;
+  std::vector<std::unique_ptr<DccSolver>> owned_solvers_;
+
+  // Last member: destroyed first, so in-flight task closures finish before
+  // the state they reference goes away.
+  std::optional<TaskGroup> group_;
+};
+
 }  // namespace
 
 DccsResult TopDownDccs(const MultiLayerGraph& graph, const DccsParams& params) {
   // Per-layer d-cores of preprocessing fan out over a pool scoped to this
-  // call; the search itself is sequential through the shared top-k state.
+  // call; the search phase parallelises over params.search_threads lanes
+  // of its own (DESIGN.md §10).
   ThreadPool pool(params.num_threads);
   DccsExecution exec;
   exec.pool = &pool;
+  exec.search_threads = params.search_threads;
   return TopDownDccs(graph, params, exec);
 }
 
@@ -449,11 +646,12 @@ DccsResult TopDownDccs(const MultiLayerGraph& graph, const DccsParams& params,
                        const DccsExecution& exec) {
   MLCORE_CHECK(params.s >= 1);
   MLCORE_CHECK(params.k >= 1);
-  MLCORE_CHECK(graph.NumLayers() <= 64);
 
   WallTimer total_timer;
   DccsResult result;
-  if (params.s > graph.NumLayers()) {
+  if (params.s > graph.NumLayers() || graph.NumLayers() > 64) {
+    // > 64 layers: see BottomUpDccs — empty result here, structured
+    // kInvalidArgument at the Engine request layer.
     result.stats.total_seconds = total_timer.Seconds();
     return result;
   }
@@ -479,19 +677,29 @@ DccsResult TopDownDccs(const MultiLayerGraph& graph, const DccsParams& params,
   std::optional<DccSolver> local_solver;
   if (exec.solver == nullptr) local_solver.emplace(graph);
   DccSolver& solver = exec.solver != nullptr ? *exec.solver : *local_solver;
-  const int64_t calls_before = solver.num_calls();
 
-  CoverageIndex top_k(params.k);
+  CoverageIndex seeded(params.k);
   int64_t seed_calls = 0;
-  if (exec.seeds != nullptr) {
-    ReplayInitSeeds(*exec.seeds, top_k);
+  if (exec.seeded_topk != nullptr) {
+    seeded = *exec.seeded_topk;
+    seed_calls = exec.seeds != nullptr ? exec.seeds->solver_calls : 0;
+  } else if (exec.seeds != nullptr) {
+    ReplayInitSeeds(*exec.seeds, seeded);
     seed_calls = exec.seeds->solver_calls;
   } else {
-    InitTopK(graph, params, preprocess, solver, top_k);
+    const int64_t calls_before = solver.num_calls();
+    InitTopK(graph, params, preprocess, solver, seeded);
+    seed_calls = solver.num_calls() - calls_before;
   }
-  // Fig 11 line 2: ascending order of |C^d(G_i)|.
-  std::vector<LayerId> order =
-      SortedLayerOrder(preprocess, /*descending=*/false, params.sort_layers);
+  // Fig 11 line 2: ascending order of |C^d(G_i)| (cached by the Engine per
+  // query entry).
+  std::optional<std::vector<LayerId>> local_order;
+  if (exec.layer_order == nullptr) {
+    local_order =
+        SortedLayerOrder(preprocess, /*descending=*/false, params.sort_layers);
+  }
+  const std::vector<LayerId>& order =
+      exec.layer_order != nullptr ? *exec.layer_order : *local_order;
   // Fig 11 line 3: the vertex index (always consulted — RefineC's Lemma 8
   // stage filter needs it even on the reference path), cached by the
   // engine per (d, s) because it is built over `preprocess.active`.
@@ -502,13 +710,14 @@ DccsResult TopDownDccs(const MultiLayerGraph& graph, const DccsParams& params,
   const VertexLevelIndex& index =
       exec.index != nullptr ? *exec.index : *local_index;
 
-  TopDownSearch search(graph, params, preprocess, order, index, exec.control,
-                       solver, top_k, result.stats);
+  ConcurrentTopK top_k(std::move(seeded));
+  TopDownSearch search(graph, params, preprocess, order, index, exec, solver,
+                       top_k, result.stats);
   search.Run();
 
-  result.cores = top_k.entries();
-  result.stats.candidates_generated =
-      solver.num_calls() - calls_before + seed_calls;
+  result.cores = top_k.index().entries();
+  result.stats.candidates_generated = seed_calls + search.committed_calls();
+  result.stats.speculative_evals = search.speculative_calls();
   result.stats.search_seconds = search_timer.Seconds();
   result.stats.total_seconds = total_timer.Seconds();
   return result;

@@ -26,6 +26,7 @@ Engine::Options Sanitize(Engine::Options options) {
   options.max_cached_queries = std::max(1, options.max_cached_queries);
   options.query_workers = std::max(0, options.query_workers);
   options.max_pending_queries = std::max(1, options.max_pending_queries);
+  options.search_threads = std::max(1, options.search_threads);
   return options;
 }
 
@@ -84,6 +85,16 @@ struct Engine::QueryEntry {
 
   std::mutex seeds_mu;
   std::map<std::pair<int, int>, std::shared_ptr<const InitSeeds>> seeds;
+  /// Replayed CoverageIndex prototype per seeds key: the state a fresh
+  /// top-k has after ReplayInitSeeds, so warm queries (parallel or not)
+  /// start from a copy instead of re-running the replay loop.
+  std::map<std::pair<int, int>, std::shared_ptr<const CoverageIndex>> seeded;
+
+  /// Cached SortedLayerOrder for sort_layers queries: descending
+  /// |C^d(G_i)| (BU) and ascending (TD), built over `preprocess` on first
+  /// use.
+  std::once_flag order_desc_once, order_asc_once;
+  std::vector<LayerId> order_desc, order_asc;
 };
 
 /// One submitted query: request + scheduling state + terminal result. The
@@ -245,6 +256,8 @@ Engine::Engine(std::shared_ptr<GraphStore> store, Options options)
       pool_(options_.num_threads),
       pending_(static_cast<size_t>(options_.max_pending_queries)) {
   MLCORE_CHECK(store_ != nullptr);
+  search_lanes_free_.store(options_.search_threads - 1,
+                           std::memory_order_relaxed);
   query_workers_.reserve(static_cast<size_t>(options_.query_workers));
   for (int w = 0; w < options_.query_workers; ++w) {
     query_workers_.emplace_back([this] { QueryWorkerLoop(); });
@@ -348,7 +361,12 @@ Status Engine::Validate(const DccsRequest& request) const {
   if ((resolved == DccsAlgorithm::kBottomUp ||
        resolved == DccsAlgorithm::kTopDown) &&
       l > 64) {
-    return Status::Unsupported(
+    // Structured rejection replacing the historical MLCORE_CHECK aborts in
+    // the BU/TD entry points: the request names parameters this engine's
+    // graph cannot satisfy, hence kInvalidArgument (not kUnsupported — the
+    // 64-layer word-mask bound is a permanent contract of the lattice
+    // searches, and the request is malformed *for this graph*).
+    return Status::InvalidArgument(
         "the BU/TD lattice searches support at most 64 layers; graph has " +
         std::to_string(l));
   }
@@ -960,8 +978,9 @@ Expected<DccsResult> Engine::RunValidated(
                      "deadline expired before the search phase");
   }
   std::shared_ptr<const InitSeeds> seeds;
+  std::shared_ptr<const CoverageIndex> seeded_topk;
   if (algorithm != DccsAlgorithm::kGreedy && params.init_result) {
-    seeds = GetSeeds(graph, *entry, params, *solver->get());
+    seeds = GetSeeds(graph, *entry, params, *solver->get(), &seeded_topk);
   }
   const VertexLevelIndex* index = nullptr;
   if (algorithm == DccsAlgorithm::kTopDown) {
@@ -980,6 +999,7 @@ Expected<DccsResult> Engine::RunValidated(
   DccsExecution exec;
   exec.preprocess = &entry->preprocess;
   exec.seeds = seeds.get();
+  exec.seeded_topk = seeded_topk.get();
   exec.index = index;
   exec.solver = solver.has_value() ? solver->get() : nullptr;
   exec.pool = pool;
@@ -990,6 +1010,29 @@ Expected<DccsResult> Engine::RunValidated(
     exec.worker_solver = [&ws = *worker_solvers](int worker) {
       return ws.Get(worker);
     };
+  }
+
+  // Parallel search phase (DESIGN.md §10): the lattice searches reuse the
+  // entry's cached layer order and borrow worker lanes from the engine-wide
+  // budget. How many lanes a query actually gets cannot change its result
+  // (the §4/§10 determinism contract), so the borrow needs no fairness —
+  // whatever is free right now.
+  int extra_lanes = 0;
+  const bool lattice_search = algorithm == DccsAlgorithm::kBottomUp ||
+                              algorithm == DccsAlgorithm::kTopDown;
+  if (lattice_search) {
+    if (params.sort_layers) {
+      exec.layer_order = GetLayerOrder(
+          *entry, /*descending=*/algorithm == DccsAlgorithm::kBottomUp);
+    }
+    extra_lanes = BorrowSearchLanes(options_.search_threads - 1);
+    exec.search_threads = 1 + extra_lanes;
+    if (extra_lanes > 0) {
+      worker_solvers.emplace(this, snap->graph_ptr(), 1 + extra_lanes);
+      exec.worker_solver = [&ws = *worker_solvers](int worker) {
+        return ws.Get(worker);
+      };
+    }
   }
 
   switch (algorithm) {
@@ -1006,6 +1049,7 @@ Expected<DccsResult> Engine::RunValidated(
       MLCORE_CHECK_MSG(false, "kAuto must be resolved before dispatch");
       break;
   }
+  ReturnSearchLanes(extra_lanes);
   if (result.stats.stopped == QueryStop::kCancelled) {
     // A cancelled search's partial top-k is discarded, never served; the
     // caches it read (and any completed artifacts it built) stay valid.
@@ -1205,22 +1249,28 @@ std::shared_ptr<Engine::QueryEntry> Engine::GetQueryEntry(
   return entry;
 }
 
-std::shared_ptr<const InitSeeds> Engine::GetSeeds(const MultiLayerGraph& graph,
-                                                  QueryEntry& entry,
-                                                  const DccsParams& params,
-                                                  DccSolver& solver) {
+std::shared_ptr<const InitSeeds> Engine::GetSeeds(
+    const MultiLayerGraph& graph, QueryEntry& entry, const DccsParams& params,
+    DccSolver& solver, std::shared_ptr<const CoverageIndex>* seeded_topk) {
   const std::pair<int, int> key{params.k,
                                 static_cast<int>(params.dcc_engine)};
   std::lock_guard<std::mutex> lock(entry.seeds_mu);
   auto it = entry.seeds.find(key);
   if (it != entry.seeds.end()) {
+    *seeded_topk = entry.seeded.at(key);
     std::lock_guard<std::mutex> stats_lock(cache_mu_);
     ++stats_.seed_hits;
     return it->second;
   }
   auto seeds = std::make_shared<InitSeeds>(
       ComputeInitSeeds(graph, params, entry.preprocess, solver));
+  // The prototype is cached alongside the capture it was replayed from —
+  // one replay per key ever; every query starts from a copy.
+  auto proto = std::make_shared<CoverageIndex>(params.k);
+  ReplayInitSeeds(*seeds, *proto);
   entry.seeds[key] = seeds;
+  entry.seeded[key] = proto;
+  *seeded_topk = std::move(proto);
   std::lock_guard<std::mutex> stats_lock(cache_mu_);
   ++stats_.seed_misses;
   return seeds;
@@ -1243,6 +1293,38 @@ const VertexLevelIndex* Engine::GetIndex(const MultiLayerGraph& graph,
     }
   }
   return entry.index.get();
+}
+
+const std::vector<LayerId>* Engine::GetLayerOrder(QueryEntry& entry,
+                                                  bool descending) {
+  std::call_once(descending ? entry.order_desc_once : entry.order_asc_once,
+                 [&] {
+                   auto& slot =
+                       descending ? entry.order_desc : entry.order_asc;
+                   slot = SortedLayerOrder(entry.preprocess, descending,
+                                           /*sort_layers=*/true);
+                 });
+  return descending ? &entry.order_desc : &entry.order_asc;
+}
+
+int Engine::BorrowSearchLanes(int want) {
+  if (want <= 0) return 0;
+  int free = search_lanes_free_.load(std::memory_order_relaxed);
+  while (free > 0) {
+    const int take = std::min(free, want);
+    if (search_lanes_free_.compare_exchange_weak(free, free - take,
+                                                 std::memory_order_acq_rel,
+                                                 std::memory_order_relaxed)) {
+      return take;
+    }
+  }
+  return 0;
+}
+
+void Engine::ReturnSearchLanes(int lanes) {
+  if (lanes > 0) {
+    search_lanes_free_.fetch_add(lanes, std::memory_order_acq_rel);
+  }
 }
 
 std::unique_ptr<DccSolver> Engine::AcquireSolver(

@@ -275,6 +275,18 @@ class Engine {
     /// then displaced instead. Bounds memory and queueing delay under
     /// overload — nothing ever queues forever.
     int max_pending_queries = 64;
+    /// Worker lanes for the BU/TD search phase of a single query
+    /// (DESIGN.md §10): each lattice search runs on a work-stealing task
+    /// group of up to this many lanes, with results bit-identical at any
+    /// value (1, the default, is the historical sequential search). Lanes
+    /// beyond the driver are drawn from one engine-wide budget of
+    /// (search_threads - 1) so concurrent searches never oversubscribe the
+    /// machine: a query borrows whatever is free at its search phase and
+    /// returns it when done — under contention searches degrade toward
+    /// sequential, never queue. Applies to Run/Submit/RunBatch/Subscribe
+    /// alike; the Engine ignores `DccsParams::search_threads` just as it
+    /// ignores `num_threads` (threading is engine policy).
+    int search_threads = 1;
   };
 
   /// Owning constructors: the engine holds the (immutable) graph.
@@ -504,12 +516,27 @@ class Engine {
       const std::shared_ptr<const GraphSnapshot>& snap, int d, int s,
       bool vertex_deletion, ThreadPool* pool, const QueryControl* control,
       QueryStop* stop);
-  std::shared_ptr<const InitSeeds> GetSeeds(const MultiLayerGraph& graph,
-                                            QueryEntry& entry,
-                                            const DccsParams& params,
-                                            DccSolver& solver);
+  /// Seeds for (k, dcc_engine), plus the already-replayed CoverageIndex
+  /// prototype the same key (satellite cache of DESIGN.md §10): BU/TD
+  /// start from a copy of `*seeded_topk` and skip the per-query replay.
+  std::shared_ptr<const InitSeeds> GetSeeds(
+      const MultiLayerGraph& graph, QueryEntry& entry,
+      const DccsParams& params, DccSolver& solver,
+      std::shared_ptr<const CoverageIndex>* seeded_topk);
   const VertexLevelIndex* GetIndex(const MultiLayerGraph& graph,
                                    QueryEntry& entry, int d);
+  /// Cached SortedLayerOrder over the entry's preprocessing (descending
+  /// |C^d(G_i)| for BU, ascending for TD). Only meaningful for queries
+  /// with sort_layers = true; the returned pointer is stable for the
+  /// entry's lifetime.
+  const std::vector<LayerId>* GetLayerOrder(QueryEntry& entry,
+                                            bool descending);
+
+  /// Engine-wide extra-lane budget for parallel searches (Options::
+  /// search_threads): borrows up to `want` lanes, returning how many were
+  /// actually granted (possibly 0 — the search then runs sequentially).
+  int BorrowSearchLanes(int want);
+  void ReturnSearchLanes(int lanes);
 
   /// Solvers are bound to one graph object, so the free-list is
   /// homogeneous per snapshot: acquiring for a different graph builds
@@ -545,6 +572,11 @@ class Engine {
       queries_;
   std::map<std::tuple<uint64_t, int, int, bool>, uint64_t> queries_last_use_;
   mutable EngineCacheStats stats_;
+
+  // Extra worker lanes still free for parallel searches (DESIGN.md §10):
+  // initialised to options_.search_threads - 1, debited/credited around
+  // each BU/TD search phase. Lock-free so it never serialises queries.
+  std::atomic<int> search_lanes_free_{0};
 
   // Solver free-list (the per-worker arenas of DESIGN.md §5), homogeneous
   // per graph snapshot: free_graph_ names the graph every pooled solver is

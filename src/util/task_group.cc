@@ -1,0 +1,86 @@
+#include "util/task_group.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace mlcore {
+
+TaskGroup::TaskGroup(int num_threads)
+    : num_threads_(std::max(1, num_threads)) {
+  lanes_.reserve(static_cast<size_t>(num_threads_));
+  for (int i = 0; i < num_threads_; ++i) {
+    lanes_.push_back(std::make_unique<Lane>());
+  }
+  workers_.reserve(static_cast<size_t>(num_threads_ - 1));
+  for (int i = 1; i < num_threads_; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+TaskGroup::~TaskGroup() {
+  shutdown_.store(true, std::memory_order_release);
+  {
+    // Pairs with the predicate check in WorkerLoop: once this lock is
+    // held, every lane has either observed shutdown or is parked and will
+    // be woken below.
+    std::lock_guard<std::mutex> lock(park_mu_);
+  }
+  park_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+  // Never-started tasks die with the lanes, closures unexecuted.
+}
+
+void TaskGroup::Spawn(int worker, Task task) {
+  Lane& lane = *lanes_[static_cast<size_t>(worker)];
+  {
+    std::lock_guard<std::mutex> lock(lane.mu);
+    lane.tasks.push_back(std::move(task));
+  }
+  queued_.fetch_add(1, std::memory_order_release);
+  {
+    // Without this fence a lane could check the (old) count, decide to
+    // park, and miss the notify below.
+    std::lock_guard<std::mutex> lock(park_mu_);
+  }
+  park_cv_.notify_one();
+}
+
+bool TaskGroup::Pop(int lane_index, bool oldest_first, Task* out) {
+  Lane& lane = *lanes_[static_cast<size_t>(lane_index)];
+  std::lock_guard<std::mutex> lock(lane.mu);
+  if (lane.tasks.empty()) return false;
+  if (oldest_first) {
+    *out = std::move(lane.tasks.front());
+    lane.tasks.pop_front();
+  } else {
+    *out = std::move(lane.tasks.back());
+    lane.tasks.pop_back();
+  }
+  return true;
+}
+
+bool TaskGroup::TryRunOne(int worker) {
+  if (queued_.load(std::memory_order_acquire) == 0) return false;
+  Task task;
+  bool found = Pop(worker, /*oldest_first=*/false, &task);
+  for (int i = 1; !found && i < num_threads_; ++i) {
+    found = Pop((worker + i) % num_threads_, /*oldest_first=*/true, &task);
+  }
+  if (!found) return false;
+  queued_.fetch_sub(1, std::memory_order_relaxed);
+  task(worker);
+  return true;
+}
+
+void TaskGroup::WorkerLoop(int worker) {
+  while (!shutdown_.load(std::memory_order_acquire)) {
+    if (TryRunOne(worker)) continue;
+    std::unique_lock<std::mutex> lock(park_mu_);
+    park_cv_.wait(lock, [this] {
+      return shutdown_.load(std::memory_order_acquire) ||
+             queued_.load(std::memory_order_acquire) > 0;
+    });
+  }
+}
+
+}  // namespace mlcore

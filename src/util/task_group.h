@@ -1,0 +1,84 @@
+#ifndef MLCORE_UTIL_TASK_GROUP_H_
+#define MLCORE_UTIL_TASK_GROUP_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mlcore {
+
+/// Work-stealing fork/join scope for the speculative child-evaluation tasks
+/// of the parallel BU-/TD-DCCS lattice searches (DESIGN.md §10).
+///
+/// The group owns `num_threads - 1` worker lanes plus the constructing
+/// (driver) thread as lane 0. Each lane has a LIFO deque: owners pop from
+/// the back, thieves pop from the front, so the oldest spawned task is
+/// stolen first — tasks are consumed roughly in spawn order, which the
+/// searches arrange to match their deterministic commit order.
+///
+/// Tasks are *speculative*: whether a task's output is used is decided
+/// elsewhere (by the search's sequential commit driver), so the group makes
+/// no completion promises per task. Instead, callers encode claiming in the
+/// task body (compare-and-swap on a per-slot state), which also lets the
+/// driver run an unclaimed task inline — at one thread the entire search
+/// degenerates to the historical sequential execution.
+///
+/// Lifetime contract: the destructor discards tasks that never started
+/// (their closures are destroyed unexecuted), waits for in-flight tasks to
+/// finish, and joins the lanes. Everything a task closure references must
+/// therefore outlive the group, which the searches guarantee by declaring
+/// the group as their last member.
+class TaskGroup {
+ public:
+  using Task = std::function<void(int worker)>;
+
+  /// `num_threads` is the total lane count including the driver; values
+  /// < 1 are clamped to 1 (no worker threads are spawned, Spawn still
+  /// enqueues and TryRunOne still drains).
+  explicit TaskGroup(int num_threads);
+  ~TaskGroup();
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// Enqueues `task` on `worker`'s deque (the spawning lane; the searches
+  /// spawn from the driver, lane 0). Thread-safe.
+  void Spawn(int worker, Task task);
+
+  /// Runs one queued task on the calling thread — own deque first (LIFO),
+  /// then steals the oldest task from another lane. Returns false when no
+  /// task was available. `worker` must be the calling thread's lane; the
+  /// driver passes 0 to help while it waits on a specific slot.
+  bool TryRunOne(int worker);
+
+ private:
+  struct Lane {
+    std::mutex mu;
+    std::deque<Task> tasks;
+  };
+
+  void WorkerLoop(int worker);
+  bool Pop(int lane, bool oldest_first, Task* out);
+
+  const int num_threads_;
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  std::atomic<int64_t> queued_{0};
+  std::atomic<bool> shutdown_{false};
+
+  std::mutex park_mu_;
+  std::condition_variable park_cv_;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace mlcore
+
+#endif  // MLCORE_UTIL_TASK_GROUP_H_

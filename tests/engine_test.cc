@@ -232,7 +232,12 @@ TEST(EngineTest, LatticeSearchesRejectMoreThan64Layers) {
   request.algorithm = DccsAlgorithm::kBottomUp;
   Expected<DccsResult> bu = engine.Run(request);
   EXPECT_FALSE(bu.ok());
-  EXPECT_EQ(bu.status().code, StatusCode::kUnsupported);
+  EXPECT_EQ(bu.status().code, StatusCode::kInvalidArgument);
+
+  request.algorithm = DccsAlgorithm::kTopDown;
+  Expected<DccsResult> td = engine.Run(request);
+  EXPECT_FALSE(td.ok());
+  EXPECT_EQ(td.status().code, StatusCode::kInvalidArgument);
 
   // GD-DCCS has no 64-layer restriction: C(65, 2) is tiny.
   request.algorithm = DccsAlgorithm::kGreedy;
