@@ -9,7 +9,7 @@ namespace mlcore {
 
 std::vector<int> CoherentCoreness(const MultiLayerGraph& graph,
                                   const LayerSet& layers) {
-  MLCORE_CHECK(!layers.empty());
+  MLCORE_DCHECK(!layers.empty());
   const auto n = static_cast<size_t>(graph.NumVertices());
   const auto l = static_cast<size_t>(graph.NumLayers());
 
@@ -117,8 +117,8 @@ std::vector<VertexSet> CoherentCoreHierarchy(const MultiLayerGraph& graph,
 VertexSet CoherentCoreVector(const MultiLayerGraph& graph,
                              const LayerSet& layers,
                              const std::vector<int>& thresholds) {
-  MLCORE_CHECK(layers.size() == thresholds.size());
-  MLCORE_CHECK(!layers.empty());
+  MLCORE_DCHECK(layers.size() == thresholds.size());
+  MLCORE_DCHECK(!layers.empty());
   const auto n = static_cast<size_t>(graph.NumVertices());
   const auto count = layers.size();
 

@@ -21,7 +21,7 @@ VertexSet DccSolver::Compute(const LayerSet& layers, int d,
 
 void DccSolver::Compute(const LayerSet& layers, int d, const VertexSet& scope,
                         VertexSet* out, DccEngine engine) {
-  MLCORE_CHECK(!layers.empty());
+  MLCORE_DCHECK(!layers.empty());  // engine callers never pass empty
   MLCORE_DCHECK(std::is_sorted(layers.begin(), layers.end()));
   MLCORE_DCHECK(std::is_sorted(scope.begin(), scope.end()));
   MLCORE_DCHECK(out != &scope);

@@ -24,7 +24,7 @@ int64_t BinomialCoefficient(int n, int k) {
 
 void ForEachLayerCombination(int32_t l, int s,
                              const std::function<void(const LayerSet&)>& fn) {
-  MLCORE_CHECK(s >= 1);
+  MLCORE_DCHECK(s >= 1);  // Engine::Validate guarantees s >= 1
   if (s > l) return;
   LayerSet current(static_cast<size_t>(s));
   for (int i = 0; i < s; ++i) current[static_cast<size_t>(i)] = i;

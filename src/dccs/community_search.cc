@@ -10,8 +10,9 @@ namespace mlcore {
 
 CommunitySearchResult SearchCommunity(const MultiLayerGraph& graph,
                                       VertexId query, int d, int s) {
-  MLCORE_CHECK(query >= 0 && query < graph.NumVertices());
-  MLCORE_CHECK(s >= 1);
+  // Engine::Validate(CommunityRequest) guarantees both on request paths.
+  MLCORE_DCHECK(query >= 0 && query < graph.NumVertices());
+  MLCORE_DCHECK(s >= 1);
   if (s > graph.NumLayers()) return {};  // vacuous; skip the core loop
 
   std::vector<VertexSet> cores(static_cast<size_t>(graph.NumLayers()));
@@ -25,9 +26,11 @@ CommunitySearchResult SearchCommunity(const MultiLayerGraph& graph,
 CommunitySearchResult SearchCommunityWithCores(
     const MultiLayerGraph& graph, const std::vector<VertexSet>& cores,
     DccSolver& solver, VertexId query, int d, int s) {
-  MLCORE_CHECK(query >= 0 && query < graph.NumVertices());
-  MLCORE_CHECK(s >= 1);
-  MLCORE_CHECK(static_cast<int32_t>(cores.size()) == graph.NumLayers());
+  // Engine::Validate(CommunityRequest) guarantees the first two on
+  // request paths; the cores shape is the caller's (engine's) contract.
+  MLCORE_DCHECK(query >= 0 && query < graph.NumVertices());
+  MLCORE_DCHECK(s >= 1);
+  MLCORE_DCHECK(static_cast<int32_t>(cores.size()) == graph.NumLayers());
   CommunitySearchResult result;
   if (s > graph.NumLayers()) return result;
 

@@ -6,13 +6,14 @@ namespace mlcore {
 
 ConcurrentTopK::ConcurrentTopK(CoverageIndex seeded)
     : index_(std::move(seeded)) {
+  util::MutexLock lock(mu_);
   cap_.store(index_.capacity(), std::memory_order_relaxed);
   Publish();
 }
 
 bool ConcurrentTopK::Update(const VertexSet& candidate,
                             const LayerSet& layers) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   const bool changed = index_.Update(candidate, layers);
   if (changed) Publish();
   return changed;

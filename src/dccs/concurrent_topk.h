@@ -3,12 +3,13 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
 #include "dccs/cover.h"
 #include "dccs/params.h"
 #include "graph/multilayer_graph.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace mlcore {
 
@@ -42,18 +43,33 @@ class ConcurrentTopK {
   ConcurrentTopK& operator=(const ConcurrentTopK&) = delete;
 
   // --- Exact API: commit driver only. ---
-  bool Update(const VertexSet& candidate, const LayerSet& layers);
-  bool full() const { return index_.full(); }
-  bool SatisfiesEq1(const VertexSet& candidate) const {
+  //
+  // The reads below deliberately bypass mu_ (NO_THREAD_SAFETY_ANALYSIS):
+  // by the single-driver contract above, exactly one thread calls them,
+  // and that same thread is the only one that mutates index_ (through
+  // Update, which does serialise under mu_), so the accesses are ordered
+  // by program order alone. Taking the lock here would put a mutex
+  // acquisition on the hottest pruning path for no exclusion gain.
+  bool Update(const VertexSet& candidate, const LayerSet& layers)
+      MLCORE_EXCLUDES(mu_);
+  bool full() const MLCORE_NO_THREAD_SAFETY_ANALYSIS {
+    return index_.full();
+  }
+  bool SatisfiesEq1(const VertexSet& candidate) const
+      MLCORE_NO_THREAD_SAFETY_ANALYSIS {
     return index_.SatisfiesEq1(candidate);
   }
-  bool BelowOrderThreshold(int64_t upper_bound_size) const {
+  bool BelowOrderThreshold(int64_t upper_bound_size) const
+      MLCORE_NO_THREAD_SAFETY_ANALYSIS {
     return index_.BelowOrderThreshold(upper_bound_size);
   }
-  bool SatisfiesEq2(int64_t potential_size) const {
+  bool SatisfiesEq2(int64_t potential_size) const
+      MLCORE_NO_THREAD_SAFETY_ANALYSIS {
     return index_.SatisfiesEq2(potential_size);
   }
-  const CoverageIndex& index() const { return index_; }
+  const CoverageIndex& index() const MLCORE_NO_THREAD_SAFETY_ANALYSIS {
+    return index_;
+  }
 
   // --- Speculative API: any thread, lock-free, stale-is-safe. ---
   /// Snapshot of full(); false while |R| < k (no pruning applies then).
@@ -73,10 +89,11 @@ class ConcurrentTopK {
   }
 
  private:
-  void Publish();
+  // Re-publishes the atomic bound mirror from index_.
+  void Publish() MLCORE_REQUIRES(mu_);
 
-  std::mutex mu_;
-  CoverageIndex index_;
+  mutable util::Mutex mu_{util::lock_rank::kTopK, "ConcurrentTopK::mu_"};
+  CoverageIndex index_ MLCORE_GUARDED_BY(mu_);
 
   std::atomic<int64_t> cover_size_{0};
   std::atomic<int64_t> min_exclusive_{0};

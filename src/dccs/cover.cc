@@ -15,13 +15,13 @@ VertexSet CoverOf(const std::vector<ResultCore>& cores) {
 }
 
 CoverageIndex::CoverageIndex(int k) : k_(k) {
-  MLCORE_CHECK(k >= 1);
+  MLCORE_DCHECK(k >= 1);  // Engine::Validate guarantees k >= 1
   entries_.reserve(static_cast<size_t>(k));
   exclusive_.reserve(static_cast<size_t>(k));
 }
 
 int CoverageIndex::MinExclusiveSlot() const {
-  MLCORE_CHECK(!entries_.empty());
+  MLCORE_DCHECK(!entries_.empty());  // hot pruning path
   // Ties on |Δ| are broken by the lexicographically smallest layer set so
   // that the chosen victim C*(R) does not depend on internal slot order
   // (slots are permuted by Delete's swap-with-last compaction).
@@ -46,7 +46,7 @@ int64_t CoverageIndex::MinExclusiveSize() const {
 int64_t CoverageIndex::SizeWithReplacement(const VertexSet& candidate) const {
   // Appendix C, Size(R, C): decompose Cov((R − {C*}) ∪ {C}) into
   // Cov(R − {C*}), C − Cov(R), and C ∩ Δ(R, C*).
-  MLCORE_CHECK(!entries_.empty());
+  MLCORE_DCHECK(!entries_.empty());  // hot pruning path
   const int star = MinExclusiveSlot();
   int64_t count = 0;
   for (VertexId v : candidate) {
@@ -131,7 +131,7 @@ void CoverageIndex::Insert(const VertexSet& candidate, const LayerSet& layers) {
 }
 
 void CoverageIndex::Delete(int slot) {
-  MLCORE_CHECK(slot >= 0 && slot < size());
+  MLCORE_DCHECK(slot >= 0 && slot < size());
   const int last = size() - 1;
   // Detach the slot's vertices.
   for (VertexId v : entries_[static_cast<size_t>(slot)].vertices) {
@@ -170,16 +170,19 @@ void CoverageIndex::CheckInvariants() const {
       sole_owner[v] = slot;
     }
   }
+  // NOLINT(mlcore-release-check): test oracle — aborting IS the point
   MLCORE_CHECK(static_cast<int64_t>(counts.size()) == cover_size_);
   std::vector<int64_t> expected(static_cast<size_t>(size()), 0);
   for (const auto& [v, count] : counts) {
     if (count == 1) ++expected[static_cast<size_t>(sole_owner[v])];
   }
   for (int slot = 0; slot < size(); ++slot) {
+    // NOLINT(mlcore-release-check): test oracle
     MLCORE_CHECK(expected[static_cast<size_t>(slot)] ==
                  exclusive_[static_cast<size_t>(slot)]);
   }
   for (const auto& [v, slots] : owners_) {
+    // NOLINT(mlcore-release-check): test oracle
     MLCORE_CHECK(counts.at(v) == static_cast<int>(slots.size()));
   }
 }

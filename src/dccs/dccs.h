@@ -69,6 +69,8 @@ inline DccsResult SolveDccs(const MultiLayerGraph& graph,
                                 .query_workers = 0,
                                 .search_threads = params.search_threads});
   Expected<DccsResult> response = engine.Run(DccsRequest{params, algorithm});
+  // NOLINT(mlcore-release-check): documented one-shot contract — the
+  // legacy wrapper aborts on bad input; servers use Engine::Run instead.
   MLCORE_CHECK_MSG(response.ok(), response.status().message.c_str());
   return std::move(response).value();
 }

@@ -62,6 +62,10 @@ DccsResult GreedyDccs(const MultiLayerGraph& graph, const DccsParams& params,
   };
   const int64_t total_subsets =
       BinomialCoefficient(graph.NumLayers(), params.s);
+  // Engine::Validate pre-rejects this with kUnsupported; the abort guards
+  // *direct* GreedyDccs callers against materialising an intractable
+  // subset table.
+  // NOLINT(mlcore-release-check): resource guard for direct callers
   MLCORE_CHECK_MSG(total_subsets <= kMaxGreedySubsets,
                    "C(l, s) too large to materialise; this instance is "
                    "intractable for GD-DCCS regardless");

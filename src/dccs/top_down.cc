@@ -644,8 +644,10 @@ DccsResult TopDownDccs(const MultiLayerGraph& graph, const DccsParams& params) {
 
 DccsResult TopDownDccs(const MultiLayerGraph& graph, const DccsParams& params,
                        const DccsExecution& exec) {
-  MLCORE_CHECK(params.s >= 1);
-  MLCORE_CHECK(params.k >= 1);
+  // Guaranteed by Engine::Validate on every request path; debug-only so a
+  // malformed direct call still trips in development builds.
+  MLCORE_DCHECK(params.s >= 1);
+  MLCORE_DCHECK(params.k >= 1);
 
   WallTimer total_timer;
   DccsResult result;

@@ -103,7 +103,7 @@ VertexLevelIndex::VertexLevelIndex(const MultiLayerGraph& graph, int d,
     }
     if (alive_list.empty()) break;
   }
-  MLCORE_CHECK(alive_list.empty());
+  MLCORE_DCHECK(alive_list.empty());
 }
 
 }  // namespace mlcore

@@ -132,7 +132,7 @@ DecrementalCoreMaintainer::RemoveOutcome DecrementalCoreMaintainer::RemoveEdges(
 void DecrementalCoreMaintainer::GrowVertices(int32_t new_num_vertices) {
   const auto old_n = alive_.size();
   const auto new_n = static_cast<size_t>(new_num_vertices);
-  MLCORE_CHECK(new_n >= old_n);
+  MLCORE_DCHECK(new_n >= old_n);  // GraphStore never shrinks the space
   if (new_n == old_n) return;
   const auto l = cores_.size();
   for (Bitset& bits : cores_) bits.GrowTo(new_n);
@@ -144,9 +144,10 @@ void DecrementalCoreMaintainer::GrowVertices(int32_t new_num_vertices) {
 }
 
 void DecrementalCoreMaintainer::Rebind(const MultiLayerGraph* graph) {
-  MLCORE_CHECK(graph != nullptr);
-  MLCORE_CHECK(graph->NumLayers() == static_cast<int32_t>(cores_.size()));
-  MLCORE_CHECK(static_cast<size_t>(graph->NumVertices()) == alive_.size());
+  // GraphStore::ApplyUpdate (the only caller) upholds all three.
+  MLCORE_DCHECK(graph != nullptr);
+  MLCORE_DCHECK(graph->NumLayers() == static_cast<int32_t>(cores_.size()));
+  MLCORE_DCHECK(static_cast<size_t>(graph->NumVertices()) == alive_.size());
   graph_ = graph;
 }
 

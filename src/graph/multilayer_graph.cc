@@ -99,9 +99,10 @@ void ExpandDirected(const MultiLayerGraph::EdgeList& edges,
 MultiLayerGraph MultiLayerGraph::EditedCopy(
     int32_t extra_vertices, const std::vector<EdgeList>& added,
     const std::vector<EdgeList>& removed) const {
-  MLCORE_CHECK(extra_vertices >= 0);
-  MLCORE_CHECK(added.size() == layers_.size());
-  MLCORE_CHECK(removed.size() == layers_.size());
+  // GraphStore::Normalize validates every batch before EditedCopy runs.
+  MLCORE_DCHECK(extra_vertices >= 0);
+  MLCORE_DCHECK(added.size() == layers_.size());
+  MLCORE_DCHECK(removed.size() == layers_.size());
   const int32_t new_n = num_vertices_ + extra_vertices;
 
   MultiLayerGraph out;
@@ -178,7 +179,7 @@ MultiLayerGraph MultiLayerGraph::SelectLayers(const LayerSet& layers) const {
   out.num_vertices_ = num_vertices_;
   out.layers_.reserve(layers.size());
   for (LayerId layer : layers) {
-    MLCORE_CHECK(layer >= 0 && layer < NumLayers());
+    MLCORE_DCHECK(layer >= 0 && layer < NumLayers());
     out.layers_.push_back(layers_[static_cast<size_t>(layer)]);
   }
   return out;

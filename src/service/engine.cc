@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <chrono>
-#include <condition_variable>
 #include <deque>
 #include <mutex>
 #include <optional>
@@ -15,6 +14,8 @@
 #include "dccs/execution.h"
 #include "dccs/greedy.h"
 #include "dccs/top_down.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "util/timing.h"
 
 namespace mlcore {
@@ -74,21 +75,25 @@ struct Engine::BaseCoresEntry {
 /// cancelled waiter leaves promptly. `ready` is written once, under `mu`,
 /// before any reader dereferences `preprocess`.
 struct Engine::QueryEntry {
-  std::mutex mu;
-  std::condition_variable cv;
-  bool ready = false;
-  bool building = false;
+  util::Mutex mu{util::lock_rank::kQueryEntry, "QueryEntry::mu"};
+  util::CondVar cv;
+  bool ready MLCORE_GUARDED_BY(mu) = false;
+  bool building MLCORE_GUARDED_BY(mu) = false;
+  // Publish-once: written under `mu` before `ready` flips, read lock-free
+  // by every query after observing `ready` — deliberately unannotated.
   PreprocessResult preprocess;
 
   std::once_flag index_once;
   std::unique_ptr<VertexLevelIndex> index;
 
-  std::mutex seeds_mu;
-  std::map<std::pair<int, int>, std::shared_ptr<const InitSeeds>> seeds;
+  util::Mutex seeds_mu{util::lock_rank::kQuerySeeds, "QueryEntry::seeds_mu"};
+  std::map<std::pair<int, int>, std::shared_ptr<const InitSeeds>> seeds
+      MLCORE_GUARDED_BY(seeds_mu);
   /// Replayed CoverageIndex prototype per seeds key: the state a fresh
   /// top-k has after ReplayInitSeeds, so warm queries (parallel or not)
   /// start from a copy instead of re-running the replay loop.
-  std::map<std::pair<int, int>, std::shared_ptr<const CoverageIndex>> seeded;
+  std::map<std::pair<int, int>, std::shared_ptr<const CoverageIndex>> seeded
+      MLCORE_GUARDED_BY(seeds_mu);
 
   /// Cached SortedLayerOrder for sort_layers queries: descending
   /// |C^d(G_i)| (BU) and ascending (TD), built over `preprocess` on first
@@ -116,10 +121,10 @@ struct Engine::QueryTask {
   /// threads, hence atomic.
   std::atomic<uint64_t> queue_id{0};
 
-  std::mutex mu;
-  std::condition_variable cv;
-  bool done = false;
-  std::optional<Expected<DccsResult>> result;
+  util::Mutex mu{util::lock_rank::kQueryTask, "QueryTask::mu"};
+  util::CondVar cv;
+  bool done MLCORE_GUARDED_BY(mu) = false;
+  std::optional<Expected<DccsResult>> result MLCORE_GUARDED_BY(mu);
 
   /// Completion hook, invoked by FinishTask on the resolving thread after
   /// the terminal result published. Subscription evaluations use it to
@@ -153,32 +158,32 @@ struct Engine::SubscriptionState {
     std::shared_ptr<const DccsResult> result;
   };
 
-  std::mutex mu;
-  std::condition_variable cv;
+  util::Mutex mu{util::lock_rank::kSubscription, "SubscriptionState::mu"};
+  util::CondVar cv;
   /// No further revisions will be produced (user Cancel or engine
   /// destruction). Buffered revisions stay consumable.
-  bool cancelled = false;
+  bool cancelled MLCORE_GUARDED_BY(mu) = false;
   /// An evaluation is in flight, or a callback delivery is running — the
   /// dispatcher never schedules work for a busy subscription, which both
   /// bounds it to one evaluation at a time and serialises callback
   /// invocations in revision order.
-  bool busy = false;
-  uint64_t next_sequence = 1;
+  bool busy MLCORE_GUARDED_BY(mu) = false;
+  uint64_t next_sequence MLCORE_GUARDED_BY(mu) = 1;
   /// Newest epoch this subscription has accounted for (evaluated, or
   /// absorbed as unchanged). `has_epoch` false = nothing yet, so the
   /// dispatcher owes the initial revision.
-  bool has_epoch = false;
-  uint64_t last_epoch = 0;
+  bool has_epoch MLCORE_GUARDED_BY(mu) = false;
+  uint64_t last_epoch MLCORE_GUARDED_BY(mu) = 0;
   /// Result (and its (d, s)-relevant core-subgraph generation) of the last
   /// *evaluated* revision — the unchanged-skip comparison point and the
   /// source for unchanged revisions' payload.
-  bool has_result = false;
-  uint64_t last_generation = 0;
-  std::shared_ptr<const DccsResult> last_result;
+  bool has_result MLCORE_GUARDED_BY(mu) = false;
+  uint64_t last_generation MLCORE_GUARDED_BY(mu) = 0;
+  std::shared_ptr<const DccsResult> last_result MLCORE_GUARDED_BY(mu);
   /// Result of the last revision popped by Next/TryNext: the delta base
   /// when a new revision lands on an empty buffer.
-  std::shared_ptr<const DccsResult> delivered_base;
-  std::deque<BufferedRevision> buffer;
+  std::shared_ptr<const DccsResult> delivered_base MLCORE_GUARDED_BY(mu);
+  std::deque<BufferedRevision> buffer MLCORE_GUARDED_BY(mu);
 };
 
 /// RAII hold on one free-list solver, bound to one snapshot's graph.
@@ -223,7 +228,7 @@ class Engine::WorkerSolvers {
   WorkerSolvers& operator=(const WorkerSolvers&) = delete;
 
   DccSolver* Get(int worker) {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     auto& slot = held_[static_cast<size_t>(worker)];
     if (slot == nullptr) slot = engine_->AcquireSolver(graph_);
     return slot.get();
@@ -232,8 +237,8 @@ class Engine::WorkerSolvers {
  private:
   Engine* engine_;
   std::shared_ptr<const MultiLayerGraph> graph_;
-  std::mutex mu_;
-  std::vector<std::unique_ptr<DccSolver>> held_;
+  util::Mutex mu_{util::lock_rank::kWorkerSolvers, "WorkerSolvers::mu_"};
+  std::vector<std::unique_ptr<DccSolver>> held_ MLCORE_GUARDED_BY(mu_);
 };
 
 Engine::Engine(MultiLayerGraph graph, Options options)
@@ -244,6 +249,8 @@ Engine::Engine(const MultiLayerGraph* graph, Options options)
     : Engine(std::shared_ptr<const MultiLayerGraph>(
                  graph, [](const MultiLayerGraph*) {}),
              options) {
+  // NOLINT(mlcore-release-check): constructor contract — a null borrowed
+  // graph is unrecoverable API misuse, not a request-path condition.
   MLCORE_CHECK(graph != nullptr);
 }
 
@@ -255,6 +262,7 @@ Engine::Engine(std::shared_ptr<GraphStore> store, Options options)
       options_(Sanitize(options)),
       pool_(options_.num_threads),
       pending_(static_cast<size_t>(options_.max_pending_queries)) {
+  // NOLINT(mlcore-release-check): constructor contract.
   MLCORE_CHECK(store_ != nullptr);
   search_lanes_free_.store(options_.search_threads - 1,
                            std::memory_order_relaxed);
@@ -272,10 +280,10 @@ Engine::~Engine() {
   if (subs_started_.load(std::memory_order_acquire)) {
     store_->RemoveEpochListener(store_listener_id_);
     {
-      std::lock_guard<std::mutex> lock(subs_mu_);
+      util::MutexLock lock(subs_mu_);
       subs_shutdown_ = true;
     }
-    subs_cv_.notify_all();
+    subs_cv_.NotifyAll();
     subs_dispatcher_.join();
   }
   // Stop admissions, resolve everything still queued (racing workers
@@ -295,21 +303,23 @@ Engine::~Engine() {
   // handles drain their buffers, then Next returns nullopt.
   std::vector<std::shared_ptr<SubscriptionState>> subs;
   {
-    std::lock_guard<std::mutex> lock(subs_mu_);
+    util::MutexLock lock(subs_mu_);
     subs.swap(subscriptions_);
   }
   for (const auto& sub : subs) {
     {
-      std::lock_guard<std::mutex> sub_lock(sub->mu);
+      util::MutexLock sub_lock(sub->mu);
       sub->cancelled = true;
     }
-    sub->cv.notify_all();
+    sub->cv.NotifyAll();
   }
 }
 
 #pragma GCC diagnostic push
 #pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 const MultiLayerGraph& Engine::graph() const {
+  // NOLINT(mlcore-snapshot-bypass): deprecated passthrough; both ends are
+  // marked [[deprecated]] and every internal path pins snapshot().
   return store_->current_graph();
 }
 #pragma GCC diagnostic pop
@@ -492,12 +502,11 @@ Expected<DccsResult> Engine::Run(const DccsRequest& request) {
     // on validation, never on load. (The request already passed Validate,
     // or Submit would have returned kInvalidArgument/kUnsupported.)
     sched_executed_.fetch_add(1, std::memory_order_relaxed);
-    return RunValidated(
-        request, handle.task_->snapshot,
-        std::unique_lock<std::mutex>(pool_mu_, std::try_to_lock),
-        /*control=*/nullptr);
+    return RunValidated(request, handle.task_->snapshot,
+                        util::UniqueLock(pool_mu_, util::kTryToLock),
+                        /*control=*/nullptr);
   }
-  std::lock_guard<std::mutex> lock(handle.task_->mu);
+  util::MutexLock lock(handle.task_->mu);
   return std::move(*handle.task_->result);
 }
 
@@ -525,22 +534,21 @@ void Engine::ExecuteTask(const std::shared_ptr<QueryTask>& task) {
   // the stages skip checkpoint costs entirely.
   FinishTask(*task,
              RunValidated(task->request, task->snapshot,
-                          std::unique_lock<std::mutex>(pool_mu_,
-                                                       std::try_to_lock),
+                          util::UniqueLock(pool_mu_, util::kTryToLock),
                           task->control.active() ? &task->control : nullptr));
 }
 
 void Engine::FinishTask(QueryTask& task, Expected<DccsResult> result) {
   {
-    std::lock_guard<std::mutex> lock(task.mu);
-    MLCORE_CHECK_MSG(!task.done, "query task resolved twice");
+    util::MutexLock lock(task.mu);
+    MLCORE_DCHECK_MSG(!task.done, "query task resolved twice");
     task.result.emplace(std::move(result));
     task.done = true;
   }
   // The ticket is dead: later Wait/Cancel calls short-circuit instead of
   // scanning the queue for an entry that cannot be there.
   task.queue_id.store(0, std::memory_order_release);
-  task.cv.notify_all();
+  task.cv.NotifyAll();
   if (task.on_done != nullptr) task.on_done(task);
 }
 
@@ -556,8 +564,8 @@ void Engine::AwaitTask(const std::shared_ptr<QueryTask>& task) {
       return;
     }
   }
-  std::unique_lock<std::mutex> lock(task->mu);
-  task->cv.wait(lock, [&] { return task->done; });
+  util::MutexLock lock(task->mu);
+  while (!task->done) task->cv.Wait(task->mu);
 }
 
 void Engine::CancelTask(const std::shared_ptr<QueryTask>& task) {
@@ -618,13 +626,12 @@ std::vector<Expected<DccsResult>> Engine::RunBatch(
   // slots run uncontrolled (control = nullptr), so every slot is a value.
   std::vector<std::optional<Expected<DccsResult>>> slots(n);
   {
-    std::lock_guard<std::mutex> pool_lock(pool_mu_);
+    util::MutexLock pool_lock(pool_mu_);
     pool_.ParallelFor(static_cast<int64_t>(n), [&](int /*worker*/,
                                                    int64_t i) {
       const auto slot = static_cast<size_t>(i);
       if (!statuses[slot].ok()) return;
-      slots[slot] = RunValidated(requests[slot], snap,
-                                 std::unique_lock<std::mutex>(),
+      slots[slot] = RunValidated(requests[slot], snap, util::UniqueLock(),
                                  /*control=*/nullptr);
     });
   }
@@ -657,11 +664,11 @@ Expected<CommunitySearchResult> Engine::FindCommunity(
   }
   if (request.s > graph.NumLayers()) return CommunitySearchResult{};
 
-  std::unique_lock<std::mutex> pool_lock(pool_mu_, std::try_to_lock);
+  util::UniqueLock pool_lock(pool_mu_, util::kTryToLock);
   std::shared_ptr<const BaseCoresEntry> base = GetBaseCores(
-      snap, request.d, pool_lock.owns_lock() ? &pool_ : nullptr);
+      snap, request.d, pool_lock.OwnsLock() ? &pool_ : nullptr);
   // The greedy layer extension below is sequential; free the pool first.
-  if (pool_lock.owns_lock()) pool_lock.unlock();
+  if (pool_lock.OwnsLock()) pool_lock.Unlock();
   SolverLease solver(this, snap->graph_ptr());
   return SearchCommunityWithCores(graph, base->cores, *solver.get(),
                                   request.query, request.d, request.s);
@@ -685,7 +692,7 @@ Expected<Subscription> Engine::Subscribe(const DccsRequest& request,
   sub->emit_unchanged = options.emit_unchanged;
   sub->on_revision = options.on_revision;
   {
-    std::lock_guard<std::mutex> lock(subs_mu_);
+    util::MutexLock lock(subs_mu_);
     if (subs_shutdown_) {
       return Status::ResourceExhausted(
           "engine shutting down; no new subscriptions admitted");
@@ -693,7 +700,7 @@ Expected<Subscription> Engine::Subscribe(const DccsRequest& request,
     subscriptions_.push_back(sub);
     subs_dirty_ = true;  // the dispatcher owes the initial revision
   }
-  subs_cv_.notify_all();
+  subs_cv_.NotifyAll();
   return Subscription(std::move(sub));
 }
 
@@ -713,30 +720,30 @@ void Engine::EnsureSubscriptionInfra() {
 
 void Engine::PingDispatcher() {
   {
-    std::lock_guard<std::mutex> lock(subs_mu_);
+    util::MutexLock lock(subs_mu_);
     subs_dirty_ = true;
   }
-  subs_cv_.notify_all();
+  subs_cv_.NotifyAll();
 }
 
 void Engine::SubscriptionDispatcherLoop() {
-  std::unique_lock<std::mutex> lock(subs_mu_);
+  util::MutexLock lock(subs_mu_);
   while (true) {
-    subs_cv_.wait(lock, [&] { return subs_shutdown_ || subs_dirty_; });
+    while (!subs_shutdown_ && !subs_dirty_) subs_cv_.Wait(subs_mu_);
     if (subs_shutdown_) return;
     subs_dirty_ = false;
     // Prune cancelled subscriptions, snapshot the live list, and release
     // subs_mu_ for the actual work: Subscribe/Cancel and ApplyUpdate's
     // listener never wait on an evaluation.
     std::erase_if(subscriptions_, [](const auto& sub) {
-      std::lock_guard<std::mutex> sub_lock(sub->mu);
+      util::MutexLock sub_lock(sub->mu);
       return sub->cancelled && !sub->busy;
     });
     std::vector<std::shared_ptr<SubscriptionState>> live = subscriptions_;
-    lock.unlock();
+    lock.Unlock();
     const std::shared_ptr<const GraphSnapshot> snap = store_->snapshot();
     for (const auto& sub : live) DispatchSubscription(sub, snap);
-    lock.lock();
+    lock.Lock();
   }
 }
 
@@ -747,7 +754,7 @@ void Engine::DispatchSubscription(
   std::shared_ptr<DccsResult> unchanged_result;
   uint64_t generation = 0;
   {
-    std::lock_guard<std::mutex> sub_lock(sub->mu);
+    util::MutexLock sub_lock(sub->mu);
     if (sub->cancelled || sub->busy) return;
     if (sub->has_epoch && sub->last_epoch >= snap->epoch()) return;
     generation = snap->core_generation(sub->request.params.d);
@@ -760,7 +767,7 @@ void Engine::DispatchSubscription(
       sub->last_epoch = snap->epoch();
       sub->has_epoch = true;
       {
-        std::lock_guard<std::mutex> stats_lock(cache_mu_);
+        util::MutexLock stats_lock(cache_mu_);
         ++stats_.revisions_unchanged_skipped;
       }
       if (!sub->emit_unchanged) return;
@@ -812,8 +819,7 @@ void Engine::DispatchSubscription(
       sched_executed_.fetch_add(1, std::memory_order_relaxed);
       FinishTask(*task,
                  RunValidated(task->request, snap,
-                              std::unique_lock<std::mutex>(pool_mu_,
-                                                           std::try_to_lock),
+                              util::UniqueLock(pool_mu_, util::kTryToLock),
                               &task->control));
       return;
     case PriorityTaskQueue::PushOutcome::kAcceptedDisplacing: {
@@ -841,12 +847,20 @@ void Engine::DispatchSubscription(
 void Engine::CompleteSubscriptionEval(
     const std::shared_ptr<SubscriptionState>& sub, uint64_t generation,
     QueryTask& task) {
-  Expected<DccsResult>& outcome = *task.result;
-  if (outcome.ok()) {
-    // The task never escaped as a handle, so the terminal result is ours
-    // to move from.
-    auto result =
-        std::make_shared<DccsResult>(std::move(outcome).value());
+  // Extract the outcome under task.mu and release before touching the
+  // subscription: task.mu is a leaf (it ranks above sub->mu), so holding
+  // it across FinishRevision would invert the documented lock order.
+  std::shared_ptr<DccsResult> result;
+  {
+    util::MutexLock lock(task.mu);
+    Expected<DccsResult>& outcome = *task.result;
+    if (outcome.ok()) {
+      // The task never escaped as a handle, so the terminal result is
+      // ours to move from.
+      result = std::make_shared<DccsResult>(std::move(outcome).value());
+    }
+  }
+  if (result != nullptr) {
     const uint64_t epoch = result->epoch;
     FinishRevision(sub, epoch, std::move(result), generation,
                    /*unchanged=*/false);
@@ -866,7 +880,7 @@ void Engine::FinishRevision(const std::shared_ptr<SubscriptionState>& sub,
   static const DccsResult kEmptyResult;
   std::optional<ResultRevision> deliver;
   {
-    std::lock_guard<std::mutex> sub_lock(sub->mu);
+    util::MutexLock sub_lock(sub->mu);
     if (result != nullptr && !sub->cancelled) {
       ResultRevision rev;
       rev.epoch = epoch;
@@ -888,7 +902,7 @@ void Engine::FinishRevision(const std::shared_ptr<SubscriptionState>& sub,
           // before the folded step, so the chain stays consistent.
           folded = sub->buffer.back().revision.coalesced + 1;
           sub->buffer.pop_back();
-          std::lock_guard<std::mutex> stats_lock(cache_mu_);
+          util::MutexLock stats_lock(cache_mu_);
           ++stats_.revisions_coalesced;
         }
         const DccsResult* base = &kEmptyResult;
@@ -909,19 +923,19 @@ void Engine::FinishRevision(const std::shared_ptr<SubscriptionState>& sub,
         sub->last_epoch = epoch;
         sub->has_epoch = true;
       }
-      std::lock_guard<std::mutex> stats_lock(cache_mu_);
+      util::MutexLock stats_lock(cache_mu_);
       ++stats_.revisions_emitted;
     }
     if (!deliver.has_value()) sub->busy = false;
   }
-  sub->cv.notify_all();
+  sub->cv.NotifyAll();
   if (deliver.has_value()) {
     sub->on_revision(*deliver);
     {
-      std::lock_guard<std::mutex> sub_lock(sub->mu);
+      util::MutexLock sub_lock(sub->mu);
       sub->busy = false;
     }
-    sub->cv.notify_all();
+    sub->cv.NotifyAll();
   }
   // Another epoch may have published while this one was in flight (or a
   // dropped evaluation needs a retry): let the dispatcher re-scan.
@@ -931,12 +945,12 @@ void Engine::FinishRevision(const std::shared_ptr<SubscriptionState>& sub,
 Expected<DccsResult> Engine::RunValidated(
     const DccsRequest& request,
     const std::shared_ptr<const GraphSnapshot>& snap,
-    std::unique_lock<std::mutex> pool_lock, const QueryControl* control) {
+    util::UniqueLock pool_lock, const QueryControl* control) {
   WallTimer total_timer;
   const DccsParams& params = request.params;
   const DccsAlgorithm algorithm = ResolvedAlgorithm(request);
   const MultiLayerGraph& graph = snap->graph();
-  ThreadPool* pool = pool_lock.owns_lock() ? &pool_ : nullptr;
+  ThreadPool* pool = pool_lock.OwnsLock() ? &pool_ : nullptr;
 
   DccsResult result;
   result.epoch = snap->epoch();
@@ -991,8 +1005,8 @@ Expected<DccsResult> Engine::RunValidated(
   // Preprocessing is behind us; only GD-DCCS's candidate fan-out still
   // wants workers. Release the pool for everyone else so a long
   // sequential BU/TD search never blocks other queries' parallel stages.
-  if (algorithm != DccsAlgorithm::kGreedy && pool_lock.owns_lock()) {
-    pool_lock.unlock();
+  if (algorithm != DccsAlgorithm::kGreedy && pool_lock.OwnsLock()) {
+    pool_lock.Unlock();
     pool = nullptr;
   }
 
@@ -1045,9 +1059,15 @@ Expected<DccsResult> Engine::RunValidated(
     case DccsAlgorithm::kTopDown:
       result = TopDownDccs(graph, params, exec);
       break;
-    case DccsAlgorithm::kAuto:
-      MLCORE_CHECK_MSG(false, "kAuto must be resolved before dispatch");
-      break;
+    case DccsAlgorithm::kAuto: {
+      // Unreachable: ResolvedAlgorithm ran before dispatch. Debug builds
+      // assert; release builds fail the request instead of aborting a
+      // serving process.
+      MLCORE_DCHECK_MSG(false, "kAuto must be resolved before dispatch");
+      ReturnSearchLanes(extra_lanes);
+      return Status::InvalidArgument(
+          "kAuto must be resolved before dispatch");
+    }
   }
   ReturnSearchLanes(extra_lanes);
   if (result.stats.stopped == QueryStop::kCancelled) {
@@ -1079,7 +1099,7 @@ std::shared_ptr<const Engine::BaseCoresEntry> Engine::GetBaseCores(
   std::shared_ptr<BaseCoresEntry> entry;
   std::shared_ptr<BaseCoresEntry> prev;
   {
-    std::lock_guard<std::mutex> lock(cache_mu_);
+    util::MutexLock lock(cache_mu_);
     auto it = base_cores_.find(key);
     if (it != base_cores_.end()) {
       entry = it->second;
@@ -1117,7 +1137,7 @@ std::shared_ptr<const Engine::BaseCoresEntry> Engine::GetBaseCores(
         entry->cores[static_cast<size_t>(layer)] =
             *tracked->cores[static_cast<size_t>(layer)];
       }
-      std::lock_guard<std::mutex> lock(cache_mu_);
+      util::MutexLock lock(cache_mu_);
       ++stats_.base_core_store_served;
     } else {
       // Per-layer generational reuse: copy layers whose content is
@@ -1155,7 +1175,7 @@ std::shared_ptr<const Engine::BaseCoresEntry> Engine::GetBaseCores(
       } else {
         for (int64_t layer = 0; layer < l; ++layer) compute_layer(0, layer);
       }
-      std::lock_guard<std::mutex> lock(cache_mu_);
+      util::MutexLock lock(cache_mu_);
       stats_.base_core_layers_reused += reused;
       stats_.base_core_layers_recomputed += recomputed;
     }
@@ -1177,7 +1197,7 @@ std::shared_ptr<Engine::QueryEntry> Engine::GetQueryEntry(
                                                  s, vertex_deletion};
   std::shared_ptr<QueryEntry> entry;
   {
-    std::lock_guard<std::mutex> lock(cache_mu_);
+    util::MutexLock lock(cache_mu_);
     auto it = queries_.find(key);
     if (it != queries_.end()) {
       entry = it->second;
@@ -1194,10 +1214,10 @@ std::shared_ptr<Engine::QueryEntry> Engine::GetQueryEntry(
   // at *resolution* — found published vs. built-and-published — so a query
   // stopped before publication moves no counter, matching the
   // publish-or-nothing contract for contents.
-  std::unique_lock<std::mutex> lock(entry->mu);
+  util::MutexLock lock(entry->mu);
   while (true) {
     if (entry->ready) {
-      std::lock_guard<std::mutex> stats_lock(cache_mu_);
+      util::MutexLock stats_lock(cache_mu_);
       ++stats_.preprocess_hits;
       return entry;
     }
@@ -1205,16 +1225,16 @@ std::shared_ptr<Engine::QueryEntry> Engine::GetQueryEntry(
     if (control != nullptr) {
       // Poll our own control while someone else builds, so cancelling a
       // *waiter* never blocks on the builder's (possibly long) rounds.
-      entry->cv.wait_for(lock, std::chrono::milliseconds(5));
+      entry->cv.WaitFor(entry->mu, std::chrono::milliseconds(5));
       *stop = control->Check();
       if (*stop != QueryStop::kNone) return nullptr;
     } else {
-      entry->cv.wait(lock);
+      entry->cv.Wait(entry->mu);
     }
   }
 
   entry->building = true;
-  lock.unlock();
+  lock.Unlock();
 
   PreprocessResult built;
   QueryStop build_stop =
@@ -1228,22 +1248,22 @@ std::shared_ptr<Engine::QueryEntry> Engine::GetQueryEntry(
     build_stop = built.stopped;
   }
 
-  lock.lock();
+  lock.Lock();
   entry->building = false;
   if (build_stop != QueryStop::kNone) {
     // Abandoned build: publish nothing. A waiter (or the next query on
     // this key) rebuilds from scratch; `built`'s partial contents die here.
-    lock.unlock();
-    entry->cv.notify_all();
+    lock.Unlock();
+    entry->cv.NotifyAll();
     *stop = build_stop;
     return nullptr;
   }
   entry->preprocess = std::move(built);
   entry->ready = true;
-  lock.unlock();
-  entry->cv.notify_all();
+  lock.Unlock();
+  entry->cv.NotifyAll();
   {
-    std::lock_guard<std::mutex> stats_lock(cache_mu_);
+    util::MutexLock stats_lock(cache_mu_);
     ++stats_.preprocess_misses;
   }
   return entry;
@@ -1254,11 +1274,11 @@ std::shared_ptr<const InitSeeds> Engine::GetSeeds(
     DccSolver& solver, std::shared_ptr<const CoverageIndex>* seeded_topk) {
   const std::pair<int, int> key{params.k,
                                 static_cast<int>(params.dcc_engine)};
-  std::lock_guard<std::mutex> lock(entry.seeds_mu);
+  util::MutexLock lock(entry.seeds_mu);
   auto it = entry.seeds.find(key);
   if (it != entry.seeds.end()) {
     *seeded_topk = entry.seeded.at(key);
-    std::lock_guard<std::mutex> stats_lock(cache_mu_);
+    util::MutexLock stats_lock(cache_mu_);
     ++stats_.seed_hits;
     return it->second;
   }
@@ -1271,7 +1291,7 @@ std::shared_ptr<const InitSeeds> Engine::GetSeeds(
   entry.seeds[key] = seeds;
   entry.seeded[key] = proto;
   *seeded_topk = std::move(proto);
-  std::lock_guard<std::mutex> stats_lock(cache_mu_);
+  util::MutexLock stats_lock(cache_mu_);
   ++stats_.seed_misses;
   return seeds;
 }
@@ -1285,7 +1305,7 @@ const VertexLevelIndex* Engine::GetIndex(const MultiLayerGraph& graph,
     built = true;
   });
   {
-    std::lock_guard<std::mutex> lock(cache_mu_);
+    util::MutexLock lock(cache_mu_);
     if (built) {
       ++stats_.index_misses;
     } else {
@@ -1330,7 +1350,7 @@ void Engine::ReturnSearchLanes(int lanes) {
 std::unique_ptr<DccSolver> Engine::AcquireSolver(
     const std::shared_ptr<const MultiLayerGraph>& graph) {
   {
-    std::lock_guard<std::mutex> lock(solver_mu_);
+    util::MutexLock lock(solver_mu_);
     if (free_graph_ == graph && !free_solvers_.empty()) {
       std::unique_ptr<DccSolver> solver = std::move(free_solvers_.back());
       free_solvers_.pop_back();
@@ -1342,7 +1362,7 @@ std::unique_ptr<DccSolver> Engine::AcquireSolver(
 
 void Engine::ReleaseSolver(std::shared_ptr<const MultiLayerGraph> graph,
                            std::unique_ptr<DccSolver> solver) {
-  std::lock_guard<std::mutex> lock(solver_mu_);
+  util::MutexLock lock(solver_mu_);
   if (free_graph_ == graph) {
     free_solvers_.push_back(std::move(solver));
     return;
@@ -1367,7 +1387,7 @@ void Engine::ReleaseSolver(std::shared_ptr<const MultiLayerGraph> graph,
 }
 
 EngineCacheStats Engine::cache_stats() const {
-  std::lock_guard<std::mutex> lock(cache_mu_);
+  util::MutexLock lock(cache_mu_);
   return stats_;
 }
 
@@ -1386,7 +1406,7 @@ SchedulerStats Engine::scheduler_stats() const {
 
 void Engine::ResetStats() {
   {
-    std::lock_guard<std::mutex> lock(cache_mu_);
+    util::MutexLock lock(cache_mu_);
     stats_ = EngineCacheStats{};
   }
   sched_submitted_.store(0, std::memory_order_relaxed);
@@ -1400,13 +1420,13 @@ void Engine::ResetStats() {
 
 void Engine::ClearCache() {
   {
-    std::lock_guard<std::mutex> lock(cache_mu_);
+    util::MutexLock lock(cache_mu_);
     base_cores_.clear();
     base_cores_last_use_.clear();
     queries_.clear();
     queries_last_use_.clear();
   }
-  std::lock_guard<std::mutex> lock(solver_mu_);
+  util::MutexLock lock(solver_mu_);
   free_solvers_.clear();
   free_graph_.reset();
 }
@@ -1432,25 +1452,28 @@ int QueryHandle::priority() const {
 }
 
 const Expected<DccsResult>& QueryHandle::Wait() {
+  // NOLINT(mlcore-release-check): invalid-handle misuse aborts by contract
   MLCORE_CHECK_MSG(task_ != nullptr, "Wait on an invalid QueryHandle");
   // Terminal fast path before touching the engine: this is what keeps a
   // handle usable after ~Engine (which resolves every outstanding task)
   // and makes repeat Waits lock only the task.
   {
-    std::lock_guard<std::mutex> lock(task_->mu);
+    util::MutexLock lock(task_->mu);
     if (task_->done) return *task_->result;
   }
   engine_->AwaitTask(task_);
   // `result` is written exactly once, before `done`; AwaitTask returning
   // established the happens-before, so the reference is stable from here
-  // on.
+  // on. The lock satisfies the guarded read; it is not needed for
+  // ordering.
+  util::MutexLock lock(task_->mu);
   return *task_->result;
 }
 
 const Expected<DccsResult>* QueryHandle::TryGet() const {
   if (task_ == nullptr) return nullptr;
   {
-    std::lock_guard<std::mutex> lock(task_->mu);
+    util::MutexLock lock(task_->mu);
     if (task_->done) return &*task_->result;
   }
   // Not terminal: give a queued-but-already-expired deadline its
@@ -1458,22 +1481,24 @@ const Expected<DccsResult>* QueryHandle::TryGet() const {
   // task being non-terminal implies the engine is still alive — teardown
   // resolves everything first.)
   engine_->ResolveIfExpiredQueued(task_);
-  std::lock_guard<std::mutex> lock(task_->mu);
+  util::MutexLock lock(task_->mu);
   return task_->done ? &*task_->result : nullptr;
 }
 
 void QueryHandle::Cancel() {
+  // NOLINT(mlcore-release-check): invalid-handle misuse aborts by contract
   MLCORE_CHECK_MSG(task_ != nullptr, "Cancel on an invalid QueryHandle");
   // Terminal fast path mirrors Wait: a finished (or engine-drained) task
   // needs no engine interaction.
   {
-    std::lock_guard<std::mutex> lock(task_->mu);
+    util::MutexLock lock(task_->mu);
     if (task_->done) return;
   }
   engine_->CancelTask(task_);
 }
 
 CancellationToken QueryHandle::token() const {
+  // NOLINT(mlcore-release-check): invalid-handle misuse aborts by contract
   MLCORE_CHECK_MSG(task_ != nullptr, "token() on an invalid QueryHandle");
   return task_->token;
 }
@@ -1493,7 +1518,10 @@ Subscription::~Subscription() = default;
 Subscription::Subscription(std::shared_ptr<Engine::SubscriptionState> state)
     : state_(std::move(state)) {}
 
-std::optional<ResultRevision> Subscription::PopLocked() {
+// Requires state_->mu, which the header cannot annotate (incomplete
+// type there); both callers hold it via MutexLock.
+std::optional<ResultRevision> Subscription::PopLocked()
+    MLCORE_NO_THREAD_SAFETY_ANALYSIS {
   if (state_->buffer.empty()) return std::nullopt;
   Engine::SubscriptionState::BufferedRevision front =
       std::move(state_->buffer.front());
@@ -1507,21 +1535,24 @@ std::optional<ResultRevision> Subscription::PopLocked() {
 }
 
 std::optional<ResultRevision> Subscription::Next() {
+  // NOLINT(mlcore-release-check): invalid-handle misuse aborts by contract
   MLCORE_CHECK_MSG(state_ != nullptr, "Next on an invalid Subscription");
-  std::unique_lock<std::mutex> lock(state_->mu);
-  state_->cv.wait(lock, [&] {
-    return !state_->buffer.empty() || state_->cancelled;
-  });
+  util::MutexLock lock(state_->mu);
+  while (state_->buffer.empty() && !state_->cancelled) {
+    state_->cv.Wait(state_->mu);
+  }
   return PopLocked();
 }
 
 std::optional<ResultRevision> Subscription::TryNext() {
+  // NOLINT(mlcore-release-check): invalid-handle misuse aborts by contract
   MLCORE_CHECK_MSG(state_ != nullptr, "TryNext on an invalid Subscription");
-  std::lock_guard<std::mutex> lock(state_->mu);
+  util::MutexLock lock(state_->mu);
   return PopLocked();
 }
 
 void Subscription::Cancel() {
+  // NOLINT(mlcore-release-check): invalid-handle misuse aborts by contract
   MLCORE_CHECK_MSG(state_ != nullptr, "Cancel on an invalid Subscription");
   // The token stops an in-flight evaluation at its next checkpoint; the
   // flag stops production and wakes blocked consumers. The dispatcher
@@ -1529,15 +1560,16 @@ void Subscription::Cancel() {
   // No live engine is needed, so cancelling after ~Engine is safe.
   state_->token.RequestCancel();
   {
-    std::lock_guard<std::mutex> lock(state_->mu);
+    util::MutexLock lock(state_->mu);
     state_->cancelled = true;
   }
-  state_->cv.notify_all();
+  state_->cv.NotifyAll();
 }
 
 bool Subscription::active() const {
+  // NOLINT(mlcore-release-check): invalid-handle misuse aborts by contract
   MLCORE_CHECK_MSG(state_ != nullptr, "active() on an invalid Subscription");
-  std::lock_guard<std::mutex> lock(state_->mu);
+  util::MutexLock lock(state_->mu);
   return !state_->cancelled;
 }
 

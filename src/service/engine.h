@@ -2,7 +2,6 @@
 #define MLCORE_SERVICE_ENGINE_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -24,6 +23,8 @@
 #include "service/status.h"
 #include "store/graph_store.h"
 #include "util/cancellation.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace mlcore {
@@ -447,7 +448,7 @@ class Engine {
   Expected<DccsResult> RunValidated(
       const DccsRequest& request,
       const std::shared_ptr<const GraphSnapshot>& snap,
-      std::unique_lock<std::mutex> pool_lock, const QueryControl* control);
+      util::UniqueLock pool_lock, const QueryControl* control);
 
   /// Submit with an explicit choice of arming the cancellation control.
   /// `controllable = false` (Run's private path) leaves the task's control
@@ -553,9 +554,11 @@ class Engine {
 
   // The shared pool. pool_mu_ serialises batches/parallel stages; a query
   // that finds it busy simply runs its parallel stages sequentially, which
-  // by the §4 contract cannot change its result.
+  // by the §4 contract cannot change its result. The lock is a
+  // serialisation token only — no member is guarded by it — and its
+  // ownership travels by value (util::UniqueLock) into RunValidated.
   ThreadPool pool_;
-  std::mutex pool_mu_;
+  util::Mutex pool_mu_{util::lock_rank::kEnginePool, "Engine::pool_mu_"};
 
   // Caches. cache_mu_ guards the maps and the LRU clock; per-entry
   // once-flags/mutexes guard the (expensive) payload computations so a
@@ -563,15 +566,18 @@ class Engine {
   // generation the entry was built for (DESIGN.md §8): stale-generation
   // entries simply stop being found and age out through the LRU, while
   // in-flight queries pinned to old snapshots still share them.
-  mutable std::mutex cache_mu_;
-  uint64_t use_clock_ = 0;
+  mutable util::Mutex cache_mu_{util::lock_rank::kEngineCache,
+                                "Engine::cache_mu_"};
+  uint64_t use_clock_ MLCORE_GUARDED_BY(cache_mu_) = 0;
   std::map<std::pair<int, uint64_t>, std::shared_ptr<BaseCoresEntry>>
-      base_cores_;
-  std::map<std::pair<int, uint64_t>, uint64_t> base_cores_last_use_;
+      base_cores_ MLCORE_GUARDED_BY(cache_mu_);
+  std::map<std::pair<int, uint64_t>, uint64_t> base_cores_last_use_
+      MLCORE_GUARDED_BY(cache_mu_);
   std::map<std::tuple<uint64_t, int, int, bool>, std::shared_ptr<QueryEntry>>
-      queries_;
-  std::map<std::tuple<uint64_t, int, int, bool>, uint64_t> queries_last_use_;
-  mutable EngineCacheStats stats_;
+      queries_ MLCORE_GUARDED_BY(cache_mu_);
+  std::map<std::tuple<uint64_t, int, int, bool>, uint64_t> queries_last_use_
+      MLCORE_GUARDED_BY(cache_mu_);
+  mutable EngineCacheStats stats_ MLCORE_GUARDED_BY(cache_mu_);
 
   // Extra worker lanes still free for parallel searches (DESIGN.md §10):
   // initialised to options_.search_threads - 1, debited/credited around
@@ -581,9 +587,11 @@ class Engine {
   // Solver free-list (the per-worker arenas of DESIGN.md §5), homogeneous
   // per graph snapshot: free_graph_ names the graph every pooled solver is
   // bound to.
-  std::mutex solver_mu_;
-  std::shared_ptr<const MultiLayerGraph> free_graph_;
-  std::vector<std::unique_ptr<DccSolver>> free_solvers_;
+  util::Mutex solver_mu_{util::lock_rank::kSolverPool, "Engine::solver_mu_"};
+  std::shared_ptr<const MultiLayerGraph> free_graph_
+      MLCORE_GUARDED_BY(solver_mu_);
+  std::vector<std::unique_ptr<DccSolver>> free_solvers_
+      MLCORE_GUARDED_BY(solver_mu_);
 
   // Async scheduler (DESIGN.md §7): bounded priority queue of pending
   // QueryTasks drained by the dedicated query workers and by waiters
@@ -608,11 +616,12 @@ class Engine {
   std::atomic<bool> subs_started_{false};
   uint64_t store_listener_id_ = 0;
   std::thread subs_dispatcher_;
-  std::mutex subs_mu_;
-  std::condition_variable subs_cv_;
-  bool subs_dirty_ = false;
-  bool subs_shutdown_ = false;
-  std::vector<std::shared_ptr<SubscriptionState>> subscriptions_;
+  util::Mutex subs_mu_{util::lock_rank::kEngineSubs, "Engine::subs_mu_"};
+  util::CondVar subs_cv_;
+  bool subs_dirty_ MLCORE_GUARDED_BY(subs_mu_) = false;
+  bool subs_shutdown_ MLCORE_GUARDED_BY(subs_mu_) = false;
+  std::vector<std::shared_ptr<SubscriptionState>> subscriptions_
+      MLCORE_GUARDED_BY(subs_mu_);
 };
 
 /// Handle to one submitted query (Engine::Submit). Copyable — copies share
@@ -701,7 +710,11 @@ class Subscription {
  private:
   friend class Engine;
   explicit Subscription(std::shared_ptr<Engine::SubscriptionState> state);
-  /// Pops the front revision; the caller holds the state's mutex.
+
+  /// Pops the front buffered revision. Requires state_->mu — the
+  /// requirement is not expressible as an annotation here because
+  /// SubscriptionState is incomplete at this point, so the definition
+  /// opts out of analysis instead (engine.cc).
   std::optional<ResultRevision> PopLocked();
 
   std::shared_ptr<Engine::SubscriptionState> state_;

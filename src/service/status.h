@@ -75,6 +75,7 @@ class Expected {
   Expected(T value) : value_(std::move(value)) {}
   // NOLINTNEXTLINE(google-explicit-constructor)
   Expected(Status status) : status_(std::move(status)) {
+    // NOLINT(mlcore-release-check): construction misuse aborts by contract
     MLCORE_CHECK_MSG(!status_.ok(),
                      "Expected constructed from an OK status without a value");
   }
@@ -83,14 +84,17 @@ class Expected {
   const Status& status() const { return status_; }
 
   T& value() & {
+    // NOLINT(mlcore-release-check): value() on an error aborts by contract
     MLCORE_CHECK_MSG(ok(), status_.message.c_str());
     return *value_;
   }
   const T& value() const& {
+    // NOLINT(mlcore-release-check): value() on an error aborts by contract
     MLCORE_CHECK_MSG(ok(), status_.message.c_str());
     return *value_;
   }
   T&& value() && {
+    // NOLINT(mlcore-release-check): value() on an error aborts by contract
     MLCORE_CHECK_MSG(ok(), status_.message.c_str());
     return *std::move(value_);
   }

@@ -37,7 +37,9 @@ GraphStore::GraphStore(MultiLayerGraph initial, Options options)
 GraphStore::GraphStore(std::shared_ptr<const MultiLayerGraph> initial,
                        Options options)
     : options_(std::move(options)) {
-  MLCORE_CHECK(initial != nullptr);
+  // Construction-time API misuse, not reachable from a validated Engine
+  // request; aborting beats dereferencing null for the store's lifetime.
+  MLCORE_CHECK(initial != nullptr);  // NOLINT(mlcore-release-check): ctor contract
   // d <= 0 is dropped: the 0-core is trivially every vertex, so there is
   // nothing to maintain (and fresh isolated vertices would make the
   // incremental bookkeeping lie).
@@ -83,23 +85,25 @@ GraphStore::GraphStore(std::shared_ptr<const MultiLayerGraph> initial,
 }
 
 std::shared_ptr<const GraphSnapshot> GraphStore::snapshot() const {
-  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  util::MutexLock lock(snapshot_mu_);
   return current_;
 }
 
 uint64_t GraphStore::epoch() const {
-  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  util::MutexLock lock(snapshot_mu_);
   return current_->epoch_;
 }
 
 const MultiLayerGraph& GraphStore::current_graph() const {
-  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  util::MutexLock lock(snapshot_mu_);
   return *current_->graph_;
 }
 
 uint64_t GraphStore::AddEpochListener(EpochListener listener) {
-  MLCORE_CHECK(listener != nullptr);
-  std::lock_guard<std::mutex> lock(listeners_mu_);
+  // Registration-time API misuse (not a request path): a null listener
+  // would crash every subsequent ApplyUpdate instead of the caller.
+  MLCORE_CHECK(listener != nullptr);  // NOLINT(mlcore-release-check): registration contract
+  util::MutexLock lock(listeners_mu_);
   const uint64_t id = next_listener_id_++;
   listeners_.emplace_back(id, std::move(listener));
   return id;
@@ -109,14 +113,14 @@ void GraphStore::RemoveEpochListener(uint64_t id) {
   // Taking listeners_mu_ is the whole synchronisation: ApplyUpdate invokes
   // listeners under it, so by the time the erase below runs no invocation
   // of `id` is in flight and none can start.
-  std::lock_guard<std::mutex> lock(listeners_mu_);
+  util::MutexLock lock(listeners_mu_);
   std::erase_if(listeners_, [id](const auto& entry) {
     return entry.first == id;
   });
 }
 
 StoreStats GraphStore::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  util::MutexLock lock(stats_mu_);
   return stats_;
 }
 
@@ -274,7 +278,7 @@ Status GraphStore::Normalize(const GraphSnapshot& base,
 }
 
 Expected<UpdateOutcome> GraphStore::ApplyUpdate(const UpdateBatch& batch) {
-  std::lock_guard<std::mutex> update_lock(update_mu_);
+  util::MutexLock update_lock(update_mu_);
   std::shared_ptr<const GraphSnapshot> base = snapshot();
 
   if (batch.empty()) {
@@ -287,7 +291,7 @@ Expected<UpdateOutcome> GraphStore::ApplyUpdate(const UpdateBatch& batch) {
   NormalizedBatch norm;
   Status status = Normalize(*base, batch, &norm);
   if (!status.ok()) {
-    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    util::MutexLock stats_lock(stats_mu_);
     ++stats_.batches_rejected;
     return status;
   }
@@ -383,14 +387,14 @@ Expected<UpdateOutcome> GraphStore::ApplyUpdate(const UpdateBatch& batch) {
   }
 
   {
-    std::lock_guard<std::mutex> snapshot_lock(snapshot_mu_);
+    util::MutexLock snapshot_lock(snapshot_mu_);
     current_ = next;
   }
 
   outcome.epoch = new_epoch;
   outcome.seconds = timer.Seconds();
   {
-    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    util::MutexLock stats_lock(stats_mu_);
     ++stats_.batches_applied;
     stats_.edges_inserted += outcome.edges_inserted;
     stats_.edges_removed += outcome.edges_removed;
@@ -405,7 +409,7 @@ Expected<UpdateOutcome> GraphStore::ApplyUpdate(const UpdateBatch& batch) {
   // Notify epoch listeners (still under update_mu_, so they observe
   // epochs in publication order; see EpochListener for the contract).
   {
-    std::lock_guard<std::mutex> listeners_lock(listeners_mu_);
+    util::MutexLock listeners_lock(listeners_mu_);
     for (const auto& [id, listener] : listeners_) listener(next);
   }
   return outcome;

@@ -4,7 +4,6 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -12,6 +11,8 @@
 #include "graph/multilayer_graph.h"
 #include "service/status.h"
 #include "store/update.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace mlcore {
 
@@ -190,23 +191,31 @@ class GraphStore {
 
   // Writer state: maintainers mutate in place epoch to epoch, guarded by
   // update_mu_ (which also serialises ApplyUpdate itself).
-  std::mutex update_mu_;
-  std::vector<int> tracked_degrees_;  // sanitised, sorted, deduped
-  std::vector<std::unique_ptr<DecrementalCoreMaintainer>> maintainers_;
+  util::Mutex update_mu_{util::lock_rank::kStoreWriter,
+                         "GraphStore::update_mu_"};
+  // Sanitised, sorted, deduped.
+  std::vector<int> tracked_degrees_ MLCORE_GUARDED_BY(update_mu_);
+  std::vector<std::unique_ptr<DecrementalCoreMaintainer>> maintainers_
+      MLCORE_GUARDED_BY(update_mu_);
 
-  mutable std::mutex snapshot_mu_;
-  std::shared_ptr<const GraphSnapshot> current_;
+  mutable util::Mutex snapshot_mu_{util::lock_rank::kStoreSnapshot,
+                                   "GraphStore::snapshot_mu_"};
+  std::shared_ptr<const GraphSnapshot> current_
+      MLCORE_GUARDED_BY(snapshot_mu_);
 
   // Listener registry. Invocation happens under listeners_mu_ (holding the
   // lock for the whole sweep is what lets RemoveEpochListener guarantee
   // no in-flight callback survives it), after snapshot_mu_ is released —
   // listeners observe the already-published epoch.
-  mutable std::mutex listeners_mu_;
-  uint64_t next_listener_id_ = 1;
-  std::vector<std::pair<uint64_t, EpochListener>> listeners_;
+  mutable util::Mutex listeners_mu_{util::lock_rank::kStoreListeners,
+                                    "GraphStore::listeners_mu_"};
+  uint64_t next_listener_id_ MLCORE_GUARDED_BY(listeners_mu_) = 1;
+  std::vector<std::pair<uint64_t, EpochListener>> listeners_
+      MLCORE_GUARDED_BY(listeners_mu_);
 
-  mutable std::mutex stats_mu_;
-  StoreStats stats_;
+  mutable util::Mutex stats_mu_{util::lock_rank::kStoreStats,
+                                "GraphStore::stats_mu_"};
+  StoreStats stats_ MLCORE_GUARDED_BY(stats_mu_);
 };
 
 }  // namespace mlcore

@@ -33,8 +33,12 @@
 #define MLCORE_DCHECK(cond) \
   do {                      \
   } while (0)
+#define MLCORE_DCHECK_MSG(cond, msg) \
+  do {                               \
+  } while (0)
 #else
 #define MLCORE_DCHECK(cond) MLCORE_CHECK(cond)
+#define MLCORE_DCHECK_MSG(cond, msg) MLCORE_CHECK_MSG(cond, msg)
 #endif
 
 #endif  // MLCORE_UTIL_CHECK_H_

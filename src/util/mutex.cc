@@ -1,0 +1,108 @@
+#include "util/mutex.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <iterator>
+#include <vector>
+
+namespace mlcore {
+namespace util {
+
+#if MLCORE_LOCK_DEBUG_ENABLED
+
+namespace {
+
+struct HeldEntry {
+  const Mutex* mu;
+  int rank;
+  const char* name;
+};
+
+// Per-thread acquisition stack, outermost first. Ranked and unranked
+// mutexes are both recorded (unranked for recursion detection); only
+// ranked ones participate in hierarchy checks.
+thread_local std::vector<HeldEntry> tls_held;
+
+[[noreturn]] void LockFatal(const char* what, const char* acquiring_name,
+                            int acquiring_rank) {
+  std::fprintf(stderr, "[mlcore/mutex] FATAL: %s: acquiring %s (rank %d)\n",
+               what, acquiring_name, acquiring_rank);
+  std::fprintf(stderr, "  held by this thread (outermost first):\n");
+  for (const HeldEntry& e : tls_held) {
+    std::fprintf(stderr, "    %s (rank %d)\n", e.name, e.rank);
+  }
+  std::abort();
+}
+
+}  // namespace
+
+void Mutex::DebugCheckBeforeLock() const {
+  int max_held_rank = -1;
+  const char* max_held_name = nullptr;
+  for (const HeldEntry& e : tls_held) {
+    if (e.mu == this) {
+      LockFatal("recursive acquisition (self-deadlock)", name_, rank_);
+    }
+    if (e.rank >= 0 && e.rank >= max_held_rank) {
+      max_held_rank = e.rank;
+      max_held_name = e.name;
+    }
+  }
+  if (rank_ >= 0 && max_held_rank >= 0 && max_held_rank >= rank_) {
+    std::fprintf(stderr,
+                 "[mlcore/mutex] conflicting lock: %s (rank %d) held\n",
+                 max_held_name, max_held_rank);
+    LockFatal("lock hierarchy violation", name_, rank_);
+  }
+}
+
+void Mutex::DebugPushHeld() const {
+  tls_held.push_back(HeldEntry{this, rank_, name_});
+}
+
+void Mutex::DebugPopHeld() const {
+  for (auto it = tls_held.rbegin(); it != tls_held.rend(); ++it) {
+    if (it->mu == this) {
+      tls_held.erase(std::next(it).base());
+      return;
+    }
+  }
+  LockFatal("unlock of a mutex this thread does not hold", name_, rank_);
+}
+
+#endif  // MLCORE_LOCK_DEBUG_ENABLED
+
+// Ownership dance: std::condition_variable wants a std::unique_lock, so
+// adopt the already-held native mutex for the wait and release the
+// unique_lock before it can unlock in its destructor — the caller keeps
+// ownership throughout, exactly as MLCORE_REQUIRES(mu) declares.
+void CondVar::Wait(Mutex& mu) {
+#if MLCORE_LOCK_DEBUG_ENABLED
+  mu.DebugPopHeld();  // the wait releases mu until the thread wakes
+#endif
+  std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+  cv_.wait(native);
+  native.release();
+#if MLCORE_LOCK_DEBUG_ENABLED
+  // Re-acquired with the same outer locks held: re-validate and re-push.
+  mu.DebugCheckBeforeLock();
+  mu.DebugPushHeld();
+#endif
+}
+
+std::cv_status CondVar::WaitFor(Mutex& mu, std::chrono::nanoseconds rel_time) {
+#if MLCORE_LOCK_DEBUG_ENABLED
+  mu.DebugPopHeld();
+#endif
+  std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+  const std::cv_status status = cv_.wait_for(native, rel_time);
+  native.release();
+#if MLCORE_LOCK_DEBUG_ENABLED
+  mu.DebugCheckBeforeLock();
+  mu.DebugPushHeld();
+#endif
+  return status;
+}
+
+}  // namespace util
+}  // namespace mlcore

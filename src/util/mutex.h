@@ -1,0 +1,242 @@
+#ifndef MLCORE_UTIL_MUTEX_H_
+#define MLCORE_UTIL_MUTEX_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+// Annotated mutex wrappers (DESIGN.md §11).
+//
+// `util::Mutex` wraps `std::mutex` as a Clang thread-safety *capability*
+// so `MLCORE_GUARDED_BY` / `MLCORE_REQUIRES` contracts are machine-checked
+// in the Clang build. In release builds the wrapper is a zero-overhead
+// pass-through. When MLCORE_LOCK_DEBUG_ENABLED is 1 (debug or sanitized
+// builds, or -DMLCORE_LOCK_DEBUG=1) each thread additionally records its
+// acquisition stack and every blocking acquisition asserts the documented
+// lock hierarchy below — a lock-order inversion aborts deterministically
+// at the first out-of-rank acquisition instead of deadlocking on a racy
+// interleaving.
+//
+// All long-lived mutexes in src/ are constructed with a rank from
+// `lock_rank` (the single authoritative ordering table; DESIGN.md §11
+// mirrors it). Rule: a thread may block on a ranked mutex only while
+// every ranked mutex it already holds has a strictly smaller rank.
+// Unranked mutexes (default constructor — tests, scratch use) are exempt
+// from rank checks but still detect recursive self-acquisition.
+
+#if defined(MLCORE_LOCK_DEBUG) || !defined(NDEBUG)
+#define MLCORE_LOCK_DEBUG_ENABLED 1
+#else
+#define MLCORE_LOCK_DEBUG_ENABLED 0
+#endif
+
+namespace mlcore {
+namespace util {
+
+// Acquisition order for every long-lived mutex in the repo, outermost
+// first. A thread must acquire strictly increasing ranks. Gaps are left
+// for future subsystems (ROADMAP items 3–4: network front-end shards,
+// partition coordinators) to slot in without renumbering.
+namespace lock_rank {
+inline constexpr int kEnginePool = 100;      // Engine::pool_mu_
+inline constexpr int kStoreWriter = 150;     // GraphStore::update_mu_
+inline constexpr int kStoreListeners = 200;  // GraphStore::listeners_mu_
+inline constexpr int kEngineSubs = 250;      // Engine::subs_mu_
+inline constexpr int kSubscription = 300;    // SubscriptionState::mu
+inline constexpr int kQueryEntry = 310;      // QueryEntry::mu
+inline constexpr int kQuerySeeds = 320;      // QueryEntry::seeds_mu
+inline constexpr int kWorkerSolvers = 330;   // WorkerSolvers::mu_
+inline constexpr int kSolverPool = 350;      // Engine::solver_mu_
+inline constexpr int kStoreSnapshot = 400;   // GraphStore::snapshot_mu_
+inline constexpr int kEngineCache = 450;     // Engine::cache_mu_
+inline constexpr int kStoreStats = 500;      // GraphStore::stats_mu_
+inline constexpr int kThreadPool = 510;      // ThreadPool::mu_
+inline constexpr int kTaskLane = 520;        // TaskGroup::Lane::mu
+inline constexpr int kTaskPark = 530;        // TaskGroup::park_mu_
+inline constexpr int kTaskQueue = 540;       // PriorityTaskQueue::mu_
+inline constexpr int kQueryTask = 550;       // QueryTask::mu
+inline constexpr int kTopK = 560;            // ConcurrentTopK::mu_
+}  // namespace lock_rank
+
+class CondVar;
+
+class MLCORE_CAPABILITY("mutex") Mutex {
+ public:
+  // True when the debug acquisition-stack / rank checker is compiled in.
+  static constexpr bool kRankCheckingEnabled = MLCORE_LOCK_DEBUG_ENABLED != 0;
+
+  Mutex() noexcept = default;  // unranked: exempt from hierarchy checks
+
+#if MLCORE_LOCK_DEBUG_ENABLED
+  Mutex(int rank, const char* name) noexcept : rank_(rank), name_(name) {}
+#else
+  Mutex(int, const char*) noexcept {}
+#endif
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() MLCORE_ACQUIRE() {
+#if MLCORE_LOCK_DEBUG_ENABLED
+    DebugCheckBeforeLock();
+#endif
+    mu_.lock();
+#if MLCORE_LOCK_DEBUG_ENABLED
+    DebugPushHeld();
+#endif
+  }
+
+  // Never blocks, so it carries no rank precondition; a successful
+  // acquisition is still recorded on the debug acquisition stack.
+  bool TryLock() MLCORE_TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+#if MLCORE_LOCK_DEBUG_ENABLED
+    DebugPushHeld();
+#endif
+    return true;
+  }
+
+  void Unlock() MLCORE_RELEASE() {
+#if MLCORE_LOCK_DEBUG_ENABLED
+    DebugPopHeld();
+#endif
+    mu_.unlock();
+  }
+
+ private:
+  friend class CondVar;
+
+  std::mutex mu_;
+#if MLCORE_LOCK_DEBUG_ENABLED
+  // Asserts (and aborts on failure) that blocking on this mutex respects
+  // the rank order and is not a recursive self-acquisition. Runs BEFORE
+  // std::mutex::lock so a violation fails loudly instead of deadlocking.
+  void DebugCheckBeforeLock() const;
+  void DebugPushHeld() const;
+  void DebugPopHeld() const;
+
+  int rank_ = -1;  // -1 = unranked
+  const char* name_ = "<unranked>";
+#endif
+};
+
+// RAII lock. Scoped-capability annotated and relockable (Unlock/Lock),
+// mirroring the MutexLocker pattern from the Clang TSA documentation.
+class MLCORE_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) MLCORE_ACQUIRE(mu) : mu_(mu), held_(true) {
+    mu_.Lock();
+  }
+
+  ~MutexLock() MLCORE_RELEASE() {
+    if (held_) mu_.Unlock();
+  }
+
+  // Temporarily release / re-acquire within the scope.
+  void Unlock() MLCORE_RELEASE() {
+    mu_.Unlock();
+    held_ = false;
+  }
+  void Lock() MLCORE_ACQUIRE() {
+    mu_.Lock();
+    held_ = true;
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+  bool held_;
+};
+
+struct TryToLockT {
+  explicit TryToLockT() = default;
+};
+inline constexpr TryToLockT kTryToLock{};
+
+// Movable lock handle for ownership-passing patterns (e.g. Engine hands
+// the acquired pool lock into RunValidated by value). Thread-safety
+// analysis cannot track capabilities across moves, so this type is
+// deliberately opaque to it (NO_THREAD_SAFETY_ANALYSIS): never use it
+// for mutexes with MLCORE_GUARDED_BY members — use Mutex/MutexLock so
+// the guards stay checkable.
+class UniqueLock {
+ public:
+  UniqueLock() noexcept = default;
+
+  // Single-driver contract: blocks until acquired.
+  explicit UniqueLock(Mutex& mu) MLCORE_NO_THREAD_SAFETY_ANALYSIS
+      : mu_(&mu), owns_(true) {
+    mu.Lock();
+  }
+
+  // Non-blocking attempt; OwnsLock() reports the outcome.
+  UniqueLock(Mutex& mu, TryToLockT) MLCORE_NO_THREAD_SAFETY_ANALYSIS
+      : mu_(&mu), owns_(mu.TryLock()) {}
+
+  UniqueLock(UniqueLock&& other) noexcept
+      : mu_(other.mu_), owns_(other.owns_) {
+    other.mu_ = nullptr;
+    other.owns_ = false;
+  }
+
+  UniqueLock& operator=(UniqueLock&& other) MLCORE_NO_THREAD_SAFETY_ANALYSIS {
+    if (this != &other) {
+      if (owns_) mu_->Unlock();
+      mu_ = other.mu_;
+      owns_ = other.owns_;
+      other.mu_ = nullptr;
+      other.owns_ = false;
+    }
+    return *this;
+  }
+
+  ~UniqueLock() MLCORE_NO_THREAD_SAFETY_ANALYSIS {
+    if (owns_) mu_->Unlock();
+  }
+
+  void Unlock() MLCORE_NO_THREAD_SAFETY_ANALYSIS {
+    mu_->Unlock();
+    owns_ = false;
+  }
+
+  bool OwnsLock() const noexcept { return owns_; }
+  explicit operator bool() const noexcept { return owns_; }
+
+ private:
+  Mutex* mu_ = nullptr;
+  bool owns_ = false;
+};
+
+// Condition variable paired with util::Mutex. Waits keep the debug
+// acquisition stack honest (the mutex is popped for the duration of the
+// wait and re-checked on re-acquisition).
+//
+// Deliberately no predicate overload: a predicate lambda is analyzed as
+// a separate function by TSA and cannot see the caller's lock, so
+// guarded reads inside it would defeat the checks. Write the loop at the
+// call site instead:   while (!cond) cv.Wait(mu);
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mu) MLCORE_REQUIRES(mu);
+  std::cv_status WaitFor(Mutex& mu, std::chrono::nanoseconds rel_time)
+      MLCORE_REQUIRES(mu);
+
+  void NotifyOne() noexcept { cv_.notify_one(); }
+  void NotifyAll() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace util
+}  // namespace mlcore
+
+#endif  // MLCORE_UTIL_MUTEX_H_

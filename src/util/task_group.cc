@@ -23,9 +23,9 @@ TaskGroup::~TaskGroup() {
     // Pairs with the predicate check in WorkerLoop: once this lock is
     // held, every lane has either observed shutdown or is parked and will
     // be woken below.
-    std::lock_guard<std::mutex> lock(park_mu_);
+    util::MutexLock lock(park_mu_);
   }
-  park_cv_.notify_all();
+  park_cv_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
   // Never-started tasks die with the lanes, closures unexecuted.
 }
@@ -33,21 +33,21 @@ TaskGroup::~TaskGroup() {
 void TaskGroup::Spawn(int worker, Task task) {
   Lane& lane = *lanes_[static_cast<size_t>(worker)];
   {
-    std::lock_guard<std::mutex> lock(lane.mu);
+    util::MutexLock lock(lane.mu);
     lane.tasks.push_back(std::move(task));
   }
   queued_.fetch_add(1, std::memory_order_release);
   {
     // Without this fence a lane could check the (old) count, decide to
     // park, and miss the notify below.
-    std::lock_guard<std::mutex> lock(park_mu_);
+    util::MutexLock lock(park_mu_);
   }
-  park_cv_.notify_one();
+  park_cv_.NotifyOne();
 }
 
 bool TaskGroup::Pop(int lane_index, bool oldest_first, Task* out) {
   Lane& lane = *lanes_[static_cast<size_t>(lane_index)];
-  std::lock_guard<std::mutex> lock(lane.mu);
+  util::MutexLock lock(lane.mu);
   if (lane.tasks.empty()) return false;
   if (oldest_first) {
     *out = std::move(lane.tasks.front());
@@ -75,11 +75,11 @@ bool TaskGroup::TryRunOne(int worker) {
 void TaskGroup::WorkerLoop(int worker) {
   while (!shutdown_.load(std::memory_order_acquire)) {
     if (TryRunOne(worker)) continue;
-    std::unique_lock<std::mutex> lock(park_mu_);
-    park_cv_.wait(lock, [this] {
-      return shutdown_.load(std::memory_order_acquire) ||
-             queued_.load(std::memory_order_acquire) > 0;
-    });
+    util::MutexLock lock(park_mu_);
+    while (!shutdown_.load(std::memory_order_acquire) &&
+           queued_.load(std::memory_order_acquire) == 0) {
+      park_cv_.Wait(park_mu_);
+    }
   }
 }
 

@@ -2,14 +2,15 @@
 #define MLCORE_UTIL_TASK_GROUP_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace mlcore {
 
@@ -61,8 +62,10 @@ class TaskGroup {
 
  private:
   struct Lane {
-    std::mutex mu;
-    std::deque<Task> tasks;
+    // All lanes share one rank: a thread holds at most one lane mutex at a
+    // time (Pop releases before the task runs), so lane mutexes never nest.
+    util::Mutex mu{util::lock_rank::kTaskLane, "TaskGroup::Lane::mu"};
+    std::deque<Task> tasks MLCORE_GUARDED_BY(mu);
   };
 
   void WorkerLoop(int worker);
@@ -73,8 +76,10 @@ class TaskGroup {
   std::atomic<int64_t> queued_{0};
   std::atomic<bool> shutdown_{false};
 
-  std::mutex park_mu_;
-  std::condition_variable park_cv_;
+  // Parking only; the guarded state is the two atomics above, re-checked
+  // under this mutex so a parking lane cannot miss a wakeup.
+  util::Mutex park_mu_{util::lock_rank::kTaskPark, "TaskGroup::park_mu_"};
+  util::CondVar park_cv_;
 
   std::vector<std::thread> workers_;
 };

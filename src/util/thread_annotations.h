@@ -1,0 +1,88 @@
+#ifndef MLCORE_UTIL_THREAD_ANNOTATIONS_H_
+#define MLCORE_UTIL_THREAD_ANNOTATIONS_H_
+
+// Clang thread-safety-analysis attribute macros (DESIGN.md §11).
+//
+// Every locking invariant in this codebase — which mutex guards which
+// member, which helpers require a lock already held, acquisition order —
+// is declared with these macros so Clang's `-Wthread-safety` analysis
+// checks the contracts at compile time (`-Werror=thread-safety` in the
+// Clang build, so a violation fails the build). Under compilers without
+// the attributes (GCC) the macros expand to nothing; the annotated code
+// compiles identically.
+//
+// The annotated `util::Mutex` / `util::MutexLock` / `util::CondVar`
+// wrappers live in util/mutex.h. Naked `std::mutex` is banned outside
+// that layer (scripts/lint.py enforces it): a mutex the analysis cannot
+// see is a contract it cannot check.
+//
+// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define MLCORE_THREAD_ANNOTATION_(x) __attribute__((x))
+#endif
+#endif
+#ifndef MLCORE_THREAD_ANNOTATION_
+#define MLCORE_THREAD_ANNOTATION_(x)  // no-op outside Clang
+#endif
+
+/// Marks a type as a lockable capability (e.g. a mutex class).
+#define MLCORE_CAPABILITY(x) MLCORE_THREAD_ANNOTATION_(capability(x))
+
+/// Marks an RAII type whose lifetime acquires/releases a capability.
+#define MLCORE_SCOPED_CAPABILITY MLCORE_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Member is readable/writable only while holding the given mutex(es).
+#define MLCORE_GUARDED_BY(x) MLCORE_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointee is guarded by the given mutex (the pointer itself is not).
+#define MLCORE_PT_GUARDED_BY(x) MLCORE_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Declares static acquisition order between mutexes.
+#define MLCORE_ACQUIRED_BEFORE(...) \
+  MLCORE_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define MLCORE_ACQUIRED_AFTER(...) \
+  MLCORE_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+/// Function requires the capability to be held on entry (and does not
+/// release it). This is the annotation for `*_locked()` helpers.
+#define MLCORE_REQUIRES(...) \
+  MLCORE_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define MLCORE_REQUIRES_SHARED(...) \
+  MLCORE_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability and holds it past return.
+#define MLCORE_ACQUIRE(...) \
+  MLCORE_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define MLCORE_ACQUIRE_SHARED(...) \
+  MLCORE_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases a capability held on entry.
+#define MLCORE_RELEASE(...) \
+  MLCORE_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define MLCORE_RELEASE_SHARED(...) \
+  MLCORE_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+
+/// Function attempts the acquisition; holds it iff the return value equals
+/// the first argument.
+#define MLCORE_TRY_ACQUIRE(...) \
+  MLCORE_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (non-reentrancy declaration).
+#define MLCORE_EXCLUDES(...) MLCORE_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Asserts (at analysis level) that the capability is held.
+#define MLCORE_ASSERT_CAPABILITY(x) \
+  MLCORE_THREAD_ANNOTATION_(assert_capability(x))
+
+/// Function returns a reference to the given capability.
+#define MLCORE_RETURN_CAPABILITY(x) MLCORE_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch: the function's locking is correct by a contract the
+/// analysis cannot express (ownership-passing locks, single-driver reads).
+/// Every use must carry a comment citing the contract.
+#define MLCORE_NO_THREAD_SAFETY_ANALYSIS \
+  MLCORE_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // MLCORE_UTIL_THREAD_ANNOTATIONS_H_

@@ -16,28 +16,30 @@ ThreadPool::ThreadPool(int num_threads)
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     shutdown_ = true;
   }
-  work_ready_.notify_all();
+  work_ready_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
 void ThreadPool::RunBatch(int worker) {
   while (true) {
     int64_t item;
+    const std::function<void(int, int64_t)>* fn;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(mu_);
       if (next_ >= count_) break;
       item = next_++;
+      fn = fn_;  // non-null while unclaimed items remain
     }
-    (*fn_)(worker, item);
+    (*fn)(worker, item);
     bool finished;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(mu_);
       finished = ++done_ == count_;
     }
-    if (finished) batch_done_.notify_one();
+    if (finished) batch_done_.NotifyOne();
   }
 }
 
@@ -45,10 +47,10 @@ void ThreadPool::WorkerLoop(int worker) {
   uint64_t seen_generation = 0;
   while (true) {
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_ready_.wait(lock, [&] {
-        return shutdown_ || generation_ != seen_generation;
-      });
+      util::MutexLock lock(mu_);
+      while (!shutdown_ && generation_ == seen_generation) {
+        work_ready_.Wait(mu_);
+      }
       if (shutdown_) return;
       seen_generation = generation_;
     }
@@ -88,7 +90,7 @@ PriorityTaskQueue::PushOutcome PriorityTaskQueue::TryPush(
     Entry* displaced) {
   PushOutcome outcome = PushOutcome::kAccepted;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     if (shutdown_) return PushOutcome::kRejected;
     if (entries_.size() >= capacity_) {
       const size_t victim = BottomIndex();
@@ -106,13 +108,13 @@ PriorityTaskQueue::PushOutcome PriorityTaskQueue::TryPush(
     *id = entry.id;
     entries_.push_back(std::move(entry));
   }
-  ready_.notify_one();
+  ready_.NotifyOne();
   return outcome;
 }
 
 bool PriorityTaskQueue::WaitPop(Entry* out) {
-  std::unique_lock<std::mutex> lock(mu_);
-  ready_.wait(lock, [&] { return shutdown_ || !entries_.empty(); });
+  util::MutexLock lock(mu_);
+  while (!shutdown_ && entries_.empty()) ready_.Wait(mu_);
   if (entries_.empty()) return false;
   const size_t top = TopIndex();
   *out = std::move(entries_[top]);
@@ -121,7 +123,7 @@ bool PriorityTaskQueue::WaitPop(Entry* out) {
 }
 
 bool PriorityTaskQueue::TryPop(Entry* out) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   if (entries_.empty()) return false;
   const size_t top = TopIndex();
   *out = std::move(entries_[top]);
@@ -130,7 +132,7 @@ bool PriorityTaskQueue::TryPop(Entry* out) {
 }
 
 bool PriorityTaskQueue::TryRemove(uint64_t id, Entry* out) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   for (size_t i = 0; i < entries_.size(); ++i) {
     if (entries_[i].id == id) {
       *out = std::move(entries_[i]);
@@ -142,7 +144,7 @@ bool PriorityTaskQueue::TryRemove(uint64_t id, Entry* out) {
 }
 
 std::vector<PriorityTaskQueue::Entry> PriorityTaskQueue::Drain() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   std::sort(entries_.begin(), entries_.end(),
             [](const Entry& a, const Entry& b) {
               if (a.priority != b.priority) return a.priority > b.priority;
@@ -155,19 +157,19 @@ std::vector<PriorityTaskQueue::Entry> PriorityTaskQueue::Drain() {
 
 void PriorityTaskQueue::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     shutdown_ = true;
   }
-  ready_.notify_all();
+  ready_.NotifyAll();
 }
 
 bool PriorityTaskQueue::shut_down() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return shutdown_;
 }
 
 size_t PriorityTaskQueue::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return entries_.size();
 }
 
@@ -180,17 +182,17 @@ void ThreadPool::ParallelFor(int64_t count,
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     fn_ = &fn;
     count_ = count;
     next_ = 0;
     done_ = 0;
     ++generation_;
   }
-  work_ready_.notify_all();
+  work_ready_.NotifyAll();
   RunBatch(/*worker=*/0);
-  std::unique_lock<std::mutex> lock(mu_);
-  batch_done_.wait(lock, [&] { return done_ == count_; });
+  util::MutexLock lock(mu_);
+  while (done_ != count_) batch_done_.Wait(mu_);
   fn_ = nullptr;
 }
 

@@ -1,13 +1,14 @@
 #ifndef MLCORE_UTIL_THREAD_POOL_H_
 #define MLCORE_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace mlcore {
 
@@ -52,15 +53,19 @@ class ThreadPool {
   const int num_threads_;
   std::vector<std::thread> workers_;
 
-  std::mutex mu_;
-  std::condition_variable work_ready_;
-  std::condition_variable batch_done_;
-  const std::function<void(int, int64_t)>* fn_ = nullptr;  // current batch
-  int64_t count_ = 0;
-  int64_t next_ = 0;        // next unclaimed item
-  int64_t done_ = 0;        // items finished in the current batch
-  uint64_t generation_ = 0; // bumped once per ParallelFor to wake workers
-  bool shutdown_ = false;
+  util::Mutex mu_{util::lock_rank::kThreadPool, "ThreadPool::mu_"};
+  util::CondVar work_ready_;
+  util::CondVar batch_done_;
+  // Current batch; non-null exactly while a batch is in flight.
+  const std::function<void(int, int64_t)>* fn_ MLCORE_GUARDED_BY(mu_) =
+      nullptr;
+  int64_t count_ MLCORE_GUARDED_BY(mu_) = 0;
+  int64_t next_ MLCORE_GUARDED_BY(mu_) = 0;  // next unclaimed item
+  // Items finished in the current batch.
+  int64_t done_ MLCORE_GUARDED_BY(mu_) = 0;
+  // Bumped once per ParallelFor to wake workers.
+  uint64_t generation_ MLCORE_GUARDED_BY(mu_) = 0;
+  bool shutdown_ MLCORE_GUARDED_BY(mu_) = false;
 };
 
 /// Bounded, priority-ordered queue of opaque work items — the admission
@@ -136,18 +141,20 @@ class PriorityTaskQueue {
 
  private:
   // Both selection rules in one scan; see the definition.
-  size_t BestIndex(bool top) const;
+  size_t BestIndex(bool top) const MLCORE_REQUIRES(mu_);
   // Index of the entry WaitPop would return next, or entries_.size().
-  size_t TopIndex() const;
+  size_t TopIndex() const MLCORE_REQUIRES(mu_);
   // Index of the displacement victim (lowest priority, youngest within it).
-  size_t BottomIndex() const;
+  size_t BottomIndex() const MLCORE_REQUIRES(mu_);
 
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable ready_;
-  std::vector<Entry> entries_;  // unordered; selection scans (small, bounded)
-  uint64_t next_id_ = 1;
-  bool shutdown_ = false;
+  mutable util::Mutex mu_{util::lock_rank::kTaskQueue,
+                          "PriorityTaskQueue::mu_"};
+  util::CondVar ready_;
+  // Unordered; selection scans (small, bounded).
+  std::vector<Entry> entries_ MLCORE_GUARDED_BY(mu_);
+  uint64_t next_id_ MLCORE_GUARDED_BY(mu_) = 1;
+  bool shutdown_ MLCORE_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace mlcore

@@ -1,11 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "util/bitset.h"
 #include "util/cancellation.h"
 #include "util/flags.h"
+#include "util/mutex.h"
 #include "util/rng.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
@@ -272,6 +276,169 @@ TEST(PriorityTaskQueueTest, ShutdownWakesAndDrains) {
 
   PriorityTaskQueue::Entry entry;
   EXPECT_FALSE(queue.WaitPop(&entry));  // shut down and empty: no block
+}
+
+// ---------------------------------------------------------------------------
+// util::Mutex wrappers (DESIGN.md §11)
+// ---------------------------------------------------------------------------
+
+TEST(MutexTest, MutualExclusionCounter) {
+  util::Mutex mu;
+  int counter = 0;  // guarded by mu (GUARDED_BY only applies to members)
+  constexpr int kThreads = 8;
+  constexpr int kIters = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        util::MutexLock lock(mu);
+        ++counter;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  util::MutexLock lock(mu);
+  EXPECT_EQ(counter, kThreads * kIters);
+}
+
+TEST(MutexTest, TryLockFailsWhileHeldElsewhere) {
+  util::Mutex mu;
+  mu.Lock();
+  std::atomic<int> observed{-1};
+  std::thread other([&] { observed = mu.TryLock() ? 1 : 0; });
+  other.join();
+  EXPECT_EQ(observed.load(), 0);
+  mu.Unlock();
+  // Free again: TryLock succeeds and must be paired with Unlock.
+  ASSERT_TRUE(mu.TryLock());
+  mu.Unlock();
+}
+
+TEST(MutexTest, CondVarWaitAndNotify) {
+  util::Mutex mu;
+  util::CondVar cv;
+  bool ready = false;  // guarded by mu
+  std::thread producer([&] {
+    util::MutexLock lock(mu);
+    ready = true;
+    cv.NotifyAll();
+  });
+  {
+    util::MutexLock lock(mu);
+    while (!ready) cv.Wait(mu);
+    EXPECT_TRUE(ready);
+  }
+  producer.join();
+}
+
+TEST(MutexTest, CondVarWaitForTimesOut) {
+  util::Mutex mu;
+  util::CondVar cv;
+  util::MutexLock lock(mu);
+  // Nobody ever notifies: the deadline must fire and the lock must be
+  // held again on return (the dtor unlocking below would abort the debug
+  // acquisition stack otherwise).
+  EXPECT_EQ(cv.WaitFor(mu, std::chrono::milliseconds(5)),
+            std::cv_status::timeout);
+}
+
+TEST(MutexTest, MutexLockRelock) {
+  util::Mutex mu;
+  util::MutexLock lock(mu);
+  lock.Unlock();
+  // While released, another thread can take the mutex.
+  std::atomic<bool> got{false};
+  std::thread other([&] {
+    util::MutexLock inner(mu);
+    got = true;
+  });
+  other.join();
+  EXPECT_TRUE(got.load());
+  lock.Lock();  // dtor releases
+}
+
+TEST(MutexTest, UniqueLockTryMoveAndOwnership) {
+  util::Mutex mu;
+  util::UniqueLock lock(mu, util::kTryToLock);
+  ASSERT_TRUE(lock.OwnsLock());
+
+  // A second try-acquire on the same thread must fail without blocking.
+  {
+    util::UniqueLock contender(mu, util::kTryToLock);
+    EXPECT_FALSE(contender.OwnsLock());
+    EXPECT_FALSE(static_cast<bool>(contender));
+  }
+
+  // Ownership transfers on move; the source is left empty.
+  util::UniqueLock moved(std::move(lock));
+  EXPECT_TRUE(moved.OwnsLock());
+  EXPECT_FALSE(lock.OwnsLock());  // NOLINT(bugprone-use-after-move): probing the moved-from state is the point
+
+  moved.Unlock();
+  EXPECT_FALSE(moved.OwnsLock());
+  util::UniqueLock reacquired(mu);
+  EXPECT_TRUE(reacquired.OwnsLock());
+}
+
+TEST(MutexTest, RankedInOrderAcquisitionIsClean) {
+  // Strictly increasing ranks: always legal, in every build mode.
+  util::Mutex outer(util::lock_rank::kEnginePool, "test_outer");
+  util::Mutex inner(util::lock_rank::kEngineCache, "test_inner");
+  util::MutexLock lock_outer(outer);
+  util::MutexLock lock_inner(inner);
+  SUCCEED();
+}
+
+// The debug lock-hierarchy checker must catch an A->B / B->A inversion
+// deterministically — on the first out-of-rank acquisition, not only on
+// the racy interleaving that deadlocks.
+using LockHierarchyDeathTest = ::testing::Test;
+
+TEST(LockHierarchyDeathTest, RankInversionAborts) {
+  if (!util::Mutex::kRankCheckingEnabled) {
+    GTEST_SKIP() << "lock-hierarchy checker compiled out (NDEBUG without "
+                    "MLCORE_LOCK_DEBUG)";
+  }
+  EXPECT_DEATH(
+      {
+        util::Mutex a(util::lock_rank::kEnginePool, "death_a");
+        util::Mutex b(util::lock_rank::kEngineCache, "death_b");
+        util::MutexLock lock_b(b);
+        util::MutexLock lock_a(a);  // rank 100 after rank 450: inversion
+      },
+      "lock hierarchy violation");
+}
+
+TEST(LockHierarchyDeathTest, RecursiveAcquisitionAborts) {
+  if (!util::Mutex::kRankCheckingEnabled) {
+    GTEST_SKIP() << "lock-hierarchy checker compiled out (NDEBUG without "
+                    "MLCORE_LOCK_DEBUG)";
+  }
+  EXPECT_DEATH(
+      {
+        util::Mutex mu;  // even unranked mutexes detect self-deadlock
+        util::MutexLock first(mu);
+        mu.Lock();
+      },
+      "recursive acquisition");
+}
+
+TEST(LockHierarchyDeathTest, EqualRankAborts) {
+  if (!util::Mutex::kRankCheckingEnabled) {
+    GTEST_SKIP() << "lock-hierarchy checker compiled out (NDEBUG without "
+                    "MLCORE_LOCK_DEBUG)";
+  }
+  // The order must be *strictly* increasing — two locks at the same level
+  // can deadlock against each other, so blocking on an equal rank aborts.
+  EXPECT_DEATH(
+      {
+        util::Mutex a(util::lock_rank::kSubscription, "death_eq_a");
+        util::Mutex b(util::lock_rank::kSubscription, "death_eq_b");
+        util::MutexLock lock_a(a);
+        util::MutexLock lock_b(b);
+      },
+      "lock hierarchy violation");
 }
 
 }  // namespace
