@@ -10,6 +10,8 @@
 
 #include "dccs/dccs.h"
 #include "graph/datasets.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "store/update.h"
 #include "util/flags.h"
 #include "util/rng.h"
@@ -34,18 +36,35 @@ inline int& DefaultSearchThreads() {
 ///   --quick            shrink datasets (scale 0.25), trim sweeps — smoke run
 ///   --scale=F          explicit dataset scale in (0, 1]
 ///   --search_threads=N parallel BU/TD search lanes per query (default 1)
+///   --metrics_json=P   dump the process-wide metric aggregate
+///                      (obs::Registry::Global(), DESIGN.md §12) as JSON on
+///                      exit; "-" writes to stdout
 struct BenchContext {
   explicit BenchContext(const Flags& flags)
       : quick(flags.GetBool("quick", false)),
         scale(flags.GetDouble("scale", quick ? 0.25 : 1.0)),
         search_threads(static_cast<int>(
-            std::max<int64_t>(1, flags.GetInt("search_threads", 1)))) {
+            std::max<int64_t>(1, flags.GetInt("search_threads", 1)))),
+        metrics_json(flags.GetString("metrics_json", "")) {
     DefaultSearchThreads() = search_threads;
+  }
+
+  /// Every engine (including the per-call engines behind SolveDccs)
+  /// mirrors its latency histograms into the global registry, so this
+  /// export aggregates the whole run without per-bench plumbing.
+  ~BenchContext() {
+    if (metrics_json.empty()) return;
+    if (obs::WriteFile(metrics_json,
+                       obs::ToJson(obs::Registry::Global().Snapshot())) &&
+        metrics_json != "-") {
+      std::printf("[bench] metrics written to %s\n", metrics_json.c_str());
+    }
   }
 
   bool quick;
   double scale;
   int search_threads;
+  std::string metrics_json;
 
   /// Loads (and memoises) a dataset at the configured scale, backed by an
   /// on-disk cache shared across the figure binaries (generation of the

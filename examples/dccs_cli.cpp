@@ -5,7 +5,7 @@
 //       [--algorithm=auto|greedy|bu|td] [--engine=queue|bins] [--csv]
 //       [--threads=N] [--search_threads=N] [--priority=P] [--deadline_ms=T]
 //       [--cancel_after_ms=T] [--budget_ms=T] [--updates=stream.txt]
-//       [--subscribe]
+//       [--subscribe] [--metrics_json=PATH]
 //
 // The query goes through the engine's asynchronous path (Engine::Submit,
 // DESIGN.md §7): --deadline_ms attaches a wall-clock deadline, --priority
@@ -32,6 +32,11 @@
 // vertex-level delta, with epochs the generational keys prove irrelevant
 // arriving as zero-work "unchanged" revisions instead of recomputations.
 //
+// --metrics_json=PATH dumps the engine's machine-readable stats surface
+// (Engine::stats_report — metric registry plus slow-query span trees,
+// DESIGN.md §12) as JSON on exit; "-" writes to stdout. Validate with
+// scripts/check_metrics.py --validate PATH.
+//
 // With --demo the tool writes, loads and mines a small self-generated
 // example file, so it is runnable without any input data.
 
@@ -46,6 +51,7 @@
 #include "dccs/dccs.h"
 #include "graph/datasets.h"
 #include "graph/io.h"
+#include "obs/export.h"
 #include "store/graph_store.h"
 #include "util/flags.h"
 #include "util/table.h"
@@ -304,6 +310,21 @@ int main(int argc, char** argv) {
                    static_cast<long long>(cache.revisions_unchanged_skipped),
                    static_cast<long long>(cache.revisions_coalesced));
       subscription.Cancel();
+    }
+  }
+
+  const std::string metrics_path = flags.GetString("metrics_json", "");
+  if (!metrics_path.empty()) {
+    const mlcore::EngineStatsReport report = engine.stats_report();
+    if (!mlcore::obs::WriteFile(
+            metrics_path,
+            mlcore::obs::ToJson(report.metrics, report.slow_queries))) {
+      std::fprintf(stderr, "error: cannot write --metrics_json=%s\n",
+                   metrics_path.c_str());
+      return 1;
+    }
+    if (metrics_path != "-") {
+      std::fprintf(stderr, "metrics written to %s\n", metrics_path.c_str());
     }
   }
   return 0;

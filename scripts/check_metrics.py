@@ -1,0 +1,204 @@
+#!/usr/bin/env python3
+"""Validates the machine-readable stats surface (DESIGN.md §12).
+
+Two modes, both stdlib-only so CI needs no extra packages:
+
+  --validate FILE
+      Structural schema check of an obs::ToJson document (the output of
+      `dccs_cli --metrics_json=PATH` or a bench binary's --metrics_json):
+      version == 1, every metric has a stable dotted name and a known
+      kind, histograms carry count/sum/p50/p90/p99 and a bucket list whose
+      final edge is "+Inf", and slow-query entries carry complete span
+      records. Exit 0 = schema holds.
+
+  --overhead ENABLED.json DISABLED.json [--tolerance 0.02]
+      Instrumentation-overhead guard: both files are google-benchmark JSON
+      (bench_micro --benchmark_format=json) from an observability-enabled
+      and an MLCORE_OBS_DISABLED build of the same revision. Compares the
+      per-benchmark median real_time (falling back to the mean of raw
+      iterations when aggregates are absent) and fails when the geometric
+      mean of enabled/disabled ratios exceeds 1 + tolerance. Exit 0 =
+      within budget.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+
+VALID_KINDS = {"counter", "gauge", "histogram"}
+SPAN_FIELDS = {"name", "id", "parent", "start_ms", "wall_ms", "cpu_ms"}
+
+
+def fail(msg: str) -> None:
+    print(f"check_metrics: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_number(doc: object, context: str) -> None:
+    # cpu_ms may be null (unsupported clock); everything else is numeric.
+    if not isinstance(doc, (int, float)) or isinstance(doc, bool):
+        fail(f"{context}: expected a number, got {type(doc).__name__}")
+
+
+def validate_histogram(m: dict, name: str) -> None:
+    for field in ("count", "sum", "p50", "p90", "p99"):
+        if field not in m:
+            fail(f"metric '{name}': histogram missing '{field}'")
+        check_number(m[field], f"metric '{name}'.{field}")
+    buckets = m.get("buckets")
+    if not isinstance(buckets, list) or not buckets:
+        fail(f"metric '{name}': histogram missing non-empty 'buckets'")
+    prev_edge = -math.inf
+    total = 0
+    for i, b in enumerate(buckets):
+        if not isinstance(b, dict) or "le" not in b or "count" not in b:
+            fail(f"metric '{name}': bucket {i} missing le/count")
+        check_number(b["count"], f"metric '{name}' bucket {i} count")
+        total += b["count"]
+        if i == len(buckets) - 1:
+            if b["le"] != "+Inf":
+                fail(f"metric '{name}': final bucket edge must be \"+Inf\"")
+        else:
+            check_number(b["le"], f"metric '{name}' bucket {i} le")
+            if b["le"] <= prev_edge:
+                fail(f"metric '{name}': bucket edges not ascending")
+            prev_edge = b["le"]
+    if total != m["count"]:
+        fail(
+            f"metric '{name}': bucket counts sum to {total}, "
+            f"'count' says {m['count']}"
+        )
+
+
+def validate(path: str) -> None:
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot parse {path}: {e}")
+    if doc.get("version") != 1:
+        fail(f"version must be 1, got {doc.get('version')!r}")
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, list):
+        fail("'metrics' must be a list")
+    seen: set[str] = set()
+    for m in metrics:
+        if not isinstance(m, dict):
+            fail("metric entries must be objects")
+        name = m.get("name")
+        if not isinstance(name, str) or "." not in name:
+            fail(f"metric name {name!r} is not a dotted path")
+        if name in seen:
+            fail(f"duplicate metric name '{name}'")
+        seen.add(name)
+        kind = m.get("kind")
+        if kind not in VALID_KINDS:
+            fail(f"metric '{name}': unknown kind {kind!r}")
+        if kind == "histogram":
+            validate_histogram(m, name)
+        else:
+            check_number(m.get("value"), f"metric '{name}'.value")
+    slow = doc.get("slow_queries")
+    if not isinstance(slow, list):
+        fail("'slow_queries' must be a list")
+    prev_ms = math.inf
+    for i, q in enumerate(slow):
+        for field in ("label", "epoch", "total_ms", "dropped_spans", "spans"):
+            if field not in q:
+                fail(f"slow_queries[{i}] missing '{field}'")
+        check_number(q["total_ms"], f"slow_queries[{i}].total_ms")
+        if q["total_ms"] > prev_ms:
+            fail("slow_queries must be sorted slowest-first")
+        prev_ms = q["total_ms"]
+        for j, span in enumerate(q["spans"]):
+            missing = SPAN_FIELDS - span.keys()
+            if missing:
+                fail(
+                    f"slow_queries[{i}].spans[{j}] missing "
+                    f"{sorted(missing)}"
+                )
+            if span["cpu_ms"] is not None:
+                check_number(
+                    span["cpu_ms"], f"slow_queries[{i}].spans[{j}].cpu_ms"
+                )
+    print(
+        f"check_metrics: OK ({len(metrics)} metrics, "
+        f"{len(slow)} slow queries)"
+    )
+
+
+def bench_medians(path: str) -> dict[str, float]:
+    """Per-benchmark representative real_time from google-benchmark JSON:
+    the *_median aggregate when repetitions were requested, else the mean
+    of that benchmark's raw iterations."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot parse {path}: {e}")
+    medians: dict[str, float] = {}
+    raw: dict[str, list[float]] = {}
+    for b in doc.get("benchmarks", []):
+        name = b.get("run_name", b.get("name", ""))
+        if b.get("run_type") == "aggregate":
+            if b.get("aggregate_name") == "median":
+                medians[name] = float(b["real_time"])
+        else:
+            raw.setdefault(name, []).append(float(b["real_time"]))
+    for name, times in raw.items():
+        if name not in medians:
+            medians[name] = sum(times) / len(times)
+    if not medians:
+        fail(f"{path}: no benchmarks found")
+    return medians
+
+
+def overhead(enabled_path: str, disabled_path: str, tolerance: float) -> None:
+    enabled = bench_medians(enabled_path)
+    disabled = bench_medians(disabled_path)
+    common = sorted(enabled.keys() & disabled.keys())
+    if not common:
+        fail("no common benchmarks between the two files")
+    log_sum = 0.0
+    worst_name, worst_ratio = "", 0.0
+    for name in common:
+        ratio = enabled[name] / disabled[name]
+        log_sum += math.log(ratio)
+        if ratio > worst_ratio:
+            worst_name, worst_ratio = name, ratio
+        print(f"  {name}: enabled/disabled = {ratio:.4f}")
+    geomean = math.exp(log_sum / len(common))
+    print(
+        f"check_metrics: geomean overhead {geomean:.4f} over "
+        f"{len(common)} benchmarks (worst {worst_name}: {worst_ratio:.4f}, "
+        f"budget {1 + tolerance:.2f})"
+    )
+    if geomean > 1 + tolerance:
+        fail(
+            f"observability overhead {geomean:.4f} exceeds "
+            f"{1 + tolerance:.2f} (DESIGN.md §12 budget)"
+        )
+    print("check_metrics: overhead within budget")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    group = parser.add_mutually_exclusive_group(required=True)
+    group.add_argument("--validate", metavar="FILE")
+    group.add_argument(
+        "--overhead", nargs=2, metavar=("ENABLED", "DISABLED")
+    )
+    parser.add_argument("--tolerance", type=float, default=0.02)
+    args = parser.parse_args()
+    if args.validate:
+        validate(args.validate)
+    else:
+        overhead(args.overhead[0], args.overhead[1], args.tolerance)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

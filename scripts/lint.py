@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
-"""Repo-specific concurrency/robustness lint (DESIGN.md §11).
+"""Repo-specific concurrency/robustness lint (DESIGN.md §11, §12).
 
-Three rules over src/:
+Four rules over src/:
 
   naked-mutex      std::mutex / std::condition_variable / std::lock_guard /
                    std::unique_lock / std::scoped_lock / std::shared_mutex /
@@ -27,6 +27,14 @@ Three rules over src/:
                    the next ApplyUpdate. Request paths must hold
                    store()->snapshot(). Deliberate uses carry
                    `NOLINT(mlcore-snapshot-bypass): <reason>`.
+
+  raw-walltimer    declaring a WallTimer by value is banned in src/service:
+                   service timings must flow through obs::Span (a null-trace
+                   Span is the sanctioned stopwatch) so every measured
+                   duration is also observable in the trace/metric surface
+                   (DESIGN.md §12). References returned by Span::timer()
+                   (`const WallTimer&`) are fine. Deliberate uses carry
+                   `NOLINT(mlcore-raw-walltimer): <reason>`.
 
 Exit status 0 = clean, 1 = findings (printed one per line as
 path:line: [rule] message).
@@ -54,6 +62,10 @@ NAKED_MUTEX = re.compile(
 )
 RELEASE_CHECK = re.compile(r"\bMLCORE_CHECK(?:_MSG)?\s*\(")
 SNAPSHOT_BYPASS = re.compile(r"\bcurrent_graph\s*\(")
+# Value declarations only: `WallTimer t;` / `mlcore::WallTimer t;`.
+# `const WallTimer& t = span.timer()` has '&' before the identifier and
+# does not match (no new clock is created).
+RAW_WALLTIMER = re.compile(r"\bWallTimer\s+[A-Za-z_]")
 
 CHECK_SCOPE_DIRS = ("service", "dccs", "core", "dynamic", "store")
 CHECK_SCOPE_FILES = {SRC / "graph" / "multilayer_graph.cc"}
@@ -155,6 +167,18 @@ def lint_file(path: Path) -> list[str]:
                     "valid only until the next ApplyUpdate; pin "
                     "store()->snapshot() instead, or justify with "
                     "NOLINT(mlcore-snapshot-bypass): <reason>"
+                )
+
+    if rel.parts[:2] == ("src", "service"):
+        for i, line in enumerate(code):
+            if RAW_WALLTIMER.search(line) and not has_marker(
+                raw, i, "NOLINT(mlcore-raw-walltimer)"
+            ):
+                findings.append(
+                    f"{rel}:{i + 1}: [raw-walltimer] service timings must "
+                    "flow through obs::Span (use a null-trace Span as a "
+                    "stopwatch) so durations stay observable, or justify "
+                    "with NOLINT(mlcore-raw-walltimer): <reason>"
                 )
 
     return findings

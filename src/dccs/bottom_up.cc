@@ -13,6 +13,7 @@
 #include "dccs/concurrent_topk.h"
 #include "dccs/cover.h"
 #include "dccs/preprocess.h"
+#include "obs/span.h"
 #include "util/task_group.h"
 #include "util/thread_pool.h"
 #include "util/timing.h"
@@ -47,7 +48,8 @@ class BottomUpSearch {
                  const PreprocessResult& preprocess,
                  const std::vector<LayerId>& order,
                  const DccsExecution& exec, DccSolver& solver,
-                 ConcurrentTopK& result, SearchStats& stats)
+                 ConcurrentTopK& result, SearchStats& stats,
+                 obs::SpanId lane_parent)
       : graph_(graph),
         params_(params),
         preprocess_(preprocess),
@@ -56,12 +58,17 @@ class BottomUpSearch {
         worker_solver_(exec.worker_solver),
         solver_(solver),
         result_(result),
-        stats_(stats) {
+        stats_(stats),
+        trace_(exec.trace),
+        lane_parent_(lane_parent) {
     const int threads = std::max(1, exec.search_threads);
     if (threads > 1) {
       lane_solvers_.resize(static_cast<size_t>(threads), nullptr);
       owned_solvers_.resize(static_cast<size_t>(threads));
       group_.emplace(threads);
+      if (obs::kEnabled && trace_ != nullptr) {
+        lane_obs_.resize(static_cast<size_t>(threads));
+      }
     }
   }
 
@@ -72,6 +79,13 @@ class BottomUpSearch {
     Prepare(*root);
     SpawnEvals(root);
     Gen(root);
+    if (!lane_obs_.empty()) {
+      // Joining here (instead of at destruction) quiesces the lanes so the
+      // per-lane aggregates below are complete; stale speculative tasks
+      // are discarded either way.
+      group_.reset();
+      CommitLaneSpans();
+    }
   }
 
   /// dCC evaluations the commit driver consumed — the deterministic part
@@ -205,8 +219,19 @@ class BottomUpSearch {
     }
     DccSolver& solver = SolverFor(worker);
     const int64_t before = solver.num_calls();
-    solver.Compute(slot.ids, params_.d, node.scopes[idx], &slot.core,
-                   params_.dcc_engine);
+    if (LaneObs* lane = LaneFor(worker)) {
+      WallTimer busy;
+      ThreadCpuTimer cpu;
+      solver.Compute(slot.ids, params_.d, node.scopes[idx], &slot.core,
+                     params_.dcc_engine);
+      lane->busy_seconds += busy.Seconds();
+      const double cpu_seconds = cpu.Seconds();
+      if (cpu_seconds > 0) lane->cpu_seconds += cpu_seconds;
+      ++lane->evals;
+    } else {
+      solver.Compute(slot.ids, params_.d, node.scopes[idx], &slot.core,
+                     params_.dcc_engine);
+    }
     slot.solver_calls = solver.num_calls() - before;
     executed_calls_.fetch_add(slot.solver_calls, std::memory_order_relaxed);
     slot.state.store(kSlotDone, std::memory_order_release);
@@ -353,6 +378,30 @@ class BottomUpSearch {
     }
   }
 
+  /// One "search.lane" span per TaskGroup lane, aggregating the lane's
+  /// claimed-evaluation busy time (wall + thread CPU). Lane entries are
+  /// single-writer while the group runs; committed only after the group
+  /// joins. Cache-line aligned so lanes never false-share.
+  struct alignas(64) LaneObs {
+    double busy_seconds = 0;
+    double cpu_seconds = 0;
+    int64_t evals = 0;
+  };
+
+  LaneObs* LaneFor(int worker) {
+    return lane_obs_.empty() ? nullptr
+                             : &lane_obs_[static_cast<size_t>(worker)];
+  }
+
+  void CommitLaneSpans() {
+    for (const LaneObs& lane : lane_obs_) {
+      if (lane.evals == 0) continue;
+      trace_->Add("search.lane", lane_parent_, trace_->AgeMs(),
+                  lane.busy_seconds * 1e3,
+                  lane.cpu_seconds > 0 ? lane.cpu_seconds * 1e3 : -1);
+    }
+  }
+
   const MultiLayerGraph& graph_;
   const DccsParams& params_;
   const PreprocessResult& preprocess_;
@@ -362,6 +411,9 @@ class BottomUpSearch {
   DccSolver& solver_;
   ConcurrentTopK& result_;
   SearchStats& stats_;
+  obs::Trace* trace_;
+  const obs::SpanId lane_parent_;
+  std::vector<LaneObs> lane_obs_;
   WallTimer timer_;
 
   int64_t committed_calls_ = 0;
@@ -419,6 +471,8 @@ DccsResult BottomUpDccs(const MultiLayerGraph& graph, const DccsParams& params,
   // true acquisition cost).
   std::optional<PreprocessResult> local_preprocess;
   if (exec.preprocess == nullptr) {
+    obs::Span preprocess_span(exec.trace, "query.preprocess",
+                              exec.trace_parent);
     local_preprocess =
         Preprocess(graph, params.d, params.s, params.vertex_deletion,
                    exec.pool, /*base_cores=*/nullptr, exec.control);
@@ -434,7 +488,8 @@ DccsResult BottomUpDccs(const MultiLayerGraph& graph, const DccsParams& params,
   const PreprocessResult& preprocess =
       exec.preprocess != nullptr ? *exec.preprocess : *local_preprocess;
 
-  WallTimer search_timer;
+  obs::Span search_span(exec.trace, "query.search", exec.trace_parent);
+  const WallTimer& search_timer = search_span.timer();
   std::optional<DccSolver> local_solver;
   if (exec.solver == nullptr) local_solver.emplace(graph);
   DccSolver& solver = exec.solver != nullptr ? *exec.solver : *local_solver;
@@ -470,10 +525,13 @@ DccsResult BottomUpDccs(const MultiLayerGraph& graph, const DccsParams& params,
   // with child evaluations fanned out over exec.search_threads lanes.
   ConcurrentTopK top_k(std::move(seeded));
   BottomUpSearch search(graph, params, preprocess, order, exec, solver, top_k,
-                        result.stats);
+                        result.stats, search_span.id());
   search.Run();
+  search_span.End();
 
+  obs::Span cover_span(exec.trace, "query.cover", exec.trace_parent);
   result.cores = top_k.index().entries();
+  cover_span.End();
   result.stats.candidates_generated = seed_calls + search.committed_calls();
   result.stats.speculative_evals =
       search.executed_calls() - search.committed_calls();

@@ -7,6 +7,7 @@
 #include "dccs/cover.h"
 #include "dccs/preprocess.h"
 #include "dccs/vertex_index.h"
+#include "obs/span.h"
 #include "util/cancellation.h"
 #include "util/thread_pool.h"
 #include "util/timing.h"
@@ -98,6 +99,21 @@ struct DccsExecution {
   /// A stop during a locally run preprocess returns an empty result with
   /// `stats.stopped` set and no search phase.
   const QueryControl* control = nullptr;
+
+  /// Trace buffer for this query's phase spans (DESIGN.md §12). When set,
+  /// the algorithms commit "query.preprocess" (locally run preprocessing
+  /// only — a host injecting `preprocess` records its own acquisition
+  /// span), "query.search", "query.cover", and — for the parallel BU/TD
+  /// search — one "search.lane" span per TaskGroup lane summarising that
+  /// lane's busy wall/CPU time, parented under the search span so
+  /// speculative evaluation waste is attributable to its driver. Null (or
+  /// an MLCORE_OBS_DISABLED build) records nothing; the checks are a
+  /// pointer test per *phase*, never per lattice node.
+  obs::Trace* trace = nullptr;
+
+  /// Parent span id the phase spans attach under (the host's root query
+  /// span); 0 roots them at the trace itself.
+  obs::SpanId trace_parent = 0;
 };
 
 /// The one tie-break order every cooperative checkpoint applies

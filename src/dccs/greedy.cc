@@ -8,6 +8,7 @@
 #include "core/dcc.h"
 #include "core/fds.h"
 #include "dccs/preprocess.h"
+#include "obs/span.h"
 #include "util/bitset.h"
 #include "util/thread_pool.h"
 #include "util/timing.h"
@@ -37,6 +38,8 @@ DccsResult GreedyDccs(const MultiLayerGraph& graph, const DccsParams& params,
   ThreadPool* pool = exec.pool;
   std::optional<PreprocessResult> local_preprocess;
   if (exec.preprocess == nullptr) {
+    obs::Span preprocess_span(exec.trace, "query.preprocess",
+                              exec.trace_parent);
     local_preprocess =
         Preprocess(graph, params.d, params.s, params.vertex_deletion, pool,
                    /*base_cores=*/nullptr, exec.control);
@@ -50,7 +53,10 @@ DccsResult GreedyDccs(const MultiLayerGraph& graph, const DccsParams& params,
   const PreprocessResult& preprocess =
       exec.preprocess != nullptr ? *exec.preprocess : *local_preprocess;
 
-  WallTimer search_timer;
+  // The span's stopwatch doubles as the budget clock for check_stop, so
+  // the recorded search phase and the budget semantics share one timer.
+  obs::Span search_span(exec.trace, "query.search", exec.trace_parent);
+  const WallTimer& search_timer = search_span.timer();
   // Lines 4–7: generate F = all d-CCs w.r.t. size-s layer subsets, each
   // computed inside the intersection of the per-layer d-cores (Lemma 1).
   // The subsets are independent, so the loop parallelises over a static
@@ -190,6 +196,8 @@ DccsResult GreedyDccs(const MultiLayerGraph& graph, const DccsParams& params,
                                   : static_cast<int64_t>(subsets.size());
 
   // Lines 8–10: greedy max-cover selection of k candidates.
+  search_span.End();
+  obs::Span cover_span(exec.trace, "query.cover", exec.trace_parent);
   Bitset covered(n);
   std::vector<bool> taken(candidates.size(), false);
   for (int round = 0; round < params.k; ++round) {

@@ -14,6 +14,7 @@
 #include "dccs/cover.h"
 #include "dccs/preprocess.h"
 #include "dccs/vertex_index.h"
+#include "obs/span.h"
 #include "util/bitset.h"
 #include "util/rng.h"
 #include "util/task_group.h"
@@ -286,7 +287,8 @@ class TopDownSearch {
                 const PreprocessResult& preprocess,
                 const std::vector<LayerId>& order,
                 const VertexLevelIndex& index, const DccsExecution& exec,
-                DccSolver& solver, ConcurrentTopK& result, SearchStats& stats)
+                DccSolver& solver, ConcurrentTopK& result, SearchStats& stats,
+                obs::SpanId lane_parent)
       : graph_(graph),
         params_(params),
         preprocess_(preprocess),
@@ -297,13 +299,20 @@ class TopDownSearch {
         solver_(solver),
         result_(result),
         stats_(stats),
+        trace_(exec.trace),
+        lane_parent_(lane_parent),
         rng_(kSeed) {
     const int threads = std::max(1, exec.search_threads);
     lane_refiners_.resize(static_cast<size_t>(std::max(1, threads)));
     owned_solvers_.resize(static_cast<size_t>(std::max(1, threads)));
     lane_refiners_[0] = std::make_unique<TdRefiner>(
         graph_, params_, preprocess_, order_, index_, solver_);
-    if (threads > 1) group_.emplace(threads);
+    if (threads > 1) {
+      group_.emplace(threads);
+      if (obs::kEnabled && trace_ != nullptr) {
+        lane_obs_.resize(static_cast<size_t>(threads));
+      }
+    }
   }
 
   void Run() {
@@ -328,6 +337,12 @@ class TopDownSearch {
     Prepare(*root);
     SpawnMaterialise(root);
     Gen(root);
+    if (!lane_obs_.empty()) {
+      // Join the lanes here so the per-lane aggregates are complete before
+      // they are committed as spans (see BottomUpSearch::Run).
+      group_.reset();
+      CommitLaneSpans();
+    }
   }
 
   int64_t committed_calls() const {
@@ -440,8 +455,19 @@ class TopDownSearch {
     }
     TdRefiner& refiner = RefinerFor(worker);
     const int64_t before = refiner.solver().num_calls();
-    refiner.RefineU(*node.potential, slot.positions, &slot.potential);
-    refiner.RefineC(slot.potential, slot.positions, &slot.core);
+    if (LaneObs* lane = LaneFor(worker)) {
+      WallTimer busy;
+      ThreadCpuTimer cpu;
+      refiner.RefineU(*node.potential, slot.positions, &slot.potential);
+      refiner.RefineC(slot.potential, slot.positions, &slot.core);
+      lane->busy_seconds += busy.Seconds();
+      const double cpu_seconds = cpu.Seconds();
+      if (cpu_seconds > 0) lane->cpu_seconds += cpu_seconds;
+      ++lane->evals;
+    } else {
+      refiner.RefineU(*node.potential, slot.positions, &slot.potential);
+      refiner.RefineC(slot.potential, slot.positions, &slot.core);
+    }
     slot.solver_calls = refiner.solver().num_calls() - before;
     executed_slot_calls_.fetch_add(slot.solver_calls,
                                    std::memory_order_relaxed);
@@ -598,6 +624,28 @@ class TopDownSearch {
     return true;
   }
 
+  /// Per-lane busy-time aggregates, committed as "search.lane" spans after
+  /// the group joins (see BottomUpSearch::LaneObs).
+  struct alignas(64) LaneObs {
+    double busy_seconds = 0;
+    double cpu_seconds = 0;
+    int64_t evals = 0;
+  };
+
+  LaneObs* LaneFor(int worker) {
+    return lane_obs_.empty() ? nullptr
+                             : &lane_obs_[static_cast<size_t>(worker)];
+  }
+
+  void CommitLaneSpans() {
+    for (const LaneObs& lane : lane_obs_) {
+      if (lane.evals == 0) continue;
+      trace_->Add("search.lane", lane_parent_, trace_->AgeMs(),
+                  lane.busy_seconds * 1e3,
+                  lane.cpu_seconds > 0 ? lane.cpu_seconds * 1e3 : -1);
+    }
+  }
+
   const MultiLayerGraph& graph_;
   const DccsParams& params_;
   const PreprocessResult& preprocess_;
@@ -608,6 +656,9 @@ class TopDownSearch {
   DccSolver& solver_;
   ConcurrentTopK& result_;
   SearchStats& stats_;
+  obs::Trace* trace_;
+  const obs::SpanId lane_parent_;
+  std::vector<LaneObs> lane_obs_;
   Rng rng_;
   WallTimer timer_;
 
@@ -662,6 +713,8 @@ DccsResult TopDownDccs(const MultiLayerGraph& graph, const DccsParams& params,
   // replayable from an injected execution (see BottomUpDccs).
   std::optional<PreprocessResult> local_preprocess;
   if (exec.preprocess == nullptr) {
+    obs::Span preprocess_span(exec.trace, "query.preprocess",
+                              exec.trace_parent);
     local_preprocess =
         Preprocess(graph, params.d, params.s, params.vertex_deletion,
                    exec.pool, /*base_cores=*/nullptr, exec.control);
@@ -675,7 +728,8 @@ DccsResult TopDownDccs(const MultiLayerGraph& graph, const DccsParams& params,
   const PreprocessResult& preprocess =
       exec.preprocess != nullptr ? *exec.preprocess : *local_preprocess;
 
-  WallTimer search_timer;
+  obs::Span search_span(exec.trace, "query.search", exec.trace_parent);
+  const WallTimer& search_timer = search_span.timer();
   std::optional<DccSolver> local_solver;
   if (exec.solver == nullptr) local_solver.emplace(graph);
   DccSolver& solver = exec.solver != nullptr ? *exec.solver : *local_solver;
@@ -714,10 +768,13 @@ DccsResult TopDownDccs(const MultiLayerGraph& graph, const DccsParams& params,
 
   ConcurrentTopK top_k(std::move(seeded));
   TopDownSearch search(graph, params, preprocess, order, index, exec, solver,
-                       top_k, result.stats);
+                       top_k, result.stats, search_span.id());
   search.Run();
+  search_span.End();
 
+  obs::Span cover_span(exec.trace, "query.cover", exec.trace_parent);
   result.cores = top_k.index().entries();
+  cover_span.End();
   result.stats.candidates_generated = seed_calls + search.committed_calls();
   result.stats.speculative_evals = search.speculative_calls();
   result.stats.search_seconds = search_timer.Seconds();

@@ -1,0 +1,203 @@
+#include "obs/export.h"
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+namespace mlcore::obs {
+
+namespace {
+
+// Shortest-round-trip double formatting; JSON has no Infinity/NaN, so
+// non-finite values (an unsupported cpu clock never produces them, but be
+// safe) degrade to null.
+void AppendNumber(std::string& out, double value) {
+  if (!std::isfinite(value)) {
+    out += "null";
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  out += buf;
+}
+
+void AppendEscaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void AppendMetricJson(std::string& out, const MetricSnapshot& m) {
+  out += "{\"name\": ";
+  AppendEscaped(out, m.name);
+  switch (m.kind) {
+    case MetricKind::kCounter:
+    case MetricKind::kGauge:
+      out += m.kind == MetricKind::kCounter ? ", \"kind\": \"counter\""
+                                            : ", \"kind\": \"gauge\"";
+      out += ", \"value\": " + std::to_string(m.value);
+      break;
+    case MetricKind::kHistogram: {
+      const Histogram::Snapshot& h = m.hist;
+      out += ", \"kind\": \"histogram\"";
+      out += ", \"count\": " + std::to_string(h.count);
+      out += ", \"sum\": ";
+      AppendNumber(out, h.sum);
+      out += ", \"p50\": ";
+      AppendNumber(out, h.Quantile(0.50));
+      out += ", \"p90\": ";
+      AppendNumber(out, h.Quantile(0.90));
+      out += ", \"p99\": ";
+      AppendNumber(out, h.Quantile(0.99));
+      out += ", \"buckets\": [";
+      for (size_t b = 0; b < h.counts.size(); ++b) {
+        if (b > 0) out += ", ";
+        out += "{\"le\": ";
+        if (b < h.bounds.size()) {
+          AppendNumber(out, h.bounds[b]);
+        } else {
+          out += "\"+Inf\"";
+        }
+        out += ", \"count\": " + std::to_string(h.counts[b]) + "}";
+      }
+      out += "]";
+      break;
+    }
+  }
+  out += "}";
+}
+
+void AppendSpanJson(std::string& out, const SpanRecord& s) {
+  out += "{\"name\": ";
+  AppendEscaped(out, s.name);
+  out += ", \"id\": " + std::to_string(s.id);
+  out += ", \"parent\": " + std::to_string(s.parent);
+  out += ", \"start_ms\": ";
+  AppendNumber(out, s.start_ms);
+  out += ", \"wall_ms\": ";
+  AppendNumber(out, s.wall_ms);
+  out += ", \"cpu_ms\": ";
+  AppendNumber(out, s.cpu_ms);
+  out += "}";
+}
+
+std::string PrometheusName(const std::string& prefix,
+                           const std::string& name) {
+  std::string out = prefix;
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ToJson(const std::vector<MetricSnapshot>& metrics,
+                   const std::vector<TraceSummary>& slow_queries) {
+  std::string out = "{\n  \"version\": 1,\n  \"metrics\": [";
+  for (size_t i = 0; i < metrics.size(); ++i) {
+    out += i == 0 ? "\n    " : ",\n    ";
+    AppendMetricJson(out, metrics[i]);
+  }
+  out += "\n  ],\n  \"slow_queries\": [";
+  for (size_t i = 0; i < slow_queries.size(); ++i) {
+    const TraceSummary& t = slow_queries[i];
+    out += i == 0 ? "\n    " : ",\n    ";
+    out += "{\"label\": ";
+    AppendEscaped(out, t.label);
+    out += ", \"epoch\": " + std::to_string(t.epoch);
+    out += ", \"total_ms\": ";
+    AppendNumber(out, t.total_ms);
+    out += ", \"dropped_spans\": " + std::to_string(t.dropped_spans);
+    out += ", \"spans\": [";
+    for (size_t s = 0; s < t.spans.size(); ++s) {
+      if (s > 0) out += ", ";
+      AppendSpanJson(out, t.spans[s]);
+    }
+    out += "]}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+std::string ToPrometheusText(const std::vector<MetricSnapshot>& metrics,
+                             const std::string& name_prefix) {
+  std::string out;
+  char buf[128];
+  for (const MetricSnapshot& m : metrics) {
+    const std::string name = PrometheusName(name_prefix, m.name);
+    switch (m.kind) {
+      case MetricKind::kCounter:
+      case MetricKind::kGauge:
+        out += "# TYPE " + name +
+               (m.kind == MetricKind::kCounter ? " counter\n" : " gauge\n");
+        out += name + " " + std::to_string(m.value) + "\n";
+        break;
+      case MetricKind::kHistogram: {
+        out += "# TYPE " + name + " histogram\n";
+        int64_t cumulative = 0;
+        for (size_t b = 0; b < m.hist.counts.size(); ++b) {
+          cumulative += m.hist.counts[b];
+          if (b < m.hist.bounds.size()) {
+            std::snprintf(buf, sizeof(buf), "%s_bucket{le=\"%.9g\"} %lld\n",
+                          name.c_str(), m.hist.bounds[b],
+                          static_cast<long long>(cumulative));
+          } else {
+            std::snprintf(buf, sizeof(buf), "%s_bucket{le=\"+Inf\"} %lld\n",
+                          name.c_str(), static_cast<long long>(cumulative));
+          }
+          out += buf;
+        }
+        std::snprintf(buf, sizeof(buf), "%s_sum %.9g\n%s_count %lld\n",
+                      name.c_str(), m.hist.sum, name.c_str(),
+                      static_cast<long long>(m.hist.count));
+        out += buf;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+bool WriteFile(const std::string& path, const std::string& content) {
+  if (path == "-") {
+    std::fwrite(content.data(), 1, content.size(), stdout);
+    return true;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "obs: cannot open '%s' for writing\n", path.c_str());
+    return false;
+  }
+  const size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  const bool ok = std::fclose(f) == 0 && written == content.size();
+  if (!ok) std::fprintf(stderr, "obs: short write to '%s'\n", path.c_str());
+  return ok;
+}
+
+}  // namespace mlcore::obs

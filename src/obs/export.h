@@ -1,0 +1,48 @@
+#ifndef MLCORE_OBS_EXPORT_H_
+#define MLCORE_OBS_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/span.h"
+
+// Machine-readable exposure of the metrics registry and slow-query log
+// (DESIGN.md §12). Two formats:
+//
+//   JSON        — the `--metrics_json` document consumed by
+//                 scripts/check_metrics.py; schema sketch:
+//                   {"version": 1,
+//                    "metrics": [{"name": "...", "kind": "counter|gauge",
+//                                 "value": N} |
+//                                {"name": "...", "kind": "histogram",
+//                                 "count": N, "sum": X,
+//                                 "p50": X, "p90": X, "p99": X,
+//                                 "buckets": [{"le": B, "count": N}...,
+//                                             {"le": "+Inf", "count": N}]}],
+//                    "slow_queries": [{"label": "...", "epoch": N,
+//                                      "total_ms": X, "dropped_spans": N,
+//                                      "spans": [{"name": "...", "id": N,
+//                                                 "parent": N,
+//                                                 "start_ms": X,
+//                                                 "wall_ms": X,
+//                                                 "cpu_ms": X}...]}]}
+//   Prometheus  — text exposition (dots become underscores, histogram
+//                 buckets cumulative with the conventional `le` label),
+//                 for scraping once ROADMAP item 3's server lands.
+
+namespace mlcore::obs {
+
+std::string ToJson(const std::vector<MetricSnapshot>& metrics,
+                   const std::vector<TraceSummary>& slow_queries = {});
+
+std::string ToPrometheusText(const std::vector<MetricSnapshot>& metrics,
+                             const std::string& name_prefix = "mlcore_");
+
+/// Writes `content` to `path` ("-" = stdout). Returns false (and prints to
+/// stderr) on I/O failure.
+bool WriteFile(const std::string& path, const std::string& content);
+
+}  // namespace mlcore::obs
+
+#endif  // MLCORE_OBS_EXPORT_H_

@@ -1,0 +1,190 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace mlcore::obs {
+
+double Histogram::Snapshot::Quantile(double q) const {
+  if (count <= 0) return 0;
+  q = std::min(std::max(q, 0.0), 1.0);
+  // Rank of the target sample (1-based, ceil so q=1 names the last one).
+  const auto rank = static_cast<int64_t>(
+      std::max<double>(1.0, std::ceil(q * static_cast<double>(count))));
+  int64_t seen = 0;
+  for (size_t b = 0; b < counts.size(); ++b) {
+    const int64_t in_bucket = counts[b];
+    if (seen + in_bucket < rank) {
+      seen += in_bucket;
+      continue;
+    }
+    if (b >= bounds.size()) return bounds.empty() ? 0 : bounds.back();
+    const double lo = b == 0 ? 0.0 : bounds[b - 1];
+    const double hi = bounds[b];
+    // Linear interpolation of the rank's position within the bucket.
+    const double frac =
+        static_cast<double>(rank - seen) / static_cast<double>(in_bucket);
+    return lo + (hi - lo) * frac;
+  }
+  return bounds.empty() ? 0 : bounds.back();
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)) {
+  MLCORE_CHECK_MSG(std::is_sorted(bounds_.begin(), bounds_.end()),
+                   "histogram bounds must be ascending");
+  buckets_ = std::make_unique<std::atomic<int64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+size_t Histogram::BucketFor(double value) const {
+  // First bound >= value; inclusive upper edges, so an exact boundary hit
+  // lands in the bucket it bounds. Everything past the last bound is the
+  // overflow bucket at index bounds_.size().
+  return static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot snap;
+  snap.bounds = bounds_;
+  snap.counts.resize(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    snap.counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  // A racing Record can make the per-bucket sum momentarily exceed
+  // count_; clamp so Quantile never reads past the recorded samples.
+  int64_t bucket_total = 0;
+  for (int64_t c : snap.counts) bucket_total += c;
+  snap.count = std::min(snap.count, bucket_total);
+  return snap;
+}
+
+void Histogram::Reset() {
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+std::vector<double> Histogram::LatencyBoundsMs() {
+  return {0.01, 0.025, 0.05, 0.1,  0.25, 0.5,  1.0,    2.5,    5.0,
+          10.0, 25.0,  50.0, 100., 250., 500., 1000.0, 2500.0, 10000.0};
+}
+
+Registry::Entry* Registry::Find(const std::string& name) {
+  for (auto& e : entries_) {
+    if (e->name == name) return e.get();
+  }
+  return nullptr;
+}
+
+Counter* Registry::GetCounter(const std::string& name) {
+  util::MutexLock lock(mu_);
+  if (Entry* e = Find(name)) {
+    MLCORE_CHECK_MSG(e->kind == MetricKind::kCounter,
+                     "metric re-registered as a different kind");
+    return e->counter.get();
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = name;
+  entry->kind = MetricKind::kCounter;
+  entry->counter = std::make_unique<Counter>();
+  Counter* out = entry->counter.get();
+  entries_.push_back(std::move(entry));
+  return out;
+}
+
+Gauge* Registry::GetGauge(const std::string& name) {
+  util::MutexLock lock(mu_);
+  if (Entry* e = Find(name)) {
+    MLCORE_CHECK_MSG(e->kind == MetricKind::kGauge,
+                     "metric re-registered as a different kind");
+    return e->gauge.get();
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = name;
+  entry->kind = MetricKind::kGauge;
+  entry->gauge = std::make_unique<Gauge>();
+  Gauge* out = entry->gauge.get();
+  entries_.push_back(std::move(entry));
+  return out;
+}
+
+Histogram* Registry::GetHistogram(const std::string& name,
+                                  std::vector<double> bounds) {
+  util::MutexLock lock(mu_);
+  if (Entry* e = Find(name)) {
+    MLCORE_CHECK_MSG(e->kind == MetricKind::kHistogram,
+                     "metric re-registered as a different kind");
+    return e->histogram.get();
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = name;
+  entry->kind = MetricKind::kHistogram;
+  entry->histogram = std::make_unique<Histogram>(std::move(bounds));
+  Histogram* out = entry->histogram.get();
+  entries_.push_back(std::move(entry));
+  return out;
+}
+
+std::vector<MetricSnapshot> Registry::Snapshot() const {
+  std::vector<MetricSnapshot> out;
+  {
+    util::MutexLock lock(mu_);
+    out.reserve(entries_.size());
+    for (const auto& e : entries_) {
+      MetricSnapshot snap;
+      snap.name = e->name;
+      snap.kind = e->kind;
+      switch (e->kind) {
+        case MetricKind::kCounter:
+          snap.value = e->counter->value();
+          break;
+        case MetricKind::kGauge:
+          snap.value = e->gauge->value();
+          break;
+        case MetricKind::kHistogram:
+          snap.hist = e->histogram->snapshot();
+          break;
+      }
+      out.push_back(std::move(snap));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricSnapshot& a, const MetricSnapshot& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+void Registry::Reset(const std::string& prefix) {
+  util::MutexLock lock(mu_);
+  for (auto& e : entries_) {
+    if (e->name.compare(0, prefix.size(), prefix) != 0) continue;
+    switch (e->kind) {
+      case MetricKind::kCounter:
+        e->counter->Reset();
+        break;
+      case MetricKind::kGauge:
+        e->gauge->Reset();
+        break;
+      case MetricKind::kHistogram:
+        e->histogram->Reset();
+        break;
+    }
+  }
+}
+
+Registry& Registry::Global() {
+  static Registry* global = new Registry();  // never destroyed: metric
+  return *global;  // pointers must outlive static-teardown-order races
+}
+
+}  // namespace mlcore::obs

@@ -1,0 +1,175 @@
+#ifndef MLCORE_OBS_METRICS_H_
+#define MLCORE_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+// Process observability: metric primitives and the registry (DESIGN.md §12).
+//
+// Metric names are stable dotted paths, `<subsystem>.<object>.<field>`
+// (e.g. "engine.query.search_ms", "store.apply_update_ms"). Names are
+// static — never interpolate ids, epochs, or request parameters into a
+// name; per-query detail belongs in trace spans (obs/span.h), not in
+// metric cardinality.
+//
+// Hot-path contract: Counter::Add / Gauge::Set / Histogram::Record are
+// single relaxed atomic RMWs with no locks and no allocation — safe from
+// any thread, including search lanes. Registry lookups (GetCounter etc.)
+// take the registry mutex and are for setup paths only; hosts cache the
+// returned pointers, which stay valid for the registry's lifetime.
+//
+// MLCORE_OBS_DISABLED (compile-time escape hatch, CMake option of the same
+// name): Histogram::Record compiles to nothing. Counters and gauges stay
+// live in every build — Engine::cache_stats() / scheduler_stats() are views
+// over them, so disabling observability must not change *correctness*
+// surfaces, only strip the latency instrumentation (histograms, spans,
+// cpu timing).
+
+namespace mlcore::obs {
+
+#if defined(MLCORE_OBS_DISABLED)
+inline constexpr bool kEnabled = false;
+#else
+inline constexpr bool kEnabled = true;
+#endif
+
+/// Monotonic event count. Relaxed atomics: totals are exact once the
+/// writers quiesce; mid-flight reads may trail concurrent increments.
+class Counter {
+ public:
+  void Add(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (queue depth, current epoch).
+class Gauge {
+ public:
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed-boundary latency histogram. `bounds` are ascending inclusive
+/// upper edges; values above the last bound land in an implicit +Inf
+/// overflow bucket. Recording is one binary search plus two relaxed RMWs.
+class Histogram {
+ public:
+  struct Snapshot {
+    std::vector<double> bounds;   // finite upper edges
+    std::vector<int64_t> counts;  // bounds.size() + 1 (last = overflow)
+    int64_t count = 0;
+    double sum = 0;
+
+    /// Quantile in [0, 1] by linear interpolation inside the holding
+    /// bucket (lower edge 0 for the first). Overflow-bucket quantiles
+    /// clamp to the last finite bound — the histogram cannot see past it.
+    /// 0 when empty.
+    double Quantile(double q) const;
+  };
+
+  explicit Histogram(std::vector<double> bounds);
+
+  void Record(double value) {
+    if constexpr (!kEnabled) {
+      (void)value;
+      return;
+    }
+    buckets_[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  Snapshot snapshot() const;
+  void Reset();
+  const std::vector<double>& bounds() const { return bounds_; }
+
+  /// Default latency boundaries in milliseconds, 10µs..10s.
+  static std::vector<double> LatencyBoundsMs();
+
+ private:
+  size_t BucketFor(double value) const;
+
+  std::vector<double> bounds_;
+  // unique_ptr-wrapped because std::atomic is immovable and the bucket
+  // count is a constructor argument.
+  std::unique_ptr<std::atomic<int64_t>[]> buckets_;
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0};
+};
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+/// Point-in-time copy of one registered metric, for export (obs/export.h)
+/// and for Engine::stats_report().
+struct MetricSnapshot {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  int64_t value = 0;            // counter / gauge
+  Histogram::Snapshot hist;     // histogram only
+};
+
+/// Name → metric table. Get-or-create is idempotent: the first caller
+/// fixes the kind (and, for histograms, the boundaries); later calls with
+/// the same name return the same pointer and ignore their arguments.
+/// Asking for an existing name as a different kind aborts — that is a
+/// naming-scheme bug, not a runtime condition.
+///
+/// Each host owns its own registry (per-Engine, per-GraphStore) so tests
+/// running hosts concurrently see exact per-host counts; `Global()` is the
+/// process-wide aggregate that latency histograms are mirrored into for
+/// whole-process export (bench_common --metrics_json).
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<double> bounds);
+
+  /// Snapshot of every registered metric, sorted by name.
+  std::vector<MetricSnapshot> Snapshot() const;
+
+  /// Resets (not: unregisters) every metric whose name starts with
+  /// `prefix`; "" resets everything. Cached pointers stay valid.
+  void Reset(const std::string& prefix = "");
+
+  static Registry& Global();
+
+ private:
+  struct Entry {
+    std::string name;
+    MetricKind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry* Find(const std::string& name) MLCORE_REQUIRES(mu_);
+
+  mutable util::Mutex mu_{util::lock_rank::kObsRegistry,
+                          "obs::Registry::mu_"};
+  std::vector<std::unique_ptr<Entry>> entries_ MLCORE_GUARDED_BY(mu_);
+};
+
+}  // namespace mlcore::obs
+
+#endif  // MLCORE_OBS_METRICS_H_

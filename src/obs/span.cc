@@ -1,0 +1,64 @@
+#include "obs/span.h"
+
+#include <algorithm>
+
+namespace mlcore::obs {
+
+Trace::Trace(uint32_t capacity) : slots_(capacity) {}
+
+void Trace::Commit(const SpanRecord& record) {
+  const uint32_t slot = used_.fetch_add(1, std::memory_order_relaxed);
+  if (slot >= slots_.size()) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  slots_[slot] = record;
+}
+
+SpanId Trace::Add(const char* name, SpanId parent, double start_ms,
+                  double wall_ms, double cpu_ms) {
+  SpanRecord record;
+  record.name = name;
+  record.id = NextId();
+  record.parent = parent;
+  record.start_ms = start_ms;
+  record.wall_ms = wall_ms;
+  record.cpu_ms = cpu_ms;
+  Commit(record);
+  return record.id;
+}
+
+std::vector<SpanRecord> Trace::records() const {
+  const uint32_t used = std::min(used_.load(std::memory_order_relaxed),
+                                 static_cast<uint32_t>(slots_.size()));
+  std::vector<SpanRecord> out(slots_.begin(), slots_.begin() + used);
+  std::stable_sort(out.begin(), out.end(),
+                   [](const SpanRecord& a, const SpanRecord& b) {
+                     return a.start_ms < b.start_ms;
+                   });
+  return out;
+}
+
+void SlowQueryLog::Offer(TraceSummary summary) {
+  util::MutexLock lock(mu_);
+  if (entries_.size() >= capacity_) {
+    if (summary.total_ms <= entries_.back().total_ms) return;
+    entries_.pop_back();
+  }
+  auto pos = std::upper_bound(
+      entries_.begin(), entries_.end(), summary.total_ms,
+      [](double ms, const TraceSummary& e) { return ms > e.total_ms; });
+  entries_.insert(pos, std::move(summary));
+}
+
+std::vector<TraceSummary> SlowQueryLog::Snapshot() const {
+  util::MutexLock lock(mu_);
+  return entries_;
+}
+
+void SlowQueryLog::Clear() {
+  util::MutexLock lock(mu_);
+  entries_.clear();
+}
+
+}  // namespace mlcore::obs

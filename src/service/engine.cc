@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <deque>
+#include <iterator>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -14,9 +15,10 @@
 #include "dccs/execution.h"
 #include "dccs/greedy.h"
 #include "dccs/top_down.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
-#include "util/timing.h"
 
 namespace mlcore {
 
@@ -44,6 +46,30 @@ void EvictLru(Map& entries, UseMap& last_use, size_t capacity) {
     entries.erase(victim->first);
     last_use.erase(victim);
   }
+}
+
+/// Slow-query-log label: the request's shape. Parameter values belong in
+/// this per-entry string, never in metric names (cardinality rules,
+/// DESIGN.md §12).
+std::string DescribeRequest(const DccsRequest& request,
+                            DccsAlgorithm resolved) {
+  const char* algo = "auto";
+  switch (resolved) {
+    case DccsAlgorithm::kGreedy:
+      algo = "greedy";
+      break;
+    case DccsAlgorithm::kBottomUp:
+      algo = "bu";
+      break;
+    case DccsAlgorithm::kTopDown:
+      algo = "td";
+      break;
+    case DccsAlgorithm::kAuto:
+      break;
+  }
+  const DccsParams& p = request.params;
+  return std::string(algo) + " d=" + std::to_string(p.d) +
+         " s=" + std::to_string(p.s) + " k=" + std::to_string(p.k);
 }
 
 }  // namespace
@@ -130,6 +156,12 @@ struct Engine::QueryTask {
   /// the terminal result published. Subscription evaluations use it to
   /// emit their revision; ordinary submissions leave it empty.
   std::function<void(QueryTask&)> on_done;
+
+  /// This query's span buffer (DESIGN.md §12); null under
+  /// MLCORE_OBS_DISABLED. Created at submission so the admission wait sits
+  /// on its clock; read back by the executing thread after RunValidated
+  /// returned (by which point every recording thread has joined).
+  std::unique_ptr<obs::Trace> trace;
 };
 
 /// One standing query (Engine::Subscribe). Shared by the engine (producer
@@ -266,6 +298,7 @@ Engine::Engine(std::shared_ptr<GraphStore> store, Options options)
   MLCORE_CHECK(store_ != nullptr);
   search_lanes_free_.store(options_.search_threads - 1,
                            std::memory_order_relaxed);
+  InitMetrics();
   query_workers_.reserve(static_cast<size_t>(options_.query_workers));
   for (int w = 0; w < options_.query_workers; ++w) {
     query_workers_.emplace_back([this] { QueryWorkerLoop(); });
@@ -294,7 +327,7 @@ Engine::~Engine() {
   pending_.Shutdown();
   for (PriorityTaskQueue::Entry& entry : pending_.Drain()) {
     auto task = std::static_pointer_cast<QueryTask>(entry.payload);
-    sched_cancelled_queued_.fetch_add(1, std::memory_order_relaxed);
+    metrics_.sched_cancelled_queued->Add(1);
     FinishTask(*task,
                Status::Cancelled("engine destroyed before the query ran"));
   }
@@ -423,7 +456,15 @@ QueryHandle Engine::SubmitTask(const DccsRequest& request,
                                bool controllable) {
   auto task = std::make_shared<QueryTask>();
   task->request = request;
-  task->snapshot = store_->snapshot();
+  if constexpr (obs::kEnabled) {
+    task->trace = std::make_unique<obs::Trace>();
+  }
+  {
+    // The first traced stage. Parent 0: the "query.run" root only exists
+    // once execution starts, so the submission-phase spans are top-level.
+    obs::Span pin_span(task->trace.get(), "query.snapshot_pin");
+    task->snapshot = store_->snapshot();
+  }
   task->priority = options.priority;
   if (controllable || options.deadline_seconds > 0) {
     task->control =
@@ -436,12 +477,12 @@ QueryHandle Engine::SubmitTask(const DccsRequest& request,
     return QueryHandle(std::move(task), this);
   }
 
-  sched_submitted_.fetch_add(1, std::memory_order_relaxed);
+  metrics_.sched_submitted->Add(1);
   uint64_t id = 0;
   PriorityTaskQueue::Entry displaced;
   switch (pending_.TryPush(options.priority, task, &id, &displaced)) {
     case PriorityTaskQueue::PushOutcome::kRejected:
-      sched_rejected_.fetch_add(1, std::memory_order_relaxed);
+      metrics_.sched_rejected->Add(1);
       FinishTask(*task,
                  Status::ResourceExhausted(
                      pending_.shut_down()
@@ -452,7 +493,7 @@ QueryHandle Engine::SubmitTask(const DccsRequest& request,
                                "displace"));
       return QueryHandle(std::move(task), this);
     case PriorityTaskQueue::PushOutcome::kAcceptedDisplacing: {
-      sched_displaced_.fetch_add(1, std::memory_order_relaxed);
+      metrics_.sched_displaced->Add(1);
       auto victim = std::static_pointer_cast<QueryTask>(displaced.payload);
       FinishTask(*victim,
                  Status::ResourceExhausted(
@@ -463,7 +504,7 @@ QueryHandle Engine::SubmitTask(const DccsRequest& request,
     case PriorityTaskQueue::PushOutcome::kAccepted:
       break;
   }
-  sched_admitted_.fetch_add(1, std::memory_order_relaxed);
+  metrics_.sched_admitted->Add(1);
   // A worker may already have popped (and even finished) the task; the
   // stale ticket is harmless — TryRemove on it simply fails.
   task->queue_id.store(id, std::memory_order_release);
@@ -501,10 +542,14 @@ Expected<DccsResult> Engine::Run(const DccsRequest& request) {
     // run inline on this thread. Keeps the PR-2 contract: Run fails only
     // on validation, never on load. (The request already passed Validate,
     // or Submit would have returned kInvalidArgument/kUnsupported.)
-    sched_executed_.fetch_add(1, std::memory_order_relaxed);
-    return RunValidated(request, handle.task_->snapshot,
-                        util::UniqueLock(pool_mu_, util::kTryToLock),
-                        /*control=*/nullptr);
+    metrics_.sched_executed->Add(1);
+    obs::Trace* trace = handle.task_->trace.get();
+    Expected<DccsResult> inline_outcome =
+        RunValidated(request, handle.task_->snapshot,
+                     util::UniqueLock(pool_mu_, util::kTryToLock),
+                     /*control=*/nullptr, trace);
+    OfferTrace(request, handle.task_->snapshot->epoch(), trace);
+    return inline_outcome;
   }
   util::MutexLock lock(handle.task_->mu);
   return std::move(*handle.task_->result);
@@ -516,26 +561,41 @@ void Engine::ExecuteTask(const std::shared_ptr<QueryTask>& task) {
   // kDeadlineExceeded (there is no anytime prefix to serve yet).
   const QueryStop pre = task->control.Check();
   if (pre == QueryStop::kCancelled) {
-    sched_cancelled_queued_.fetch_add(1, std::memory_order_relaxed);
+    metrics_.sched_cancelled_queued->Add(1);
     FinishTask(*task, Status::Cancelled("query cancelled while queued"));
     return;
   }
   if (pre == QueryStop::kDeadline) {
-    sched_expired_queued_.fetch_add(1, std::memory_order_relaxed);
+    metrics_.sched_expired_queued->Add(1);
     FinishTask(*task,
                Status::DeadlineExceeded("deadline expired while queued"));
     return;
   }
-  sched_executed_.fetch_add(1, std::memory_order_relaxed);
+  metrics_.sched_executed->Add(1);
+  obs::Trace* trace = task->trace.get();
+  if (trace != nullptr) {
+    // Admission wait: submission (trace creation) to this claim, which
+    // also covers validation and the snapshot pin. Committed manually —
+    // the waiting happened across threads, not on one stopwatch.
+    const double wait_ms = trace->AgeMs();
+    trace->Add("query.admission_wait", /*parent=*/0, /*start_ms=*/0.0,
+               wait_ms);
+    metrics_.query_admission_wait_ms->Record(wait_ms);
+  }
   // Use the shared pool if it is free; a busy pool (another query's stage
   // or a batch) degrades this query's parallel stages to sequential, which
   // by the DESIGN.md §4 contract cannot change its result. An inactive
   // control (Run's uncancellable tasks) executes as the null control so
   // the stages skip checkpoint costs entirely.
-  FinishTask(*task,
-             RunValidated(task->request, task->snapshot,
-                          util::UniqueLock(pool_mu_, util::kTryToLock),
-                          task->control.active() ? &task->control : nullptr));
+  Expected<DccsResult> outcome =
+      RunValidated(task->request, task->snapshot,
+                   util::UniqueLock(pool_mu_, util::kTryToLock),
+                   task->control.active() ? &task->control : nullptr, trace);
+  // Offer the (now quiescent) trace before FinishTask wakes the waiter:
+  // a caller that reads stats_report() right after Wait() returns must
+  // see this query in the slow log.
+  OfferTrace(task->request, task->snapshot->epoch(), trace);
+  FinishTask(*task, std::move(outcome));
 }
 
 void Engine::FinishTask(QueryTask& task, Expected<DccsResult> result) {
@@ -574,7 +634,7 @@ void Engine::CancelTask(const std::shared_ptr<QueryTask>& task) {
   if (id != 0) {
     PriorityTaskQueue::Entry entry;
     if (pending_.TryRemove(id, &entry)) {
-      sched_cancelled_queued_.fetch_add(1, std::memory_order_relaxed);
+      metrics_.sched_cancelled_queued->Add(1);
       FinishTask(*task, Status::Cancelled("query cancelled while queued"));
     }
   }
@@ -594,7 +654,7 @@ void Engine::ResolveIfExpiredQueued(const std::shared_ptr<QueryTask>& task) {
   if (id == 0) return;
   PriorityTaskQueue::Entry entry;
   if (pending_.TryRemove(id, &entry)) {
-    sched_expired_queued_.fetch_add(1, std::memory_order_relaxed);
+    metrics_.sched_expired_queued->Add(1);
     FinishTask(*task,
                Status::DeadlineExceeded("deadline expired while queued"));
   }
@@ -632,7 +692,7 @@ std::vector<Expected<DccsResult>> Engine::RunBatch(
       const auto slot = static_cast<size_t>(i);
       if (!statuses[slot].ok()) return;
       slots[slot] = RunValidated(requests[slot], snap, util::UniqueLock(),
-                                 /*control=*/nullptr);
+                                 /*control=*/nullptr, /*trace=*/nullptr);
     });
   }
 
@@ -742,7 +802,15 @@ void Engine::SubscriptionDispatcherLoop() {
     std::vector<std::shared_ptr<SubscriptionState>> live = subscriptions_;
     lock.Unlock();
     const std::shared_ptr<const GraphSnapshot> snap = store_->snapshot();
-    for (const auto& sub : live) DispatchSubscription(sub, snap);
+    for (const auto& sub : live) {
+      // Dispatch-decision latency — the "dispatch" stage of the §9
+      // pipeline (a null-trace Span is just a stopwatch). Unchanged-skips
+      // and no-ops record too: the histogram answers "how long does the
+      // dispatcher spend per subscription per scan".
+      obs::Span dispatch_span(nullptr, "subs.dispatch");
+      DispatchSubscription(sub, snap);
+      metrics_.subs_dispatch_ms->Record(dispatch_span.wall_seconds() * 1e3);
+    }
     lock.Lock();
   }
 }
@@ -766,10 +834,7 @@ void Engine::DispatchSubscription(
       // search, no scheduler traffic.
       sub->last_epoch = snap->epoch();
       sub->has_epoch = true;
-      {
-        util::MutexLock stats_lock(cache_mu_);
-        ++stats_.revisions_unchanged_skipped;
-      }
+      metrics_.revisions_unchanged_skipped->Add(1);
       if (!sub->emit_unchanged) return;
       unchanged_result = std::make_shared<DccsResult>(*sub->last_result);
       unchanged_result->epoch = snap->epoch();
@@ -794,6 +859,9 @@ void Engine::DispatchSubscription(
   // Re-evaluation through the admission queue at subscription priority.
   task = std::make_shared<QueryTask>();
   task->request = sub->request;
+  if constexpr (obs::kEnabled) {
+    task->trace = std::make_unique<obs::Trace>();
+  }
   task->snapshot = snap;
   task->priority = sub->priority;
   task->token = sub->token;
@@ -802,7 +870,7 @@ void Engine::DispatchSubscription(
     CompleteSubscriptionEval(sub, generation, done);
   };
 
-  sched_submitted_.fetch_add(1, std::memory_order_relaxed);
+  metrics_.sched_submitted->Add(1);
   uint64_t id = 0;
   PriorityTaskQueue::Entry displaced;
   switch (pending_.TryPush(sub->priority, task, &id, &displaced)) {
@@ -815,15 +883,21 @@ void Engine::DispatchSubscription(
       // (not even unchanged-skips), bounded by one evaluation per shed —
       // acceptable because sheds only happen when the engine is already
       // saturated with equal-or-higher-priority work.
-      sched_rejected_.fetch_add(1, std::memory_order_relaxed);
-      sched_executed_.fetch_add(1, std::memory_order_relaxed);
-      FinishTask(*task,
-                 RunValidated(task->request, snap,
-                              util::UniqueLock(pool_mu_, util::kTryToLock),
-                              &task->control));
+      metrics_.sched_rejected->Add(1);
+      metrics_.sched_executed->Add(1);
+      {
+        Expected<DccsResult> shed_outcome =
+            RunValidated(task->request, snap,
+                         util::UniqueLock(pool_mu_, util::kTryToLock),
+                         &task->control, task->trace.get());
+        // Offer before FinishTask delivers the revision, as ExecuteTask
+        // does: the subscriber must see this eval in the slow log.
+        OfferTrace(task->request, snap->epoch(), task->trace.get());
+        FinishTask(*task, std::move(shed_outcome));
+      }
       return;
     case PriorityTaskQueue::PushOutcome::kAcceptedDisplacing: {
-      sched_displaced_.fetch_add(1, std::memory_order_relaxed);
+      metrics_.sched_displaced->Add(1);
       auto victim = std::static_pointer_cast<QueryTask>(displaced.payload);
       FinishTask(*victim,
                  Status::ResourceExhausted(
@@ -834,7 +908,7 @@ void Engine::DispatchSubscription(
     case PriorityTaskQueue::PushOutcome::kAccepted:
       break;
   }
-  sched_admitted_.fetch_add(1, std::memory_order_relaxed);
+  metrics_.sched_admitted->Add(1);
   task->queue_id.store(id, std::memory_order_release);
   if (options_.query_workers == 0) {
     // No dedicated workers: claim the evaluation back and run it here
@@ -861,6 +935,9 @@ void Engine::CompleteSubscriptionEval(
     }
   }
   if (result != nullptr) {
+    // Re-evaluation latency — the "re-eval" stage of the §9 pipeline (the
+    // evaluation's own RunValidated wall time).
+    metrics_.subs_reeval_ms->Record(result->stats.total_seconds * 1e3);
     const uint64_t epoch = result->epoch;
     FinishRevision(sub, epoch, std::move(result), generation,
                    /*unchanged=*/false);
@@ -878,6 +955,10 @@ void Engine::FinishRevision(const std::shared_ptr<SubscriptionState>& sub,
                             std::shared_ptr<const DccsResult> result,
                             uint64_t generation, bool unchanged) {
   static const DccsResult kEmptyResult;
+  // Delivery latency — the final §9 pipeline stage: delta computation plus
+  // buffer push (with coalescing) or callback invocation.
+  obs::Span delivery_span(nullptr, "subs.delivery");
+  const bool produced = result != nullptr;
   std::optional<ResultRevision> deliver;
   {
     util::MutexLock sub_lock(sub->mu);
@@ -902,8 +983,7 @@ void Engine::FinishRevision(const std::shared_ptr<SubscriptionState>& sub,
           // before the folded step, so the chain stays consistent.
           folded = sub->buffer.back().revision.coalesced + 1;
           sub->buffer.pop_back();
-          util::MutexLock stats_lock(cache_mu_);
-          ++stats_.revisions_coalesced;
+          metrics_.revisions_coalesced->Add(1);
         }
         const DccsResult* base = &kEmptyResult;
         if (!sub->buffer.empty()) {
@@ -923,8 +1003,7 @@ void Engine::FinishRevision(const std::shared_ptr<SubscriptionState>& sub,
         sub->last_epoch = epoch;
         sub->has_epoch = true;
       }
-      util::MutexLock stats_lock(cache_mu_);
-      ++stats_.revisions_emitted;
+      metrics_.revisions_emitted->Add(1);
     }
     if (!deliver.has_value()) sub->busy = false;
   }
@@ -937,6 +1016,9 @@ void Engine::FinishRevision(const std::shared_ptr<SubscriptionState>& sub,
     }
     sub->cv.NotifyAll();
   }
+  if (produced) {
+    metrics_.subs_delivery_ms->Record(delivery_span.wall_seconds() * 1e3);
+  }
   // Another epoch may have published while this one was in flight (or a
   // dropped evaluation needs a retry): let the dispatcher re-scan.
   PingDispatcher();
@@ -945,8 +1027,12 @@ void Engine::FinishRevision(const std::shared_ptr<SubscriptionState>& sub,
 Expected<DccsResult> Engine::RunValidated(
     const DccsRequest& request,
     const std::shared_ptr<const GraphSnapshot>& snap,
-    util::UniqueLock pool_lock, const QueryControl* control) {
-  WallTimer total_timer;
+    util::UniqueLock pool_lock, const QueryControl* control,
+    obs::Trace* trace) {
+  // The root span's stopwatch is the query's total timer in every build (a
+  // null-trace or disabled Span still ticks); early returns commit it via
+  // the destructor.
+  obs::Span run_span(trace, "query.run");
   const DccsParams& params = request.params;
   const DccsAlgorithm algorithm = ResolvedAlgorithm(request);
   const MultiLayerGraph& graph = snap->graph();
@@ -957,14 +1043,16 @@ Expected<DccsResult> Engine::RunValidated(
   if (params.s > graph.NumLayers()) {
     // Valid but vacuous (no size-s layer subset exists); keep the cache
     // untouched, matching the algorithms' own early return.
-    result.stats.total_seconds = total_timer.Seconds();
+    result.stats.total_seconds = run_span.wall_seconds();
     return result;
   }
 
   // Acquire (or build) every cacheable stage. The acquisition wall time is
   // reported as this query's preprocess_seconds: on a cold cache it is the
-  // §IV-C (+ index/seed) build time, on a hit it is microseconds.
-  WallTimer acquire_timer;
+  // §IV-C (+ index/seed) build time, on a hit it is microseconds. The
+  // algorithms skip their own "query.preprocess" span when exec.preprocess
+  // is supplied, so this is *the* preprocess span of an engine query.
+  obs::Span acquire_span(trace, "query.preprocess", run_span.id());
   QueryStop stop = QueryStop::kNone;
   std::shared_ptr<QueryEntry> entry = GetQueryEntry(
       snap, params.d, params.s, params.vertex_deletion, pool, control, &stop);
@@ -1000,7 +1088,8 @@ Expected<DccsResult> Engine::RunValidated(
   if (algorithm == DccsAlgorithm::kTopDown) {
     index = GetIndex(graph, *entry, params.d);
   }
-  const double acquire_seconds = acquire_timer.Seconds();
+  const double acquire_seconds = acquire_span.wall_seconds();
+  acquire_span.End();
 
   // Preprocessing is behind us; only GD-DCCS's candidate fan-out still
   // wants workers. Release the pool for everyone else so a long
@@ -1018,6 +1107,8 @@ Expected<DccsResult> Engine::RunValidated(
   exec.solver = solver.has_value() ? solver->get() : nullptr;
   exec.pool = pool;
   exec.control = control;
+  exec.trace = trace;
+  exec.trace_parent = run_span.id();
   std::optional<WorkerSolvers> worker_solvers;
   if (pooled_greedy) {
     worker_solvers.emplace(this, snap->graph_ptr(), pool->num_threads());
@@ -1080,7 +1171,13 @@ Expected<DccsResult> Engine::RunValidated(
   // deadline policy of DESIGN.md §7.
   result.epoch = snap->epoch();  // the dispatch above rebuilt `result`
   result.stats.preprocess_seconds = acquire_seconds;
-  result.stats.total_seconds = total_timer.Seconds();
+  result.stats.total_seconds = run_span.wall_seconds();
+  metrics_.query_preprocess_ms->Record(acquire_seconds * 1e3);
+  metrics_.query_preprocess_ms_global->Record(acquire_seconds * 1e3);
+  metrics_.query_search_ms->Record(result.stats.search_seconds * 1e3);
+  metrics_.query_search_ms_global->Record(result.stats.search_seconds * 1e3);
+  metrics_.query_total_ms->Record(result.stats.total_seconds * 1e3);
+  metrics_.query_total_ms_global->Record(result.stats.total_seconds * 1e3);
   return result;
 }
 
@@ -1103,7 +1200,7 @@ std::shared_ptr<const Engine::BaseCoresEntry> Engine::GetBaseCores(
     auto it = base_cores_.find(key);
     if (it != base_cores_.end()) {
       entry = it->second;
-      ++stats_.base_core_hits;
+      metrics_.base_core_hits->Add(1);
     } else {
       // The map orders by (d, generation): the entry directly below `key`
       // with the same d is the newest older generation — the donor for
@@ -1115,7 +1212,7 @@ std::shared_ptr<const Engine::BaseCoresEntry> Engine::GetBaseCores(
       }
       entry = std::make_shared<BaseCoresEntry>();
       base_cores_[key] = entry;
-      ++stats_.base_core_misses;
+      metrics_.base_core_misses->Add(1);
     }
     base_cores_last_use_[key] = ++use_clock_;
     EvictLru(base_cores_, base_cores_last_use_,
@@ -1137,8 +1234,7 @@ std::shared_ptr<const Engine::BaseCoresEntry> Engine::GetBaseCores(
         entry->cores[static_cast<size_t>(layer)] =
             *tracked->cores[static_cast<size_t>(layer)];
       }
-      util::MutexLock lock(cache_mu_);
-      ++stats_.base_core_store_served;
+      metrics_.base_core_store_served->Add(1);
     } else {
       // Per-layer generational reuse: copy layers whose content is
       // unchanged since the donor entry; recompute the rest. The plan is
@@ -1175,9 +1271,8 @@ std::shared_ptr<const Engine::BaseCoresEntry> Engine::GetBaseCores(
       } else {
         for (int64_t layer = 0; layer < l; ++layer) compute_layer(0, layer);
       }
-      util::MutexLock lock(cache_mu_);
-      stats_.base_core_layers_reused += reused;
-      stats_.base_core_layers_recomputed += recomputed;
+      metrics_.base_core_layers_reused->Add(reused);
+      metrics_.base_core_layers_recomputed->Add(recomputed);
     }
     entry->ready.store(true, std::memory_order_release);
   });
@@ -1217,8 +1312,7 @@ std::shared_ptr<Engine::QueryEntry> Engine::GetQueryEntry(
   util::MutexLock lock(entry->mu);
   while (true) {
     if (entry->ready) {
-      util::MutexLock stats_lock(cache_mu_);
-      ++stats_.preprocess_hits;
+      metrics_.preprocess_hits->Add(1);
       return entry;
     }
     if (!entry->building) break;
@@ -1262,10 +1356,7 @@ std::shared_ptr<Engine::QueryEntry> Engine::GetQueryEntry(
   entry->ready = true;
   lock.Unlock();
   entry->cv.NotifyAll();
-  {
-    util::MutexLock stats_lock(cache_mu_);
-    ++stats_.preprocess_misses;
-  }
+  metrics_.preprocess_misses->Add(1);
   return entry;
 }
 
@@ -1278,8 +1369,7 @@ std::shared_ptr<const InitSeeds> Engine::GetSeeds(
   auto it = entry.seeds.find(key);
   if (it != entry.seeds.end()) {
     *seeded_topk = entry.seeded.at(key);
-    util::MutexLock stats_lock(cache_mu_);
-    ++stats_.seed_hits;
+    metrics_.seed_hits->Add(1);
     return it->second;
   }
   auto seeds = std::make_shared<InitSeeds>(
@@ -1291,8 +1381,7 @@ std::shared_ptr<const InitSeeds> Engine::GetSeeds(
   entry.seeds[key] = seeds;
   entry.seeded[key] = proto;
   *seeded_topk = std::move(proto);
-  util::MutexLock stats_lock(cache_mu_);
-  ++stats_.seed_misses;
+  metrics_.seed_misses->Add(1);
   return seeds;
 }
 
@@ -1304,13 +1393,10 @@ const VertexLevelIndex* Engine::GetIndex(const MultiLayerGraph& graph,
                                                      entry.preprocess.active);
     built = true;
   });
-  {
-    util::MutexLock lock(cache_mu_);
-    if (built) {
-      ++stats_.index_misses;
-    } else {
-      ++stats_.index_hits;
-    }
+  if (built) {
+    metrics_.index_misses->Add(1);
+  } else {
+    metrics_.index_hits->Add(1);
   }
   return entry.index.get();
 }
@@ -1386,36 +1472,117 @@ void Engine::ReleaseSolver(std::shared_ptr<const MultiLayerGraph> graph,
   }
 }
 
-EngineCacheStats Engine::cache_stats() const {
-  util::MutexLock lock(cache_mu_);
-  return stats_;
+void Engine::InitMetrics() {
+  const std::vector<double> ms = obs::Histogram::LatencyBoundsMs();
+  obs::Registry& global = obs::Registry::Global();
+  Metrics& m = metrics_;
+  m.preprocess_hits = registry_.GetCounter("engine.cache.preprocess_hits");
+  m.preprocess_misses = registry_.GetCounter("engine.cache.preprocess_misses");
+  m.seed_hits = registry_.GetCounter("engine.cache.seed_hits");
+  m.seed_misses = registry_.GetCounter("engine.cache.seed_misses");
+  m.index_hits = registry_.GetCounter("engine.cache.index_hits");
+  m.index_misses = registry_.GetCounter("engine.cache.index_misses");
+  m.base_core_hits = registry_.GetCounter("engine.cache.base_core_hits");
+  m.base_core_misses = registry_.GetCounter("engine.cache.base_core_misses");
+  m.base_core_layers_reused =
+      registry_.GetCounter("engine.cache.base_core_layers_reused");
+  m.base_core_layers_recomputed =
+      registry_.GetCounter("engine.cache.base_core_layers_recomputed");
+  m.base_core_store_served =
+      registry_.GetCounter("engine.cache.base_core_store_served");
+  m.revisions_emitted = registry_.GetCounter("engine.subs.revisions_emitted");
+  m.revisions_unchanged_skipped =
+      registry_.GetCounter("engine.subs.revisions_unchanged_skipped");
+  m.revisions_coalesced =
+      registry_.GetCounter("engine.subs.revisions_coalesced");
+  m.subs_dispatch_ms = registry_.GetHistogram("engine.subs.dispatch_ms", ms);
+  m.subs_reeval_ms = registry_.GetHistogram("engine.subs.reeval_ms", ms);
+  m.subs_delivery_ms = registry_.GetHistogram("engine.subs.delivery_ms", ms);
+  m.sched_submitted = registry_.GetCounter("engine.sched.submitted");
+  m.sched_admitted = registry_.GetCounter("engine.sched.admitted");
+  m.sched_rejected = registry_.GetCounter("engine.sched.rejected");
+  m.sched_displaced = registry_.GetCounter("engine.sched.displaced");
+  m.sched_cancelled_queued =
+      registry_.GetCounter("engine.sched.cancelled_queued");
+  m.sched_expired_queued = registry_.GetCounter("engine.sched.expired_queued");
+  m.sched_executed = registry_.GetCounter("engine.sched.executed");
+  m.query_admission_wait_ms =
+      registry_.GetHistogram("engine.query.admission_wait_ms", ms);
+  m.query_preprocess_ms =
+      registry_.GetHistogram("engine.query.preprocess_ms", ms);
+  m.query_search_ms = registry_.GetHistogram("engine.query.search_ms", ms);
+  m.query_total_ms = registry_.GetHistogram("engine.query.total_ms", ms);
+  m.query_preprocess_ms_global =
+      global.GetHistogram("engine.query.preprocess_ms", ms);
+  m.query_search_ms_global =
+      global.GetHistogram("engine.query.search_ms", ms);
+  m.query_total_ms_global = global.GetHistogram("engine.query.total_ms", ms);
 }
 
-SchedulerStats Engine::scheduler_stats() const {
-  SchedulerStats stats;
-  stats.submitted = sched_submitted_.load(std::memory_order_relaxed);
-  stats.admitted = sched_admitted_.load(std::memory_order_relaxed);
-  stats.rejected = sched_rejected_.load(std::memory_order_relaxed);
-  stats.displaced = sched_displaced_.load(std::memory_order_relaxed);
-  stats.cancelled_queued =
-      sched_cancelled_queued_.load(std::memory_order_relaxed);
-  stats.expired_queued = sched_expired_queued_.load(std::memory_order_relaxed);
-  stats.executed = sched_executed_.load(std::memory_order_relaxed);
+void Engine::OfferTrace(const DccsRequest& request, uint64_t epoch,
+                        obs::Trace* trace) {
+  if (trace == nullptr) return;
+  obs::TraceSummary summary;
+  summary.label = DescribeRequest(request, ResolvedAlgorithm(request));
+  summary.epoch = epoch;
+  summary.total_ms = trace->AgeMs();
+  summary.spans = trace->records();
+  summary.dropped_spans = trace->dropped();
+  slow_log_.Offer(std::move(summary));
+}
+
+EngineCacheStats Engine::cache_stats() const {
+  const Metrics& m = metrics_;
+  EngineCacheStats stats;
+  stats.preprocess_hits = m.preprocess_hits->value();
+  stats.preprocess_misses = m.preprocess_misses->value();
+  stats.seed_hits = m.seed_hits->value();
+  stats.seed_misses = m.seed_misses->value();
+  stats.index_hits = m.index_hits->value();
+  stats.index_misses = m.index_misses->value();
+  stats.base_core_hits = m.base_core_hits->value();
+  stats.base_core_misses = m.base_core_misses->value();
+  stats.base_core_layers_reused = m.base_core_layers_reused->value();
+  stats.base_core_layers_recomputed = m.base_core_layers_recomputed->value();
+  stats.base_core_store_served = m.base_core_store_served->value();
+  stats.revisions_emitted = m.revisions_emitted->value();
+  stats.revisions_unchanged_skipped = m.revisions_unchanged_skipped->value();
+  stats.revisions_coalesced = m.revisions_coalesced->value();
   return stats;
 }
 
+SchedulerStats Engine::scheduler_stats() const {
+  const Metrics& m = metrics_;
+  SchedulerStats stats;
+  stats.submitted = m.sched_submitted->value();
+  stats.admitted = m.sched_admitted->value();
+  stats.rejected = m.sched_rejected->value();
+  stats.displaced = m.sched_displaced->value();
+  stats.cancelled_queued = m.sched_cancelled_queued->value();
+  stats.expired_queued = m.sched_expired_queued->value();
+  stats.executed = m.sched_executed->value();
+  return stats;
+}
+
+EngineStatsReport Engine::stats_report() const {
+  EngineStatsReport report;
+  report.metrics = registry_.Snapshot();
+  std::vector<obs::MetricSnapshot> store_metrics =
+      store_->registry().Snapshot();
+  report.metrics.insert(report.metrics.end(),
+                        std::make_move_iterator(store_metrics.begin()),
+                        std::make_move_iterator(store_metrics.end()));
+  std::sort(report.metrics.begin(), report.metrics.end(),
+            [](const obs::MetricSnapshot& a, const obs::MetricSnapshot& b) {
+              return a.name < b.name;
+            });
+  report.slow_queries = slow_log_.Snapshot();
+  return report;
+}
+
 void Engine::ResetStats() {
-  {
-    util::MutexLock lock(cache_mu_);
-    stats_ = EngineCacheStats{};
-  }
-  sched_submitted_.store(0, std::memory_order_relaxed);
-  sched_admitted_.store(0, std::memory_order_relaxed);
-  sched_rejected_.store(0, std::memory_order_relaxed);
-  sched_displaced_.store(0, std::memory_order_relaxed);
-  sched_cancelled_queued_.store(0, std::memory_order_relaxed);
-  sched_expired_queued_.store(0, std::memory_order_relaxed);
-  sched_executed_.store(0, std::memory_order_relaxed);
+  registry_.Reset("engine.");
+  slow_log_.Clear();
 }
 
 void Engine::ClearCache() {

@@ -19,6 +19,8 @@
 #include "dccs/preprocess.h"
 #include "dccs/vertex_index.h"
 #include "graph/multilayer_graph.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "service/delta.h"
 #include "service/status.h"
 #include "store/graph_store.h"
@@ -110,6 +112,16 @@ struct SchedulerStats {
   int64_t expired_queued = 0;
   /// Requests that actually entered execution.
   int64_t executed = 0;
+};
+
+/// The machine-readable stats surface (Engine::stats_report): every metric
+/// registered by this engine *and* its graph store, plus the slow-query
+/// log. Serialise with obs::ToJson / obs::ToPrometheusText (obs/export.h).
+struct EngineStatsReport {
+  /// Sorted by name; engine.* and store.* metrics interleaved.
+  std::vector<obs::MetricSnapshot> metrics;
+  /// Slowest-first completed query traces (DESIGN.md §12).
+  std::vector<obs::TraceSummary> slow_queries;
 };
 
 /// Per-submission scheduling knobs for Engine::Submit.
@@ -413,11 +425,24 @@ class Engine {
   Expected<Subscription> Subscribe(const DccsRequest& request,
                                    const SubscriptionOptions& options = {});
 
+  /// Views over the engine's metric registry (DESIGN.md §12): the legacy
+  /// stats structs are assembled from registry counters on every call.
+  /// Exact once writers quiesce; mid-flight reads may trail by a few
+  /// relaxed increments.
   EngineCacheStats cache_stats() const;
   SchedulerStats scheduler_stats() const;
-  /// Zeroes every cache and scheduler counter (cache/scheduler *contents*
-  /// are untouched), so benches and tests can assert deltas instead of
-  /// cumulative totals.
+  /// Everything this engine knows about itself, machine-readable: the
+  /// engine and store metric snapshots merged (sorted by name) plus the
+  /// slow-query log's span trees.
+  EngineStatsReport stats_report() const;
+  /// This engine's metric registry; per-engine exact (the process-wide
+  /// aggregate latency mirror lives in obs::Registry::Global()).
+  const obs::Registry& registry() const { return registry_; }
+  /// Zeroes every engine-scoped metric — cache and scheduler counters,
+  /// latency histograms — and clears the slow-query log. Cache/scheduler
+  /// *contents* are untouched, so benches and tests can assert deltas
+  /// instead of cumulative totals. Store metrics and the global latency
+  /// mirrors are not reset.
   void ResetStats();
   /// Drops every cached entry (in-flight queries keep theirs alive) and the
   /// solver free-list. Counters are not reset — see ResetStats.
@@ -444,11 +469,15 @@ class Engine {
   /// cancellation mid-search returns kCancelled (partial result
   /// discarded), and a deadline mid-search returns the anytime prefix.
   /// `snap` is the snapshot the query was pinned to at submission; every
-  /// graph read and cache key goes through it.
+  /// graph read and cache key goes through it. `trace` (nullable) receives
+  /// this execution's span tree — a "query.run" root with preprocess /
+  /// search / cover children (DESIGN.md §12) — and must stay alive until
+  /// the call returns, by which point every recording thread has joined.
   Expected<DccsResult> RunValidated(
       const DccsRequest& request,
       const std::shared_ptr<const GraphSnapshot>& snap,
-      util::UniqueLock pool_lock, const QueryControl* control);
+      util::UniqueLock pool_lock, const QueryControl* control,
+      obs::Trace* trace);
 
   /// Submit with an explicit choice of arming the cancellation control.
   /// `controllable = false` (Run's private path) leaves the task's control
@@ -549,6 +578,14 @@ class Engine {
   void ReleaseSolver(std::shared_ptr<const MultiLayerGraph> graph,
                      std::unique_ptr<DccSolver> solver);
 
+  /// Resolves every cached metric pointer from registry_ (constructor
+  /// setup; pointers stay valid for the engine's lifetime).
+  void InitMetrics();
+  /// Summarises a completed query's trace into the slow-query log
+  /// (no-op for null traces). Only call after the trace quiesced.
+  void OfferTrace(const DccsRequest& request, uint64_t epoch,
+                  obs::Trace* trace);
+
   std::shared_ptr<GraphStore> store_;
   const Options options_;
 
@@ -577,7 +614,6 @@ class Engine {
       queries_ MLCORE_GUARDED_BY(cache_mu_);
   std::map<std::tuple<uint64_t, int, int, bool>, uint64_t> queries_last_use_
       MLCORE_GUARDED_BY(cache_mu_);
-  mutable EngineCacheStats stats_ MLCORE_GUARDED_BY(cache_mu_);
 
   // Extra worker lanes still free for parallel searches (DESIGN.md §10):
   // initialised to options_.search_threads - 1, debited/credited around
@@ -595,17 +631,11 @@ class Engine {
 
   // Async scheduler (DESIGN.md §7): bounded priority queue of pending
   // QueryTasks drained by the dedicated query workers and by waiters
-  // claiming their own tasks. Counters are atomics so Submit/Cancel/worker
-  // paths never contend on a stats lock.
+  // claiming their own tasks. Scheduler counters live in the metric
+  // registry (relaxed atomics), so Submit/Cancel/worker paths never
+  // contend on a stats lock.
   PriorityTaskQueue pending_;
   std::vector<std::thread> query_workers_;
-  std::atomic<int64_t> sched_submitted_{0};
-  std::atomic<int64_t> sched_admitted_{0};
-  std::atomic<int64_t> sched_rejected_{0};
-  std::atomic<int64_t> sched_displaced_{0};
-  std::atomic<int64_t> sched_cancelled_queued_{0};
-  std::atomic<int64_t> sched_expired_queued_{0};
-  std::atomic<int64_t> sched_executed_{0};
 
   // Continuous queries (DESIGN.md §9): the dispatcher thread and store
   // listener start on the first Subscribe; subs_mu_ guards the
@@ -622,6 +652,52 @@ class Engine {
   bool subs_shutdown_ MLCORE_GUARDED_BY(subs_mu_) = false;
   std::vector<std::shared_ptr<SubscriptionState>> subscriptions_
       MLCORE_GUARDED_BY(subs_mu_);
+
+  // Observability (DESIGN.md §12). All engine.* metrics live in registry_;
+  // metrics_ caches the pointers (resolved once by InitMetrics, before any
+  // worker starts) so recording never touches the registry mutex. The
+  // *_global histograms are the same measurements mirrored into
+  // obs::Registry::Global() for process-wide export.
+  struct Metrics {
+    // engine.cache.* — views behind cache_stats().
+    obs::Counter* preprocess_hits = nullptr;
+    obs::Counter* preprocess_misses = nullptr;
+    obs::Counter* seed_hits = nullptr;
+    obs::Counter* seed_misses = nullptr;
+    obs::Counter* index_hits = nullptr;
+    obs::Counter* index_misses = nullptr;
+    obs::Counter* base_core_hits = nullptr;
+    obs::Counter* base_core_misses = nullptr;
+    obs::Counter* base_core_layers_reused = nullptr;
+    obs::Counter* base_core_layers_recomputed = nullptr;
+    obs::Counter* base_core_store_served = nullptr;
+    // engine.subs.* — revision counters plus pipeline-stage latencies.
+    obs::Counter* revisions_emitted = nullptr;
+    obs::Counter* revisions_unchanged_skipped = nullptr;
+    obs::Counter* revisions_coalesced = nullptr;
+    obs::Histogram* subs_dispatch_ms = nullptr;
+    obs::Histogram* subs_reeval_ms = nullptr;
+    obs::Histogram* subs_delivery_ms = nullptr;
+    // engine.sched.* — views behind scheduler_stats().
+    obs::Counter* sched_submitted = nullptr;
+    obs::Counter* sched_admitted = nullptr;
+    obs::Counter* sched_rejected = nullptr;
+    obs::Counter* sched_displaced = nullptr;
+    obs::Counter* sched_cancelled_queued = nullptr;
+    obs::Counter* sched_expired_queued = nullptr;
+    obs::Counter* sched_executed = nullptr;
+    // engine.query.* — per-query phase latencies.
+    obs::Histogram* query_admission_wait_ms = nullptr;
+    obs::Histogram* query_preprocess_ms = nullptr;
+    obs::Histogram* query_search_ms = nullptr;
+    obs::Histogram* query_total_ms = nullptr;
+    obs::Histogram* query_preprocess_ms_global = nullptr;
+    obs::Histogram* query_search_ms_global = nullptr;
+    obs::Histogram* query_total_ms_global = nullptr;
+  };
+  obs::Registry registry_;
+  Metrics metrics_;
+  obs::SlowQueryLog slow_log_;
 };
 
 /// Handle to one submitted query (Engine::Submit). Copyable — copies share

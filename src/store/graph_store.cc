@@ -82,6 +82,16 @@ GraphStore::GraphStore(std::shared_ptr<const MultiLayerGraph> initial,
     snap->tracked_.push_back(std::move(tc));
   }
   current_ = std::move(snap);
+
+  metrics_.epoch = registry_.GetGauge("store.epoch");
+  metrics_.apply_update_ms = registry_.GetHistogram(
+      "store.apply_update_ms", obs::Histogram::LatencyBoundsMs());
+  metrics_.apply_update_ms_global = obs::Registry::Global().GetHistogram(
+      "store.apply_update_ms", obs::Histogram::LatencyBoundsMs());
+  metrics_.listener_notify_ms = registry_.GetHistogram(
+      "store.listener_notify_ms", obs::Histogram::LatencyBoundsMs());
+  metrics_.listener_notify_ms_global = obs::Registry::Global().GetHistogram(
+      "store.listener_notify_ms", obs::Histogram::LatencyBoundsMs());
 }
 
 std::shared_ptr<const GraphSnapshot> GraphStore::snapshot() const {
@@ -393,6 +403,9 @@ Expected<UpdateOutcome> GraphStore::ApplyUpdate(const UpdateBatch& batch) {
 
   outcome.epoch = new_epoch;
   outcome.seconds = timer.Seconds();
+  metrics_.epoch->Set(static_cast<int64_t>(new_epoch));
+  metrics_.apply_update_ms->Record(outcome.seconds * 1e3);
+  metrics_.apply_update_ms_global->Record(outcome.seconds * 1e3);
   {
     util::MutexLock stats_lock(stats_mu_);
     ++stats_.batches_applied;
@@ -408,9 +421,17 @@ Expected<UpdateOutcome> GraphStore::ApplyUpdate(const UpdateBatch& batch) {
 
   // Notify epoch listeners (still under update_mu_, so they observe
   // epochs in publication order; see EpochListener for the contract).
+  // Sweep latency is the "epoch publish" stage of the subscription
+  // pipeline: the listeners only flag engines, so a slow sweep means a
+  // listener is violating its cheapness contract.
   {
-    util::MutexLock listeners_lock(listeners_mu_);
-    for (const auto& [id, listener] : listeners_) listener(next);
+    WallTimer notify_timer;
+    {
+      util::MutexLock listeners_lock(listeners_mu_);
+      for (const auto& [id, listener] : listeners_) listener(next);
+    }
+    metrics_.listener_notify_ms->Record(notify_timer.Millis());
+    metrics_.listener_notify_ms_global->Record(notify_timer.Millis());
   }
   return outcome;
 }

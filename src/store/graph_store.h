@@ -9,6 +9,7 @@
 
 #include "dynamic/decremental_core.h"
 #include "graph/multilayer_graph.h"
+#include "obs/metrics.h"
 #include "service/status.h"
 #include "store/update.h"
 #include "util/mutex.h"
@@ -179,8 +180,23 @@ class GraphStore {
 
   StoreStats stats() const;
 
+  /// This store's metric registry (DESIGN.md §12): `store.epoch` gauge plus
+  /// `store.apply_update_ms` / `store.listener_notify_ms` latency
+  /// histograms. Latency histograms are mirrored into
+  /// `obs::Registry::Global()` so process-wide exports see store latency
+  /// without enumerating stores.
+  const obs::Registry& registry() const { return registry_; }
+
  private:
   struct NormalizedBatch;
+
+  struct Metrics {
+    obs::Gauge* epoch = nullptr;
+    obs::Histogram* apply_update_ms = nullptr;
+    obs::Histogram* apply_update_ms_global = nullptr;
+    obs::Histogram* listener_notify_ms = nullptr;
+    obs::Histogram* listener_notify_ms_global = nullptr;
+  };
 
   Status Normalize(const GraphSnapshot& base, const UpdateBatch& batch,
                    NormalizedBatch* out) const;
@@ -216,6 +232,11 @@ class GraphStore {
   mutable util::Mutex stats_mu_{util::lock_rank::kStoreStats,
                                 "GraphStore::stats_mu_"};
   StoreStats stats_ MLCORE_GUARDED_BY(stats_mu_);
+
+  // Declared after everything the constructor reads; metric pointers are
+  // resolved once at construction and recorded through lock-free.
+  obs::Registry registry_;
+  Metrics metrics_;
 };
 
 }  // namespace mlcore

@@ -58,6 +58,8 @@ inline constexpr int kTaskPark = 530;        // TaskGroup::park_mu_
 inline constexpr int kTaskQueue = 540;       // PriorityTaskQueue::mu_
 inline constexpr int kQueryTask = 550;       // QueryTask::mu
 inline constexpr int kTopK = 560;            // ConcurrentTopK::mu_
+inline constexpr int kObsSlowLog = 570;      // obs::SlowQueryLog::mu_
+inline constexpr int kObsRegistry = 580;     // obs::Registry::mu_
 }  // namespace lock_rank
 
 class CondVar;

@@ -1,12 +1,17 @@
 #include "util/timing.h"
 
 #include <cstdio>
+#include <ctime>
 
 namespace mlcore {
 
 std::string FormatSeconds(double seconds) {
   char buf[64];
-  if (seconds < 1.0) {
+  if (seconds < 1e-3) {
+    // Sub-millisecond tier: preprocess-cache hits land here (~0.03ms) and
+    // used to round to "0ms".
+    std::snprintf(buf, sizeof(buf), "%.0fus", seconds * 1e6);
+  } else if (seconds < 1.0) {
     std::snprintf(buf, sizeof(buf), "%.0fms", seconds * 1e3);
   } else if (seconds < 120.0) {
     std::snprintf(buf, sizeof(buf), "%.2fs", seconds);
@@ -17,5 +22,23 @@ std::string FormatSeconds(double seconds) {
   }
   return buf;
 }
+
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+
+bool ThreadCpuTimer::Supported() { return true; }
+
+double ThreadCpuTimer::Now() {
+  timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return -1.0;
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+#else
+
+bool ThreadCpuTimer::Supported() { return false; }
+double ThreadCpuTimer::Now() { return -1.0; }
+
+#endif
 
 }  // namespace mlcore

@@ -27,8 +27,39 @@ class WallTimer {
   Clock::time_point start_;
 };
 
+/// Per-thread CPU-time stopwatch (CLOCK_THREAD_CPUTIME_ID). Measures the
+/// CPU seconds consumed by the *calling* thread only, so Restart() and
+/// Seconds() must run on the same thread — obs::Span keeps that invariant
+/// by being strictly scope-local. On platforms without a thread CPU clock
+/// Supported() is false and Seconds() returns -1 (callers render it as
+/// "unavailable" rather than 0, which would read as free).
+class ThreadCpuTimer {
+ public:
+  ThreadCpuTimer() { Restart(); }
+
+  void Restart() { start_ = Now(); }
+
+  /// CPU seconds this thread consumed since construction / the last
+  /// Restart, or -1 when unsupported.
+  double Seconds() const {
+    const double now = Now();
+    return (now < 0 || start_ < 0) ? -1.0 : now - start_;
+  }
+
+  double Millis() const {
+    const double s = Seconds();
+    return s < 0 ? -1.0 : s * 1e3;
+  }
+
+  static bool Supported();
+
+ private:
+  static double Now();  // -1 when unsupported
+  double start_ = -1.0;
+};
+
 /// Formats a duration in seconds as a short human-readable string
-/// ("312ms", "4.21s", "2m31s").
+/// ("31us", "312ms", "4.21s", "2m31s").
 std::string FormatSeconds(double seconds);
 
 }  // namespace mlcore

@@ -443,6 +443,108 @@ TEST(EngineTest, SubscriptionCountersTrackRevisions) {
   sub.Cancel();
 }
 
+// One warm Engine::Run must produce a complete span tree in the slow-query
+// log: submission-phase spans (snapshot pin, admission wait), the
+// "query.run" root, and the preprocess/search/cover phases parented under
+// it, all with committed timings. This is the acceptance check for the
+// per-query tracing pipeline end to end (DESIGN.md §12).
+TEST(ObsEngineTest, RunProducesSpanTree) {
+  if constexpr (!obs::kEnabled) GTEST_SKIP() << "MLCORE_OBS_DISABLED";
+  MultiLayerGraph graph = EngineGraph(23);
+  Engine engine(&graph);
+  DccsRequest request;
+  request.params.d = 3;
+  request.params.s = 2;
+  request.params.k = 4;
+  request.algorithm = DccsAlgorithm::kBottomUp;
+  ASSERT_TRUE(engine.Run(request).ok());  // cold: fill caches
+  engine.ResetStats();
+  ASSERT_TRUE(engine.Run(request).ok());  // warm: the traced run
+
+  const EngineStatsReport report = engine.stats_report();
+  ASSERT_EQ(report.slow_queries.size(), 1u);
+  const obs::TraceSummary& trace = report.slow_queries[0];
+  EXPECT_NE(trace.label.find("bu"), std::string::npos);
+  EXPECT_NE(trace.label.find("d=3"), std::string::npos);
+  EXPECT_EQ(trace.dropped_spans, 0);
+  EXPECT_GT(trace.total_ms, 0.0);
+
+  auto find = [&trace](const char* name) -> const obs::SpanRecord* {
+    for (const obs::SpanRecord& span : trace.spans) {
+      if (std::string(span.name) == name) return &span;
+    }
+    return nullptr;
+  };
+  const obs::SpanRecord* pin = find("query.snapshot_pin");
+  const obs::SpanRecord* wait = find("query.admission_wait");
+  const obs::SpanRecord* run = find("query.run");
+  const obs::SpanRecord* preprocess = find("query.preprocess");
+  const obs::SpanRecord* search = find("query.search");
+  const obs::SpanRecord* cover = find("query.cover");
+  ASSERT_NE(pin, nullptr);
+  ASSERT_NE(wait, nullptr);
+  ASSERT_NE(run, nullptr);
+  ASSERT_NE(preprocess, nullptr);
+  ASSERT_NE(search, nullptr);
+  ASSERT_NE(cover, nullptr);
+  // Submission-phase spans predate the run root, so they are top-level.
+  EXPECT_EQ(pin->parent, 0u);
+  EXPECT_EQ(wait->parent, 0u);
+  EXPECT_EQ(run->parent, 0u);
+  EXPECT_EQ(preprocess->parent, run->id);
+  EXPECT_EQ(search->parent, run->id);
+  EXPECT_EQ(cover->parent, run->id);
+  EXPECT_GT(run->wall_ms, 0.0);
+  EXPECT_GE(run->wall_ms, search->wall_ms);
+
+  // The same run also fed the query latency histograms.
+  bool saw_total_hist = false;
+  for (const obs::MetricSnapshot& m : report.metrics) {
+    if (m.name == "engine.query.total_ms") {
+      saw_total_hist = true;
+      EXPECT_EQ(m.kind, obs::MetricKind::kHistogram);
+      EXPECT_EQ(m.hist.count, 1);
+      EXPECT_GT(m.hist.sum, 0.0);
+    }
+  }
+  EXPECT_TRUE(saw_total_hist);
+}
+
+// stats_report() merges engine- and store-scoped metrics into one sorted
+// view, and ResetStats clears only the engine prefix plus the slow log.
+TEST(ObsEngineTest, StatsReportMergesAndResets) {
+  MultiLayerGraph graph = EngineGraph(24);
+  Engine engine(&graph);
+  DccsRequest request;
+  request.params.d = 3;
+  request.params.s = 2;
+  ASSERT_TRUE(engine.Run(request).ok());
+
+  EngineStatsReport report = engine.stats_report();
+  ASSERT_FALSE(report.metrics.empty());
+  for (size_t i = 1; i < report.metrics.size(); ++i) {
+    EXPECT_LE(report.metrics[i - 1].name, report.metrics[i].name);
+  }
+  bool saw_engine = false;
+  bool saw_store = false;
+  for (const obs::MetricSnapshot& m : report.metrics) {
+    if (m.name.rfind("engine.", 0) == 0) saw_engine = true;
+    if (m.name.rfind("store.", 0) == 0) saw_store = true;
+  }
+  EXPECT_TRUE(saw_engine);
+  EXPECT_TRUE(saw_store);
+
+  engine.ResetStats();
+  report = engine.stats_report();
+  EXPECT_TRUE(report.slow_queries.empty());
+  for (const obs::MetricSnapshot& m : report.metrics) {
+    if (m.kind == obs::MetricKind::kCounter &&
+        m.name.rfind("engine.", 0) == 0) {
+      EXPECT_EQ(m.value, 0) << m.name;
+    }
+  }
+}
+
 // Satellite regression: an out-of-enum algorithm used to fall through
 // SolveDccs's switch and silently return an empty result; it now dies with
 // the engine's validation message.

@@ -138,6 +138,30 @@ TEST(TimingTest, FormatSeconds) {
   EXPECT_EQ(FormatSeconds(151.0), "2m31s");
 }
 
+TEST(TimingTest, FormatSecondsSubMillisecondTier) {
+  // Sub-ms durations (preprocess-cache hits) used to round to "0ms".
+  EXPECT_EQ(FormatSeconds(0.000031), "31us");
+  EXPECT_EQ(FormatSeconds(0.00099), "990us");
+  EXPECT_EQ(FormatSeconds(0.0), "0us");
+  EXPECT_EQ(FormatSeconds(0.001), "1ms");
+}
+
+TEST(TimingTest, ThreadCpuTimerMeasuresWork) {
+  if (!ThreadCpuTimer::Supported()) {
+    GTEST_SKIP() << "no CLOCK_THREAD_CPUTIME_ID on this platform";
+  }
+  ThreadCpuTimer timer;
+  volatile double sink = 0;
+  for (int i = 0; i < 2000000; ++i) sink = sink + i;
+  const double cpu = timer.Seconds();
+  EXPECT_GE(cpu, 0.0);
+  EXPECT_GE(timer.Millis(), 0.0);
+  // A sleeping thread accrues (almost) no CPU time; just confirm Restart
+  // rebases the clock instead of asserting on scheduler behaviour.
+  timer.Restart();
+  EXPECT_LT(timer.Seconds(), cpu + 1.0);
+}
+
 TEST(TimingTest, TimerAdvances) {
   WallTimer timer;
   volatile double sink = 0;
