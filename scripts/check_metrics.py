@@ -9,7 +9,11 @@ Two modes, both stdlib-only so CI needs no extra packages:
       version == 1, every metric has a stable dotted name and a known
       kind, histograms carry count/sum/p50/p90/p99 and a bucket list whose
       final edge is "+Inf", and slow-query entries carry complete span
-      records. Exit 0 = schema holds.
+      records. Metrics with a pinned kind in EXPECTED_KINDS (the graph
+      ingest names of DESIGN.md §13, for now) must carry exactly that
+      kind. Repeatable `--require NAME` flags additionally fail the check
+      when a metric is absent — the CI format job requires the ingest
+      metrics after a `dccs_cli --graph_bin` run. Exit 0 = schema holds.
 
   --overhead ENABLED.json DISABLED.json [--tolerance 0.02]
       Instrumentation-overhead guard: both files are google-benchmark JSON
@@ -30,6 +34,14 @@ import sys
 
 VALID_KINDS = {"counter", "gauge", "histogram"}
 SPAN_FIELDS = {"name", "id", "parent", "start_ms", "wall_ms", "cpu_ms"}
+
+# Registered names whose kind is part of the stable surface: a document
+# exporting one of these under a different kind is a naming-scheme bug,
+# not a schema variation.
+EXPECTED_KINDS = {
+    "format.load_ms": "histogram",
+    "format.mmap_bytes": "gauge",
+}
 
 
 def fail(msg: str) -> None:
@@ -73,7 +85,7 @@ def validate_histogram(m: dict, name: str) -> None:
         )
 
 
-def validate(path: str) -> None:
+def validate(path: str, required: list[str]) -> None:
     try:
         with open(path) as f:
             doc = json.load(f)
@@ -97,10 +109,16 @@ def validate(path: str) -> None:
         kind = m.get("kind")
         if kind not in VALID_KINDS:
             fail(f"metric '{name}': unknown kind {kind!r}")
+        expected = EXPECTED_KINDS.get(name)
+        if expected is not None and kind != expected:
+            fail(f"metric '{name}': kind {kind!r}, expected {expected!r}")
         if kind == "histogram":
             validate_histogram(m, name)
         else:
             check_number(m.get("value"), f"metric '{name}'.value")
+    for name in required:
+        if name not in seen:
+            fail(f"required metric '{name}' is absent")
     slow = doc.get("slow_queries")
     if not isinstance(slow, list):
         fail("'slow_queries' must be a list")
@@ -192,9 +210,16 @@ def main() -> int:
         "--overhead", nargs=2, metavar=("ENABLED", "DISABLED")
     )
     parser.add_argument("--tolerance", type=float, default=0.02)
+    parser.add_argument(
+        "--require",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="with --validate: fail unless this metric is present",
+    )
     args = parser.parse_args()
     if args.validate:
-        validate(args.validate)
+        validate(args.validate, args.require)
     else:
         overhead(args.overhead[0], args.overhead[1], args.tolerance)
     return 0

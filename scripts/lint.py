@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
-"""Repo-specific concurrency/robustness lint (DESIGN.md §11, §12).
+"""Repo-specific concurrency/robustness lint (DESIGN.md §11, §12, §13).
 
-Four rules over src/:
+Five rules over src/:
 
   naked-mutex      std::mutex / std::condition_variable / std::lock_guard /
                    std::unique_lock / std::scoped_lock / std::shared_mutex /
@@ -36,6 +36,13 @@ Four rules over src/:
                    (`const WallTimer&`) are fine. Deliberate uses carry
                    `NOLINT(mlcore-raw-walltimer): <reason>`.
 
+  raw-mmap         calling mmap( / munmap( is banned outside
+                   util/mmap_file.{h,cc}: mapping lifetime must be owned by
+                   util::MmapFile (RAII, shared via MultiLayerGraph's
+                   backing handle) so no view can outlive its mapping
+                   (DESIGN.md §13). Deliberate uses carry
+                   `NOLINT(mlcore-raw-mmap): <reason>`.
+
 Exit status 0 = clean, 1 = findings (printed one per line as
 path:line: [rule] message).
 """
@@ -66,8 +73,14 @@ SNAPSHOT_BYPASS = re.compile(r"\bcurrent_graph\s*\(")
 # `const WallTimer& t = span.timer()` has '&' before the identifier and
 # does not match (no new clock is created).
 RAW_WALLTIMER = re.compile(r"\bWallTimer\s+[A-Za-z_]")
+RAW_MMAP = re.compile(r"\b(?:mmap|munmap)\s*\(")
 
-CHECK_SCOPE_DIRS = ("service", "dccs", "core", "dynamic", "store")
+MMAP_WRAPPER_FILES = {
+    SRC / "util" / "mmap_file.h",
+    SRC / "util" / "mmap_file.cc",
+}
+
+CHECK_SCOPE_DIRS = ("service", "dccs", "core", "dynamic", "store", "format")
 CHECK_SCOPE_FILES = {SRC / "graph" / "multilayer_graph.cc"}
 
 MARKER_WINDOW = 3  # a NOLINT marker covers its own line and the next three
@@ -179,6 +192,19 @@ def lint_file(path: Path) -> list[str]:
                     "flow through obs::Span (use a null-trace Span as a "
                     "stopwatch) so durations stay observable, or justify "
                     "with NOLINT(mlcore-raw-walltimer): <reason>"
+                )
+
+    if path not in MMAP_WRAPPER_FILES:
+        for i, line in enumerate(code):
+            if RAW_MMAP.search(line) and not has_marker(
+                raw, i, "NOLINT(mlcore-raw-mmap)"
+            ):
+                findings.append(
+                    f"{rel}:{i + 1}: [raw-mmap] raw mmap/munmap outside "
+                    "util/mmap_file.*: mapping lifetime must be owned by "
+                    "util::MmapFile so adjacency views cannot outlive their "
+                    "mapping, or justify with NOLINT(mlcore-raw-mmap): "
+                    "<reason>"
                 )
 
     return findings

@@ -1,0 +1,156 @@
+#include "format/generator.h"
+
+#include <algorithm>
+#include <random>
+#include <utility>
+#include <vector>
+
+#include "format/mlg.h"
+#include "graph/multilayer_graph.h"
+#include "util/timing.h"
+
+namespace mlcore::format {
+
+namespace {
+
+/// splitmix64 — decorrelates the per-layer seeds derived from one user
+/// seed, so `seed` and `seed + 1` do not share layer streams.
+uint64_t MixSeed(uint64_t seed, uint64_t stream) {
+  uint64_t z = seed + stream * 0x9E3779B97F4A7C15ULL + 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Uniform double in [0, 1) drawn directly from the engine's 64-bit
+/// output. std::uniform_real_distribution is implementation-defined; this
+/// keeps "same seed → byte-identical file" true across standard libraries.
+double NextReal(std::mt19937_64& engine) {
+  return static_cast<double>(engine() >> 11) * 0x1.0p-53;
+}
+
+/// One R-MAT edge draw: descend `bits` quadrant levels, reject self-loops
+/// and out-of-range endpoints (vertex counts need not be powers of two).
+/// Returns false when the bounded redraw budget is exhausted — only
+/// plausible for degenerate configs (e.g. num_vertices == 1).
+bool DrawRmatEdge(std::mt19937_64& engine, int32_t n, int bits, double a,
+                  double ab, double abc,
+                  std::pair<VertexId, VertexId>* edge) {
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    int64_t u = 0;
+    int64_t v = 0;
+    for (int level = 0; level < bits; ++level) {
+      const double r = NextReal(engine);
+      u <<= 1;
+      v <<= 1;
+      if (r >= ab) {
+        if (r < abc) {
+          u |= 1;  // quadrant c: lower-left
+        } else {
+          u |= 1;  // quadrant d: lower-right
+          v |= 1;
+        }
+      } else if (r >= a) {
+        v |= 1;  // quadrant b: upper-right
+      }
+    }
+    if (u >= n || v >= n || u == v) continue;
+    if (u > v) std::swap(u, v);
+    *edge = {static_cast<VertexId>(u), static_cast<VertexId>(v)};
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Status GenerateMlg(const MlgGenConfig& config, const std::string& path,
+                   MlgGenStats* stats) {
+  if (config.num_vertices < 2 || config.num_layers < 1 ||
+      config.edges_per_layer < 0) {
+    return Status::InvalidArgument(
+        "generator needs num_vertices >= 2, num_layers >= 1, "
+        "edges_per_layer >= 0");
+  }
+  const double abc_sum = config.rmat_a + config.rmat_b + config.rmat_c;
+  if (config.rmat_a <= 0 || config.rmat_b <= 0 || config.rmat_c <= 0 ||
+      abc_sum >= 1.0) {
+    return Status::InvalidArgument(
+        "R-MAT probabilities must be positive with a + b + c < 1");
+  }
+  if (config.layer_overlap < 0.0 || config.layer_overlap > 1.0) {
+    return Status::InvalidArgument("layer_overlap must be in [0, 1]");
+  }
+
+  WallTimer timer;
+  const int32_t n = config.num_vertices;
+  int bits = 0;
+  while ((int64_t{1} << bits) < n) ++bits;
+  const double a = config.rmat_a;
+  const double ab = a + config.rmat_b;
+  const double abc = ab + config.rmat_c;
+  const auto shared_draws = static_cast<int64_t>(
+      config.layer_overlap * static_cast<double>(config.edges_per_layer));
+
+  MlgWriter writer;
+  Status status = writer.Open(path, n, config.num_layers);
+  if (!status.ok()) return status;
+
+  int64_t edges_written = 0;
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  std::vector<std::pair<VertexId, VertexId>> directed;
+  std::vector<int64_t> offsets;
+  std::vector<VertexId> neighbors;
+  for (int32_t layer = 0; layer < config.num_layers; ++layer) {
+    edges.clear();
+    edges.reserve(static_cast<size_t>(config.edges_per_layer));
+    // The shared stream restarts identically for every layer, so its
+    // draws land on all layers (the cross-layer overlap); the remainder
+    // comes from a per-layer stream.
+    std::mt19937_64 shared(MixSeed(config.seed, 0));
+    std::mt19937_64 own(MixSeed(config.seed, 1 + static_cast<uint64_t>(layer)));
+    std::pair<VertexId, VertexId> edge;
+    for (int64_t i = 0; i < config.edges_per_layer; ++i) {
+      std::mt19937_64& engine = i < shared_draws ? shared : own;
+      if (DrawRmatEdge(engine, n, bits, a, ab, abc, &edge)) {
+        edges.push_back(edge);
+      }
+    }
+    std::sort(edges.begin(), edges.end());
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+    edges_written += static_cast<int64_t>(edges.size());
+
+    // Canonical pairs → CSR: expand to directed records, sort by (src,
+    // dst) — neighbour lists come out sorted — then count-and-slice.
+    directed.clear();
+    directed.reserve(edges.size() * 2);
+    for (const auto& [u, v] : edges) {
+      directed.emplace_back(u, v);
+      directed.emplace_back(v, u);
+    }
+    std::sort(directed.begin(), directed.end());
+    offsets.assign(static_cast<size_t>(n) + 1, 0);
+    for (const auto& [u, v] : directed) {
+      ++offsets[static_cast<size_t>(u) + 1];
+    }
+    for (int32_t v = 0; v < n; ++v) {
+      offsets[static_cast<size_t>(v) + 1] += offsets[static_cast<size_t>(v)];
+    }
+    neighbors.resize(directed.size());
+    for (size_t i = 0; i < directed.size(); ++i) {
+      neighbors[i] = directed[i].second;
+    }
+    status = writer.AppendLayer(offsets, neighbors);
+    if (!status.ok()) return status;
+  }
+  status = writer.Finish();
+  if (!status.ok()) return status;
+
+  if (stats != nullptr) {
+    stats->edges_written = edges_written;
+    stats->gen_ms = timer.Millis();
+  }
+  return Status::Ok();
+}
+
+}  // namespace mlcore::format

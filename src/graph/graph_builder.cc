@@ -37,28 +37,29 @@ MultiLayerGraph GraphBuilder::Build() const {
     dedup.erase(std::unique(dedup.begin(), dedup.end()), dedup.end());
 
     auto& csr = graph.layers_[static_cast<size_t>(layer)];
-    csr.offsets.assign(static_cast<size_t>(num_vertices_) + 1, 0);
+    auto& offsets = csr.offsets_store;
+    auto& neighbors = csr.neighbors_store;
+    offsets.assign(static_cast<size_t>(num_vertices_) + 1, 0);
     for (const auto& [u, v] : dedup) {
-      ++csr.offsets[static_cast<size_t>(u) + 1];
-      ++csr.offsets[static_cast<size_t>(v) + 1];
+      ++offsets[static_cast<size_t>(u) + 1];
+      ++offsets[static_cast<size_t>(v) + 1];
     }
     for (int32_t i = 0; i < num_vertices_; ++i) {
-      csr.offsets[static_cast<size_t>(i) + 1] +=
-          csr.offsets[static_cast<size_t>(i)];
+      offsets[static_cast<size_t>(i) + 1] += offsets[static_cast<size_t>(i)];
     }
-    csr.neighbors.resize(static_cast<size_t>(csr.offsets.back()));
-    std::vector<int64_t> cursor(csr.offsets.begin(), csr.offsets.end() - 1);
+    neighbors.resize(static_cast<size_t>(offsets.back()));
+    std::vector<int64_t> cursor(offsets.begin(), offsets.end() - 1);
     for (const auto& [u, v] : dedup) {
-      csr.neighbors[static_cast<size_t>(cursor[static_cast<size_t>(u)]++)] = v;
-      csr.neighbors[static_cast<size_t>(cursor[static_cast<size_t>(v)]++)] = u;
+      neighbors[static_cast<size_t>(cursor[static_cast<size_t>(u)]++)] = v;
+      neighbors[static_cast<size_t>(cursor[static_cast<size_t>(v)]++)] = u;
     }
     // Insertion order above preserves sortedness for the `u` side but not
     // the `v` side; sort each list to establish the CSR invariant.
     for (int32_t i = 0; i < num_vertices_; ++i) {
-      std::sort(
-          csr.neighbors.begin() + csr.offsets[static_cast<size_t>(i)],
-          csr.neighbors.begin() + csr.offsets[static_cast<size_t>(i) + 1]);
+      std::sort(neighbors.begin() + offsets[static_cast<size_t>(i)],
+                neighbors.begin() + offsets[static_cast<size_t>(i) + 1]);
     }
+    csr.SealOwned();
   }
   return graph;
 }

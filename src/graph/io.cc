@@ -1,20 +1,105 @@
 #include "graph/io.h"
 
+#include <charconv>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
+#include <string_view>
 #include <unordered_set>
 
 #include "graph/graph_builder.h"
 
 namespace mlcore {
 
-IoStatus LoadMultiLayerGraph(const std::string& path, MultiLayerGraph* graph) {
-  std::ifstream in(path);
-  if (!in) return IoStatus::Error("cannot open " + path);
+namespace {
 
-  std::string line;
+/// Chunked line scanner over a stdio stream: 1 MiB reads, lines handed out
+/// as views into the buffer (no per-line allocation except for lines that
+/// straddle a chunk boundary). The buffered replacement for the previous
+/// `std::getline` + `istringstream` parse, which cost a stream round-trip
+/// and an allocation per edge row.
+class LineScanner {
+ public:
+  explicit LineScanner(std::FILE* file) : file_(file) {}
+
+  /// Advances to the next line (excluding the terminator). Returns false
+  /// at end of input. Views stay valid until the next call.
+  bool Next(std::string_view* line) {
+    carry_.clear();
+    while (true) {
+      if (pos_ < len_) {
+        const char* begin = buffer_ + pos_;
+        const auto* nl = static_cast<const char*>(
+            std::memchr(begin, '\n', len_ - pos_));
+        if (nl != nullptr) {
+          const size_t count = static_cast<size_t>(nl - begin);
+          pos_ += count + 1;
+          if (carry_.empty()) {
+            *line = {begin, count};
+          } else {
+            carry_.append(begin, count);
+            *line = carry_;
+          }
+          return true;
+        }
+        carry_.append(begin, len_ - pos_);
+        pos_ = len_;
+      }
+      len_ = std::fread(buffer_, 1, sizeof(buffer_), file_);
+      pos_ = 0;
+      if (len_ == 0) {
+        if (carry_.empty()) return false;
+        *line = carry_;  // final line without a trailing newline
+        return true;
+      }
+    }
+  }
+
+ private:
+  std::FILE* file_;
+  char buffer_[1 << 20];
+  size_t pos_ = 0;
+  size_t len_ = 0;
+  std::string carry_;
+};
+
+enum class FieldResult { kOk, kMalformed, kOutOfRange };
+
+bool IsFieldSpace(char c) { return c == ' ' || c == '\t' || c == '\r'; }
+
+void SkipSpace(std::string_view* rest) {
+  while (!rest->empty() && IsFieldSpace(rest->front())) {
+    rest->remove_prefix(1);
+  }
+}
+
+/// Parses one whitespace-delimited integer field off the front of `rest`.
+/// Overflowing values are reported as kOutOfRange, not silently narrowed —
+/// a 64-bit id must never wrap into a valid-looking small one.
+FieldResult ParseIntField(std::string_view* rest, long long* value) {
+  SkipSpace(rest);
+  if (rest->empty()) return FieldResult::kMalformed;
+  const char* begin = rest->data();
+  const char* end = begin + rest->size();
+  const auto [ptr, ec] = std::from_chars(begin, end, *value);
+  if (ptr == begin || (ptr != end && !IsFieldSpace(*ptr))) {
+    return FieldResult::kMalformed;
+  }
+  rest->remove_prefix(static_cast<size_t>(ptr - begin));
+  if (ec == std::errc::result_out_of_range) return FieldResult::kOutOfRange;
+  if (ec != std::errc()) return FieldResult::kMalformed;
+  return FieldResult::kOk;
+}
+
+}  // namespace
+
+IoStatus LoadMultiLayerGraph(const std::string& path, MultiLayerGraph* graph) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return IoStatus::Error("cannot open " + path);
+
+  LineScanner scanner(file);
+  std::string_view line;
   long long n = -1, l = -1;
   GraphBuilder* builder = nullptr;
   GraphBuilder storage(0, 1);
@@ -23,47 +108,63 @@ IoStatus LoadMultiLayerGraph(const std::string& path, MultiLayerGraph* graph) {
   // would otherwise differ from what the file plainly describes.
   std::vector<std::unordered_set<uint64_t>> seen;
   size_t line_no = 0;
-  while (std::getline(in, line)) {
+  auto fail = [&](const std::string& what) {
+    std::fclose(file);
+    return IoStatus::Error(path + ":" + std::to_string(line_no) + ": " +
+                           what);
+  };
+  while (scanner.Next(&line)) {
     ++line_no;
-    if (line.empty() || line[0] == '#') continue;
-    std::istringstream ss(line);
+    std::string_view rest = line;
+    SkipSpace(&rest);
+    if (rest.empty() || rest.front() == '#') continue;
     if (n < 0) {
-      std::string tag;
-      ss >> tag >> n >> l;
-      if (tag != "n" || n < 0 || l < 1) {
-        return IoStatus::Error(path + ":" + std::to_string(line_no) +
-                               ": expected header 'n <vertices> <layers>'");
+      // Header `n <vertices> <layers>`. Counts above INT32_MAX are a
+      // malformed header, not something to narrow into a small graph.
+      constexpr std::string_view kHeaderError =
+          "expected header 'n <vertices> <layers>'";
+      if (rest.front() != 'n' ||
+          (rest.size() > 1 && !IsFieldSpace(rest[1]))) {
+        return fail(std::string(kHeaderError));
+      }
+      rest.remove_prefix(1);
+      if (ParseIntField(&rest, &n) != FieldResult::kOk ||
+          ParseIntField(&rest, &l) != FieldResult::kOk || n < 0 || l < 1 ||
+          n > INT32_MAX || l > INT32_MAX) {
+        n = -1;
+        return fail(std::string(kHeaderError));
       }
       storage = GraphBuilder(static_cast<int32_t>(n), static_cast<int32_t>(l));
       builder = &storage;
       seen.resize(static_cast<size_t>(l));
       continue;
     }
-    long long layer, u, v;
-    if (!(ss >> layer >> u >> v)) {
-      return IoStatus::Error(path + ":" + std::to_string(line_no) +
-                             ": expected '<layer> <u> <v>'");
+    long long layer = 0, u = 0, v = 0;
+    FieldResult worst = FieldResult::kOk;
+    for (long long* field : {&layer, &u, &v}) {
+      const FieldResult r = ParseIntField(&rest, field);
+      if (r == FieldResult::kMalformed) {
+        return fail("expected '<layer> <u> <v>'");
+      }
+      if (r == FieldResult::kOutOfRange) worst = r;
     }
-    if (layer < 0 || layer >= l || u < 0 || u >= n || v < 0 || v >= n) {
-      return IoStatus::Error(path + ":" + std::to_string(line_no) +
-                             ": id out of range");
+    if (worst == FieldResult::kOutOfRange || layer < 0 || layer >= l ||
+        u < 0 || u >= n || v < 0 || v >= n) {
+      return fail("id out of range");
     }
     if (u == v) {
-      return IoStatus::Error(path + ":" + std::to_string(line_no) +
-                             ": self-loop " + std::to_string(u) + "-" +
-                             std::to_string(v));
+      return fail("self-loop " + std::to_string(u) + "-" + std::to_string(v));
     }
     const uint64_t key = (static_cast<uint64_t>(std::min(u, v)) << 32) |
                          static_cast<uint64_t>(std::max(u, v));
     if (!seen[static_cast<size_t>(layer)].insert(key).second) {
-      return IoStatus::Error(path + ":" + std::to_string(line_no) +
-                             ": duplicate edge " + std::to_string(u) + "-" +
-                             std::to_string(v) + " on layer " +
-                             std::to_string(layer));
+      return fail("duplicate edge " + std::to_string(u) + "-" +
+                  std::to_string(v) + " on layer " + std::to_string(layer));
     }
     builder->AddEdge(static_cast<LayerId>(layer), static_cast<VertexId>(u),
                      static_cast<VertexId>(v));
   }
+  std::fclose(file);
   if (n < 0) return IoStatus::Error(path + ": missing header line");
   *graph = builder->Build();
   return IoStatus::Ok();

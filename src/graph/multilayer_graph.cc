@@ -5,6 +5,57 @@
 
 namespace mlcore {
 
+MultiLayerGraph::Csr& MultiLayerGraph::Csr::operator=(const Csr& other) {
+  if (this == &other) return *this;
+  // Per-array seam: an array owned by `other` is deep-copied and the view
+  // re-anchored; a mapped array is shared by view (the enclosing graph
+  // copies backing_ alongside, keeping the mapping alive).
+  if (other.offsets.data() == other.offsets_store.data()) {
+    offsets_store = other.offsets_store;
+    offsets = offsets_store;
+  } else {
+    offsets_store.clear();
+    offsets = other.offsets;
+  }
+  if (other.neighbors.data() == other.neighbors_store.data()) {
+    neighbors_store = other.neighbors_store;
+    neighbors = neighbors_store;
+  } else {
+    neighbors_store.clear();
+    neighbors = other.neighbors;
+  }
+  return *this;
+}
+
+MultiLayerGraph MultiLayerGraph::FromMappedCsr(
+    int32_t num_vertices, const std::vector<MappedLayer>& layers,
+    std::shared_ptr<const void> backing) {
+  MultiLayerGraph graph;
+  graph.num_vertices_ = num_vertices;
+  graph.layers_.resize(layers.size());
+  for (size_t i = 0; i < layers.size(); ++i) {
+    MLCORE_DCHECK(layers[i].offsets.size() ==
+                  static_cast<size_t>(num_vertices) + 1);
+    graph.layers_[i].offsets = layers[i].offsets;
+    graph.layers_[i].neighbors = layers[i].neighbors;
+  }
+  graph.backing_ = std::move(backing);
+  return graph;
+}
+
+int64_t MultiLayerGraph::MappedBytes() const {
+  int64_t bytes = 0;
+  for (const Csr& csr : layers_) {
+    if (csr.offsets.data() != csr.offsets_store.data()) {
+      bytes += static_cast<int64_t>(csr.offsets.size_bytes());
+    }
+    if (csr.neighbors.data() != csr.neighbors_store.data()) {
+      bytes += static_cast<int64_t>(csr.neighbors.size_bytes());
+    }
+  }
+  return bytes;
+}
+
 bool MultiLayerGraph::HasEdge(LayerId layer, VertexId u, VertexId v) const {
   auto nbrs = Neighbors(layer, u);
   return std::binary_search(nbrs.begin(), nbrs.end(), v);
@@ -50,29 +101,31 @@ MultiLayerGraph MultiLayerGraph::InducedSubgraph(
   sub.layers_.resize(layers_.size());
   for (LayerId layer = 0; layer < NumLayers(); ++layer) {
     Csr& csr = sub.layers_[static_cast<size_t>(layer)];
-    csr.offsets.assign(static_cast<size_t>(sub_n) + 1, 0);
+    auto& offsets = csr.offsets_store;
+    auto& neighbors = csr.neighbors_store;
+    offsets.assign(static_cast<size_t>(sub_n) + 1, 0);
     // First pass: count surviving neighbours.
     for (int32_t i = 0; i < sub_n; ++i) {
       int64_t cnt = 0;
       for (VertexId u : Neighbors(layer, vertices[static_cast<size_t>(i)])) {
         if (new_id[static_cast<size_t>(u)] >= 0) ++cnt;
       }
-      csr.offsets[static_cast<size_t>(i) + 1] = cnt;
+      offsets[static_cast<size_t>(i) + 1] = cnt;
     }
     for (int32_t i = 0; i < sub_n; ++i) {
-      csr.offsets[static_cast<size_t>(i) + 1] +=
-          csr.offsets[static_cast<size_t>(i)];
+      offsets[static_cast<size_t>(i) + 1] += offsets[static_cast<size_t>(i)];
     }
-    csr.neighbors.resize(static_cast<size_t>(csr.offsets.back()));
+    neighbors.resize(static_cast<size_t>(offsets.back()));
     // Second pass: fill. Source lists are sorted by old id, and new ids are
     // assigned in old-id order, so output lists are sorted as well.
     for (int32_t i = 0; i < sub_n; ++i) {
-      int64_t pos = csr.offsets[static_cast<size_t>(i)];
+      int64_t pos = offsets[static_cast<size_t>(i)];
       for (VertexId u : Neighbors(layer, vertices[static_cast<size_t>(i)])) {
         VertexId nu = new_id[static_cast<size_t>(u)];
-        if (nu >= 0) csr.neighbors[static_cast<size_t>(pos++)] = nu;
+        if (nu >= 0) neighbors[static_cast<size_t>(pos++)] = nu;
       }
     }
+    csr.SealOwned();
   }
   if (old_ids != nullptr) *old_ids = vertices;
   return sub;
@@ -108,6 +161,9 @@ MultiLayerGraph MultiLayerGraph::EditedCopy(
   MultiLayerGraph out;
   out.num_vertices_ = new_n;
   out.layers_.resize(layers_.size());
+  // Unedited layers may alias this graph's backing mapping by view; the
+  // shared handle keeps the mapped base snapshot alive across epochs.
+  out.backing_ = backing_;
   std::vector<std::pair<VertexId, VertexId>> add_dir;
   std::vector<std::pair<VertexId, VertexId>> rem_dir;
   for (LayerId layer = 0; layer < NumLayers(); ++layer) {
@@ -117,14 +173,23 @@ MultiLayerGraph MultiLayerGraph::EditedCopy(
     const EdgeList& rem = removed[static_cast<size_t>(layer)];
     if (add.empty() && rem.empty()) {
       dst = src;
-      // Appended vertices are isolated: pad the offset table.
-      dst.offsets.resize(static_cast<size_t>(new_n) + 1, src.offsets.back());
+      if (extra_vertices > 0) {
+        // Appended vertices are isolated: pad the offset table. The padded
+        // table is always owned; the neighbour view stays shared (a mapped
+        // layer keeps aliasing the base snapshot's neighbour block).
+        std::vector<int64_t> padded(src.offsets.begin(), src.offsets.end());
+        padded.resize(static_cast<size_t>(new_n) + 1, src.offsets.back());
+        dst.offsets_store = std::move(padded);
+        dst.offsets = dst.offsets_store;
+      }
       continue;
     }
     ExpandDirected(add, &add_dir);
     ExpandDirected(rem, &rem_dir);
 
-    dst.offsets.assign(static_cast<size_t>(new_n) + 1, 0);
+    auto& offsets = dst.offsets_store;
+    auto& neighbors = dst.neighbors_store;
+    offsets.assign(static_cast<size_t>(new_n) + 1, 0);
     size_t ap = 0, rp = 0;
     for (VertexId v = 0; v < new_n; ++v) {
       int64_t deg = v < num_vertices_ ? Degree(layer, v) : 0;
@@ -137,10 +202,10 @@ MultiLayerGraph MultiLayerGraph::EditedCopy(
         ++rp;
       }
       MLCORE_DCHECK(deg >= 0);
-      dst.offsets[static_cast<size_t>(v) + 1] =
-          dst.offsets[static_cast<size_t>(v)] + deg;
+      offsets[static_cast<size_t>(v) + 1] =
+          offsets[static_cast<size_t>(v)] + deg;
     }
-    dst.neighbors.resize(static_cast<size_t>(dst.offsets.back()));
+    neighbors.resize(static_cast<size_t>(offsets.back()));
     ap = rp = 0;
     for (VertexId v = 0; v < new_n; ++v) {
       // Three-way sorted sweep: old neighbours minus removals, merged with
@@ -149,7 +214,7 @@ MultiLayerGraph MultiLayerGraph::EditedCopy(
       auto old_nbrs = v < num_vertices_ ? Neighbors(layer, v)
                                         : std::span<const VertexId>();
       size_t oi = 0;
-      int64_t pos = dst.offsets[static_cast<size_t>(v)];
+      int64_t pos = offsets[static_cast<size_t>(v)];
       while (oi < old_nbrs.size()) {
         const VertexId u = old_nbrs[oi];
         if (rp < rem_dir.size() && rem_dir[rp].first == v &&
@@ -160,16 +225,17 @@ MultiLayerGraph MultiLayerGraph::EditedCopy(
         }
         while (ap < add_dir.size() && add_dir[ap].first == v &&
                add_dir[ap].second < u) {
-          dst.neighbors[static_cast<size_t>(pos++)] = add_dir[ap++].second;
+          neighbors[static_cast<size_t>(pos++)] = add_dir[ap++].second;
         }
-        dst.neighbors[static_cast<size_t>(pos++)] = u;
+        neighbors[static_cast<size_t>(pos++)] = u;
         ++oi;
       }
       while (ap < add_dir.size() && add_dir[ap].first == v) {
-        dst.neighbors[static_cast<size_t>(pos++)] = add_dir[ap++].second;
+        neighbors[static_cast<size_t>(pos++)] = add_dir[ap++].second;
       }
-      MLCORE_DCHECK(pos == dst.offsets[static_cast<size_t>(v) + 1]);
+      MLCORE_DCHECK(pos == offsets[static_cast<size_t>(v) + 1]);
     }
+    dst.SealOwned();
   }
   return out;
 }
@@ -177,6 +243,8 @@ MultiLayerGraph MultiLayerGraph::EditedCopy(
 MultiLayerGraph MultiLayerGraph::SelectLayers(const LayerSet& layers) const {
   MultiLayerGraph out;
   out.num_vertices_ = num_vertices_;
+  // Selected mapped layers alias by view; share the backing mapping.
+  out.backing_ = backing_;
   out.layers_.reserve(layers.size());
   for (LayerId layer : layers) {
     MLCORE_DCHECK(layer >= 0 && layer < NumLayers());

@@ -2,6 +2,7 @@
 #define MLCORE_GRAPH_MULTILAYER_GRAPH_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -24,7 +25,16 @@ using LayerSet = std::vector<LayerId>;
 ///
 /// All layers share the vertex id space [0, n). Each layer is stored as a
 /// compressed sparse row structure with sorted, duplicate-free neighbour
-/// lists and no self loops. Construct via `GraphBuilder`.
+/// lists and no self loops. Construct via `GraphBuilder`, or zero-copy
+/// from an MLG1 mapping via `FromMappedCsr` (src/format, DESIGN.md §13).
+///
+/// Backing-store seam: every accessor reads the per-layer adjacency
+/// *views* (`Csr::offsets` / `Csr::neighbors`), which point either into
+/// vectors owned by this graph or into an external backing store (a
+/// memory-mapped MLG1 file) kept alive by `backing_`. Owned and mapped
+/// layers coexist within one graph — `EditedCopy` rebuilds only edited
+/// layers, so an update epoch on top of a mapped base snapshot still
+/// shares the mapping for every untouched layer.
 ///
 /// "Removing a vertex from G", as the paper's pseudocode phrases it, is
 /// realised by the algorithms through explicit vertex-subset scoping; the
@@ -95,16 +105,72 @@ class MultiLayerGraph {
                              const std::vector<EdgeList>& added,
                              const std::vector<EdgeList>& removed) const;
 
+  /// One layer's adjacency as externally owned CSR views, the input of
+  /// `FromMappedCsr`. `offsets` has num_vertices + 1 entries; `neighbors`
+  /// holds the sorted, duplicate-free, self-loop-free lists the offsets
+  /// slice. The format reader validates these invariants before handing
+  /// views to the graph.
+  struct MappedLayer {
+    std::span<const int64_t> offsets;
+    std::span<const VertexId> neighbors;
+  };
+
+  /// Zero-copy construction seam for the binary loader (src/format): the
+  /// returned graph's adjacency views alias the given spans, and `backing`
+  /// (typically the util::MmapFile of an MLG1 container) is held for the
+  /// graph's lifetime — including through copies, `SelectLayers`, and the
+  /// unedited layers of `EditedCopy`.
+  static MultiLayerGraph FromMappedCsr(int32_t num_vertices,
+                                       const std::vector<MappedLayer>& layers,
+                                       std::shared_ptr<const void> backing);
+
+  /// This layer's whole CSR block (offsets size n+1, concatenated sorted
+  /// neighbour lists) — the writer-side seam of the MLG1 container and the
+  /// cheap whole-layer comparison surface used by tests and benches. Views
+  /// are valid as long as this graph is.
+  MappedLayer LayerCsr(LayerId layer) const {
+    const Csr& csr = layers_[static_cast<size_t>(layer)];
+    return {csr.offsets, csr.neighbors};
+  }
+
+  /// Bytes of adjacency data aliasing an external backing store (0 for a
+  /// fully owned graph). Feeds the `format.mmap_bytes` metric.
+  int64_t MappedBytes() const;
+
  private:
   friend class GraphBuilder;
 
+  /// Per-layer CSR with the owned/mapped seam. The `offsets` / `neighbors`
+  /// views are what accessors read; they point at the `*_store` vectors
+  /// for owned layers and at the graph's backing mapping for mapped ones.
+  /// Writers fill the stores and call `SealOwned()`. Copying re-anchors
+  /// views into the copied stores (owned) or shares them (mapped — the
+  /// enclosing graph copies `backing_` alongside); moving keeps views
+  /// valid because vector moves transfer the heap buffer.
   struct Csr {
-    std::vector<int64_t> offsets;   // size n+1
-    std::vector<VertexId> neighbors;
+    Csr() = default;
+    Csr(const Csr& other) { *this = other; }
+    Csr& operator=(const Csr& other);
+    Csr(Csr&&) noexcept = default;
+    Csr& operator=(Csr&&) noexcept = default;
+
+    void SealOwned() {
+      offsets = offsets_store;
+      neighbors = neighbors_store;
+    }
+
+    std::vector<int64_t> offsets_store;     // empty for mapped layers
+    std::vector<VertexId> neighbors_store;  // empty for mapped layers
+    std::span<const int64_t> offsets;       // size n+1
+    std::span<const VertexId> neighbors;
   };
 
   int32_t num_vertices_ = 0;
   std::vector<Csr> layers_;
+  /// Keeps externally owned adjacency memory alive (null when every layer
+  /// is owned). Shared, never inspected — the type-erased handle is what
+  /// lets owned-vector and mapped storage coexist behind one graph type.
+  std::shared_ptr<const void> backing_;
 };
 
 /// Returns [0, 1, ..., n-1].

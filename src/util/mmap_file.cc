@@ -1,0 +1,56 @@
+#include "util/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace mlcore::util {
+
+Status MmapFile::Open(const std::string& path, MmapFile* out) {
+  out->Reset();
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::InvalidArgument("cannot open " + path + ": " +
+                                   std::strerror(errno));
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::InvalidArgument("cannot stat " + path + ": " +
+                                   std::strerror(err));
+  }
+  if (!S_ISREG(st.st_mode)) {
+    ::close(fd);
+    return Status::InvalidArgument(path + ": not a regular file");
+  }
+  const auto size = static_cast<size_t>(st.st_size);
+  if (size == 0) {
+    // mmap(len = 0) is EINVAL; an empty file is a valid (empty) mapping.
+    ::close(fd);
+    return Status::Ok();
+  }
+  void* data = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  const int err = errno;
+  // The mapping outlives the descriptor; POSIX keeps the pages valid.
+  ::close(fd);
+  if (data == MAP_FAILED) {
+    return Status::InvalidArgument("cannot mmap " + path + ": " +
+                                   std::strerror(err));
+  }
+  out->data_ = data;
+  out->size_ = size;
+  return Status::Ok();
+}
+
+void MmapFile::Reset() {
+  if (data_ != nullptr) ::munmap(data_, size_);
+  data_ = nullptr;
+  size_ = 0;
+}
+
+}  // namespace mlcore::util

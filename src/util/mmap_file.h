@@ -1,0 +1,63 @@
+#ifndef MLCORE_UTIL_MMAP_FILE_H_
+#define MLCORE_UTIL_MMAP_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "service/status.h"
+
+namespace mlcore::util {
+
+/// RAII read-only memory mapping of a whole file (DESIGN.md §13).
+///
+/// The single sanctioned owner of raw mmap/munmap in the codebase
+/// (scripts/lint.py bans the syscalls elsewhere): every zero-copy load
+/// path goes through this class so mapping lifetime is always tied to an
+/// object that higher layers can hold — `MultiLayerGraph` keeps its
+/// backing mapping alive via a shared_ptr to the MmapFile that produced
+/// its adjacency views.
+///
+/// Move-only; the destructor unmaps. A default-constructed (or moved-from)
+/// instance is empty: data() == nullptr, size() == 0.
+class MmapFile {
+ public:
+  MmapFile() = default;
+  ~MmapFile() { Reset(); }
+
+  MmapFile(MmapFile&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        size_(std::exchange(other.size_, 0)) {}
+  MmapFile& operator=(MmapFile&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+  }
+
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  /// Maps `path` read-only into *out (replacing any previous mapping). On
+  /// error *out is left empty and the status names the path and the
+  /// failing step. An empty file maps successfully to (nullptr, 0).
+  static Status Open(const std::string& path, MmapFile* out);
+
+  const uint8_t* data() const { return static_cast<const uint8_t*>(data_); }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Unmaps now (idempotent).
+  void Reset();
+
+ private:
+  void* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace mlcore::util
+
+#endif  // MLCORE_UTIL_MMAP_FILE_H_
